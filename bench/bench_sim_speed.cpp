@@ -1,0 +1,80 @@
+// F10 — simulator performance (google-benchmark).
+//
+// Not a paper figure: measures the cycle-accurate model itself — kernel
+// cycles per second and end-to-end transaction throughput for growing
+// meshes — so users can size experiments.
+#include <benchmark/benchmark.h>
+
+#include "src/noc/network.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace {
+
+xpl::noc::NetworkConfig config(std::size_t mesh_side = 2) {
+  xpl::noc::NetworkConfig cfg;
+  cfg.routing = xpl::topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  // Big meshes have long routes; widen flits so the route field fits the
+  // head flit (an 8x8 mesh needs 15 hops x 4 bits).
+  if (mesh_side >= 6) cfg.flit_width = 64;
+  return cfg;
+}
+
+void BM_IdleCycles(benchmark::State& state) {
+  using namespace xpl;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  noc::Network net(
+      topology::make_mesh(n, n, topology::NiPlan::uniform(n * n, 1, 1)),
+      config(n));
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["switches"] = static_cast<double>(net.num_switches());
+}
+BENCHMARK(BM_IdleCycles)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LoadedCycles(benchmark::State& state) {
+  using namespace xpl;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  noc::Network net(
+      topology::make_mesh(n, n, topology::NiPlan::uniform(n * n, 1, 1)),
+      config(n));
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.05;
+  traffic::TrafficDriver driver(net, tcfg);
+  for (auto _ : state) {
+    driver.step();
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::uint64_t done = 0;
+  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
+    done += net.master(i).completed().size();
+  }
+  state.counters["txns"] = static_cast<double>(done);
+}
+BENCHMARK(BM_LoadedCycles)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ReadTransaction(benchmark::State& state) {
+  using namespace xpl;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)),
+      config());
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    ocp::Transaction txn;
+    txn.cmd = ocp::Cmd::kRead;
+    txn.addr = net.target_base(k++ % 4);
+    txn.burst_len = 1;
+    net.master(0).push_transaction(txn);
+    net.run_until_quiescent(10000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadTransaction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench binary runs with no arguments, prints its figure's series as
+// an aligned table (paper values quoted in comments where the slides give
+// them), and exits with status 0.
+#pragma once
+
+#include <cstdio>
+
+#include "src/link/goback_n.hpp"
+#include "src/ni/ni_initiator.hpp"
+#include "src/ni/ni_target.hpp"
+#include "src/switchlib/switch.hpp"
+
+namespace xpl::bench {
+
+inline void banner(const char* figure, const char* title) {
+  std::printf("=========================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("xpipes lite reproduction (synthesis model, 130 nm)\n");
+  std::printf("=========================================================\n");
+}
+
+/// Switch configuration used across the synthesis figures: the paper's
+/// defaults (2-stage, round robin, output queued, go-back-N window for a
+/// short link, CRC-8).
+inline switchlib::SwitchConfig paper_switch(std::size_t n_in,
+                                            std::size_t n_out,
+                                            std::size_t flit_width) {
+  switchlib::SwitchConfig cfg;
+  cfg.num_inputs = n_in;
+  cfg.num_outputs = n_out;
+  cfg.flit_width = flit_width;
+  cfg.port_bits = 3;
+  cfg.route_bits = std::min<std::size_t>(24, flit_width);
+  cfg.protocol = link::ProtocolConfig::for_link(0);
+  return cfg;
+}
+
+/// NI configurations for the synthesis figures: 8-hop routes (as far as
+/// the flit width allows), 32-bit OCP data, the paper's mesh population
+/// (11 targets / 8 initiators) for the LUT sizes.
+inline ni::InitiatorConfig paper_initiator(std::size_t flit_width) {
+  ni::InitiatorConfig cfg;
+  cfg.format.flit_width = flit_width;
+  cfg.format.beat_width = 32;
+  cfg.format.header.max_hops =
+      std::min<std::size_t>(8, flit_width / cfg.format.header.port_bits);
+  cfg.protocol = link::ProtocolConfig::for_link(0);
+  return cfg;
+}
+
+inline ni::TargetConfig paper_target(std::size_t flit_width) {
+  ni::TargetConfig cfg;
+  cfg.format.flit_width = flit_width;
+  cfg.format.beat_width = 32;
+  cfg.format.header.max_hops =
+      std::min<std::size_t>(8, flit_width / cfg.format.header.port_bits);
+  cfg.protocol = link::ProtocolConfig::for_link(0);
+  return cfg;
+}
+
+}  // namespace xpl::bench

@@ -1,0 +1,85 @@
+// F9 (ablation) — ACK/nACK error control under a bit-error-rate sweep.
+//
+// The paper designs its links to be unreliable and recovers with per-flit
+// CRC + ACK/nACK go-back-N. This bench quantifies that machinery: for a
+// 2x2 mesh with 1-stage pipelined links we sweep the per-bit error rate
+// and report delivered transactions, retransmission ratio, and the
+// latency penalty, for CRC-8 and CRC-16. At BER 0 the protocol costs
+// nothing but the sequence/CRC wire bits — the flow-control-only case.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/noc/network.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/stats.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace {
+
+struct Point {
+  std::uint64_t delivered = 0;
+  std::uint64_t injected = 0;
+  double retx_ratio = 0.0;
+  double mean_latency = 0.0;
+};
+
+Point run_point(double ber, xpl::CrcKind crc) {
+  using namespace xpl;
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  cfg.bit_error_rate = ber;
+  cfg.crc = crc;
+  cfg.seed = 1234;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1),
+                          /*link_stages=*/1),
+      cfg);
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.03;
+  tcfg.read_fraction = 1.0;
+  tcfg.seed = 99;
+  traffic::TrafficDriver driver(net, tcfg);
+  driver.run(5000);
+  net.run_until_quiescent(400000);
+
+  Point p;
+  p.injected = driver.injected();
+  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
+    p.delivered += net.master(i).completed().size();
+  }
+  const auto flits = net.total_link_flits();
+  p.retx_ratio = flits == 0 ? 0.0
+                            : static_cast<double>(
+                                  net.total_retransmissions()) /
+                                  static_cast<double>(flits);
+  p.mean_latency = traffic::collect_latency(net).mean;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xpl;
+  bench::banner("F9", "ACK/nACK error control vs link bit-error rate");
+
+  std::printf("%-10s %-8s %-12s %-12s %-12s %-12s\n", "BER", "crc",
+              "injected", "delivered", "retx_ratio", "lat_cycles");
+  const double bers[] = {0.0, 1e-5, 1e-4, 1e-3};
+  for (const double ber : bers) {
+    for (const CrcKind crc : {CrcKind::kCrc8, CrcKind::kCrc16}) {
+      const Point p = run_point(ber, crc);
+      std::printf("%-10.0e %-8s %-12llu %-12llu %-12.4f %-12.1f\n", ber,
+                  crc_name(crc),
+                  static_cast<unsigned long long>(p.injected),
+                  static_cast<unsigned long long>(p.delivered),
+                  p.retx_ratio, p.mean_latency);
+    }
+  }
+  std::printf(
+      "\nexpected shape: 100%% delivery at every BER (the protocol is\n"
+      "lossless); retransmission ratio and latency grow with BER; CRC-16\n"
+      "costs wire width but survives rates where CRC-8 escapes would\n"
+      "corrupt data silently.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// F8 — "Comparison With Old xpipes Library: Lower Latency (7 to 2 stage
+// switches)".
+//
+// xpipes lite's headline architectural change: the switch pipeline went
+// from 7 stages to 2. We instantiate the same 3x3 mesh twice — once with
+// 2-stage switches (lite), once with 7-stage switches (first-generation
+// xpipes, via extra_pipeline=5) — and measure end-to-end read latency at
+// several hop distances plus loaded latency under uniform traffic.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/noc/network.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/stats.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace {
+
+xpl::noc::NetworkConfig config_for(std::size_t extra_pipeline) {
+  xpl::noc::NetworkConfig cfg;
+  cfg.routing = xpl::topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  cfg.extra_switch_pipeline = extra_pipeline;
+  return cfg;
+}
+
+// Zero-load read latency from corner initiator to a target `hops`
+// switches away along the top row.
+std::uint64_t zero_load_latency(std::size_t extra_pipeline,
+                                std::size_t target_index) {
+  using namespace xpl;
+  noc::Network net(
+      topology::make_mesh(3, 3, topology::NiPlan::uniform(9, 1, 1)),
+      config_for(extra_pipeline));
+  ocp::Transaction txn;
+  txn.cmd = ocp::Cmd::kRead;
+  txn.addr = net.target_base(target_index);
+  txn.burst_len = 1;
+  net.master(0).push_transaction(txn);
+  net.run_until_quiescent(50000);
+  const auto& result = net.master(0).completed().at(0);
+  return result.complete_cycle - result.issue_cycle;
+}
+
+double loaded_latency(std::size_t extra_pipeline) {
+  using namespace xpl;
+  noc::Network net(
+      topology::make_mesh(3, 3, topology::NiPlan::uniform(9, 1, 1)),
+      config_for(extra_pipeline));
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.03;
+  tcfg.read_fraction = 1.0;
+  tcfg.seed = 5;
+  traffic::TrafficDriver driver(net, tcfg);
+  driver.run(6000);
+  net.run_until_quiescent(100000);
+  return traffic::collect_latency(net).mean;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xpl;
+  bench::banner("F8", "switch pipeline depth: old xpipes (7) vs lite (2)");
+
+  std::printf("%-22s %-14s %-14s %-10s\n", "measurement",
+              "lite_2stage", "old_7stage", "ratio");
+  const struct {
+    const char* name;
+    std::size_t target;
+  } points[] = {
+      {"read, same switch", 0},   // initiator 0 and target 0 share switch 0
+      {"read, 2 switches", 1},    // one grid hop each way
+      {"read, 3 switches", 2},    // two grid hops
+      {"read, 5 switches", 8},    // corner to corner (4 grid hops)
+  };
+  for (const auto& p : points) {
+    const auto lite = zero_load_latency(0, p.target);
+    const auto old7 = zero_load_latency(5, p.target);
+    std::printf("%-22s %-14llu %-14llu %-10.2f\n", p.name,
+                static_cast<unsigned long long>(lite),
+                static_cast<unsigned long long>(old7),
+                static_cast<double>(old7) / static_cast<double>(lite));
+  }
+  const double lite_loaded = loaded_latency(0);
+  const double old_loaded = loaded_latency(5);
+  std::printf("%-22s %-14.1f %-14.1f %-10.2f\n", "loaded mean (3x3)",
+              lite_loaded, old_loaded, old_loaded / lite_loaded);
+  std::printf(
+      "\npaper: the lite redesign cut the switch from 7 to 2 pipeline\n"
+      "stages; per-hop latency drops by 5 cycles each way, so multi-hop\n"
+      "reads improve by up to ~2x at zero load.\n");
+  return 0;
+}

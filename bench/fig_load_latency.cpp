@@ -1,0 +1,74 @@
+// F11 (extension) — latency vs offered load.
+//
+// The canonical NoC characterization the paper's simulation view enables:
+// sweep the injection rate on a 4x4 mesh under uniform random traffic and
+// chart mean/p95 read latency and accepted throughput up to saturation.
+// Run for both the lite 2-stage switch and the old 7-stage switch to show
+// where the pipeline redesign moves the curve.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/noc/network.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/stats.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace {
+
+struct Point {
+  double offered = 0.0;
+  double accepted = 0.0;
+  double mean = 0.0;
+  double p95 = 0.0;
+};
+
+Point run_point(double rate, std::size_t extra_pipeline) {
+  using namespace xpl;
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  cfg.extra_switch_pipeline = extra_pipeline;
+  noc::Network net(
+      topology::make_mesh(4, 4, topology::NiPlan::uniform(16, 1, 1)), cfg);
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = rate;
+  tcfg.read_fraction = 1.0;
+  tcfg.max_burst = 2;
+  tcfg.seed = 33;
+  traffic::TrafficDriver driver(net, tcfg);
+  const std::size_t cycles = 6000;
+  driver.run(cycles);
+  net.run_until_quiescent(80000);
+
+  Point p;
+  p.offered = rate;
+  const auto stats = traffic::collect_run(net, cycles);
+  p.accepted = stats.throughput / 16.0;  // per initiator
+  p.mean = stats.latency.mean;
+  p.p95 = stats.latency.p95;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xpl;
+  bench::banner("F11", "latency vs offered load, 4x4 mesh, uniform random");
+
+  std::printf("%-10s | %-24s | %-24s\n", "", "lite 2-stage", "old 7-stage");
+  std::printf("%-10s | %-8s %-7s %-7s | %-8s %-7s %-7s\n", "offered",
+              "accepted", "mean", "p95", "accepted", "mean", "p95");
+  for (const double rate :
+       {0.005, 0.01, 0.02, 0.04, 0.08, 0.12, 0.16, 0.20}) {
+    const Point lite = run_point(rate, 0);
+    const Point old7 = run_point(rate, 5);
+    std::printf("%-10.3f | %-8.4f %-7.1f %-7.0f | %-8.4f %-7.1f %-7.0f\n",
+                rate, lite.accepted, lite.mean, lite.p95, old7.accepted,
+                old7.mean, old7.p95);
+  }
+  std::printf(
+      "\nexpected shape: flat latency at low load, knee near saturation;\n"
+      "the 7-stage switch saturates earlier and sits ~1.5-2x higher in\n"
+      "latency everywhere — the redesign the paper leads with.\n");
+  return 0;
+}

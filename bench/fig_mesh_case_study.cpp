@@ -1,0 +1,87 @@
+// F5 — "The Power of Abstraction: Mesh Case Study".
+//
+// The paper's chart: area (mm2) versus flit width {16, 32, 64, 128} for
+// the four component shapes of a 3x4 mesh hosting 8 processors and 11
+// slaves — initiator NI, target NI, 4x4 switch, 6x4 switch — plus the
+// headline "a 3x4 xpipes mesh ... occupies ~2.6 mm2" total at 32 bits,
+// with NIs and 4x4 switches at 1 GHz and 6x4 switches at 875-980 MHz.
+//
+// The whole-mesh row is produced by the xpipesCompiler's synthesis report
+// over the actual instantiated topology (per-instance port counts), not
+// by multiplying the four shapes.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/compiler/compiler.hpp"
+#include "src/topology/generators.hpp"
+
+int main() {
+  using namespace xpl;
+  bench::banner("F5", "mesh case study: 3x4 mesh, 8 processors + 11 slaves");
+
+  synth::Estimator est;
+  compiler::XpipesCompiler xpipes;
+  const double target_mhz = 1000.0;
+
+  std::printf("%-10s %-14s %-14s %-14s %-14s %-12s\n", "flit", "ini_NI_mm2",
+              "tgt_NI_mm2", "sw4x4_mm2", "sw6x4_mm2", "mesh_mm2");
+
+  for (const std::size_t width : {16u, 32u, 64u, 128u}) {
+    const auto icfg = bench::paper_initiator(width);
+    const auto tcfg = bench::paper_target(width);
+    const auto ini = est.estimate(
+        synth::build_initiator_ni_netlist(icfg, 11),
+        synth::initiator_ni_logic_levels(icfg), target_mhz);
+    const auto tgt = est.estimate(
+        synth::build_target_ni_netlist(tcfg, 8),
+        synth::target_ni_logic_levels(tcfg), target_mhz);
+
+    const auto cfg44 = bench::paper_switch(4, 4, width);
+    const auto e44 = est.estimate(synth::build_switch_netlist(cfg44),
+                                  synth::switch_logic_levels(cfg44),
+                                  target_mhz);
+    const auto cfg64 = bench::paper_switch(6, 4, width);
+    const double levels64 = synth::switch_logic_levels(cfg64);
+    const double f64 = est.max_fmax_mhz(levels64);
+    const auto e64 =
+        est.estimate(synth::build_switch_netlist(cfg64), levels64,
+                     f64 >= target_mhz ? target_mhz : f64 * 0.98);
+
+    // Whole mesh through the compiler (route widths sized to the real
+    // diameter; per-switch radix from the actual attachment plan).
+    compiler::NocSpec spec;
+    spec.name = "case_study";
+    spec.topo = topology::make_paper_case_study();
+    spec.net.flit_width = width;
+    spec.net.routing = topology::RoutingAlgorithm::kXY;
+    spec.net.target_window = 1 << 12;
+    double mesh_mm2 = 0.0;
+    if (width >= 32) {
+      // At 16 bits the 3x4 mesh's 6-hop routes do not fit one flit (the
+      // paper's 16-bit point is for the component shapes only).
+      const auto report = xpipes.estimate(spec, 900.0);
+      mesh_mm2 = report.total_area_mm2;
+      std::printf("%-10zu %-14.4f %-14.4f %-14.4f %-14.4f %-12.3f\n", width,
+                  ini.area_mm2, tgt.area_mm2, e44.area_mm2, e64.area_mm2,
+                  mesh_mm2);
+    } else {
+      std::printf("%-10zu %-14.4f %-14.4f %-14.4f %-14.4f %-12s\n", width,
+                  ini.area_mm2, tgt.area_mm2, e44.area_mm2, e64.area_mm2,
+                  "-");
+    }
+  }
+
+  // Frequency summary for the two switch shapes at 32 bits.
+  const auto cfg44 = bench::paper_switch(4, 4, 32);
+  const auto cfg64 = bench::paper_switch(6, 4, 32);
+  std::printf("\nachievable clocks (32-bit): 4x4 switch %.0f MHz, "
+              "6x4 switch %.0f MHz, NI %.0f MHz\n",
+              est.max_fmax_mhz(synth::switch_logic_levels(cfg44)),
+              est.max_fmax_mhz(synth::switch_logic_levels(cfg64)),
+              est.max_fmax_mhz(synth::initiator_ni_logic_levels(
+                  bench::paper_initiator(32))));
+  std::printf(
+      "paper: Initiator NI / Target NI / 4x4 switch @ 1 GHz; 6x4 switch @\n"
+      "875-980 MHz; whole 3x4 mesh (8 CPUs + 11 slaves) ~2.6 mm2.\n");
+  return 0;
+}

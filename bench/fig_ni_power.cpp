@@ -1,0 +1,36 @@
+// F2 — "NI Synthesis Results: Power (mW)".
+//
+// Power of the initiator/target NI versus flit width at 1 GHz, 130 nm,
+// typical switching activity. The paper's chart shows a few mW per NI,
+// growing with flit width.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/synth/component_models.hpp"
+#include "src/synth/estimator.hpp"
+
+int main() {
+  using namespace xpl;
+  bench::banner("F2", "NI synthesis: power (mW) vs flit width @ 1 GHz");
+
+  synth::Estimator est;
+  const double target_mhz = 1000.0;
+  const double activity = 0.15;
+
+  std::printf("%-10s %-16s %-16s\n", "flit", "initiator_mW", "target_mW");
+  for (const std::size_t width : {16u, 32u, 64u, 128u}) {
+    const auto icfg = bench::paper_initiator(width);
+    const auto tcfg = bench::paper_target(width);
+    const auto ini = est.estimate(
+        synth::build_initiator_ni_netlist(icfg, 11),
+        synth::initiator_ni_logic_levels(icfg), target_mhz, activity);
+    const auto tgt = est.estimate(
+        synth::build_target_ni_netlist(tcfg, 8),
+        synth::target_ni_logic_levels(tcfg), target_mhz, activity);
+    std::printf("%-10zu %-16.2f %-16.2f\n", width, ini.power_mw,
+                tgt.power_mw);
+  }
+  std::printf(
+      "\npaper: single-digit mW per NI at 1 GHz, monotone in flit width.\n");
+  return 0;
+}

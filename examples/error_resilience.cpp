@@ -1,0 +1,82 @@
+// Error resilience: unreliable links, reliable NoC.
+//
+// xpipes lite assumes links can corrupt flits in flight and recovers with
+// per-flit CRC + ACK/nACK go-back-N retransmission. This example injects
+// aggressive bit errors into every inter-switch link of a mesh, runs a
+// data-integrity workload, and shows that (a) every transaction
+// completes, (b) every byte survives, (c) the cost is retransmissions
+// and latency, not correctness.
+//
+// Build & run:  ./build/examples/error_resilience
+#include <cstdio>
+
+#include "src/noc/network.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/stats.hpp"
+
+int main() {
+  using namespace xpl;
+
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  cfg.bit_error_rate = 1e-3;  // roughly 1 in 20 flits corrupted per hop
+  cfg.crc = CrcKind::kCrc16;
+  cfg.seed = 42;
+  noc::Network net(
+      topology::make_mesh(3, 3, topology::NiPlan::uniform(9, 1, 1),
+                          /*link_stages=*/2),
+      cfg);
+  std::printf("3x3 mesh, 2-stage pipelined links, BER %.0e, %s checking\n",
+              cfg.bit_error_rate, crc_name(cfg.crc));
+
+  // Every CPU writes a signature pattern across a far memory, then reads
+  // it back.
+  const std::size_t kWords = 16;
+  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
+    const std::size_t t = (i + 4) % net.num_targets();
+    for (std::size_t w = 0; w < kWords; ++w) {
+      ocp::Transaction wr;
+      wr.cmd = ocp::Cmd::kWriteNp;
+      wr.addr = net.target_base(t) + 8 * w;
+      wr.burst_len = 1;
+      wr.data = {0xC0DE0000 + 0x100 * i + w};
+      net.master(i).push_transaction(wr);
+    }
+    for (std::size_t w = 0; w < kWords; ++w) {
+      ocp::Transaction rd;
+      rd.cmd = ocp::Cmd::kRead;
+      rd.addr = net.target_base(t) + 8 * w;
+      rd.burst_len = 1;
+      net.master(i).push_transaction(rd);
+    }
+  }
+
+  const auto cycles = net.run_until_quiescent(2000000);
+
+  std::size_t checked = 0;
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
+    const auto& completed = net.master(i).completed();
+    for (std::size_t w = 0; w < kWords; ++w) {
+      const auto& rd = completed.at(kWords + w);
+      ++checked;
+      if (rd.data.at(0) != 0xC0DE0000 + 0x100 * i + w) ++wrong;
+    }
+  }
+
+  std::printf("\nran %llu cycles\n", static_cast<unsigned long long>(cycles));
+  std::printf("flits carried on links : %llu\n",
+              static_cast<unsigned long long>(net.total_link_flits()));
+  std::uint64_t corrupted = 0;
+  for (const auto& link : net.links()) corrupted += link->flits_corrupted();
+  std::printf("flits corrupted        : %llu\n",
+              static_cast<unsigned long long>(corrupted));
+  std::printf("retransmissions        : %llu\n",
+              static_cast<unsigned long long>(net.total_retransmissions()));
+  std::printf("words verified         : %zu (%zu wrong)\n", checked, wrong);
+  std::printf(wrong == 0 ? "\nall data intact: the ACK/nACK protocol "
+                           "absorbed every error.\n"
+                         : "\nDATA CORRUPTION — protocol failure!\n");
+  return wrong == 0 ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Synthesis view generation: what the original xpipesCompiler shipped.
+//
+// Compiles the paper's 3x4 mesh case study and writes the generated
+// SystemC — one class per distinct component configuration, the routing
+// tables, and the hierarchical top level — to ./xpipes_generated/.
+//
+// Build & run:  ./build/examples/generate_systemc
+#include <cstdio>
+
+#include "src/compiler/compiler.hpp"
+#include "src/topology/generators.hpp"
+
+int main() {
+  using namespace xpl;
+
+  compiler::NocSpec spec;
+  spec.name = "case_study";
+  spec.topo = topology::make_paper_case_study();
+  spec.net.flit_width = 32;
+  spec.net.routing = topology::RoutingAlgorithm::kXY;
+  spec.net.target_window = 1 << 12;
+
+  compiler::XpipesCompiler xpipes;
+  const auto files = xpipes.emit_systemc(spec);
+  const std::string dir = "xpipes_generated";
+  xpipes.write_systemc(spec, dir);
+
+  std::printf("emitted %zu files to ./%s/:\n", files.size(), dir.c_str());
+  std::size_t total_lines = 0;
+  for (const auto& [name, content] : files) {
+    std::size_t lines = 0;
+    for (const char c : content) {
+      if (c == '\n') ++lines;
+    }
+    total_lines += lines;
+    std::printf("  %-34s %5zu lines\n", name.c_str(), lines);
+  }
+  std::printf("total: %zu lines of generated SystemC\n", total_lines);
+
+  const auto report = xpipes.estimate(spec, 900.0);
+  std::printf("\nthe same spec, through the synthesis model @900 MHz:\n");
+  std::printf("  %zu instances, %.2f mm2, %.0f mW, min fmax %.0f MHz\n",
+              report.instances.size(), report.total_area_mm2,
+              report.total_power_mw, report.min_fmax_mhz);
+  std::printf("simulation and synthesis views are generated from one\n"
+              "specification — the paper's orthogonal-views guarantee.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "src/appgraph/core_graph.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::appgraph {
+
+std::uint32_t CoreGraph::add_core(std::string name) {
+  const auto id = static_cast<std::uint32_t>(cores_.size());
+  cores_.push_back(std::move(name));
+  return id;
+}
+
+void CoreGraph::add_flow(std::uint32_t src, std::uint32_t dst,
+                         double bandwidth) {
+  require(src < cores_.size() && dst < cores_.size(),
+          "CoreGraph::add_flow: core id out of range");
+  require(src != dst, "CoreGraph::add_flow: self-flow");
+  require(bandwidth > 0, "CoreGraph::add_flow: bandwidth must be positive");
+  flows_.push_back(Flow{src, dst, bandwidth});
+}
+
+const std::string& CoreGraph::core_name(std::uint32_t id) const {
+  require(id < cores_.size(), "CoreGraph: core id out of range");
+  return cores_[id];
+}
+
+bool CoreGraph::sends(std::uint32_t id) const {
+  for (const Flow& f : flows_) {
+    if (f.src == id) return true;
+  }
+  return false;
+}
+
+bool CoreGraph::receives(std::uint32_t id) const {
+  for (const Flow& f : flows_) {
+    if (f.dst == id) return true;
+  }
+  return false;
+}
+
+double CoreGraph::total_bandwidth() const {
+  double total = 0;
+  for (const Flow& f : flows_) total += f.bandwidth;
+  return total;
+}
+
+CoreGraph mpeg4_decoder() {
+  // 12-core MPEG-4 decoder, bandwidths in MB/s (Bertozzi & De Micheli's
+  // NoC mapping benchmark set).
+  CoreGraph g("mpeg4");
+  const auto vu = g.add_core("vu");        // 0 video unit
+  const auto au = g.add_core("au");        // 1 audio unit
+  const auto med_cpu = g.add_core("med");  // 2 media CPU
+  const auto sdram = g.add_core("sdram");  // 3
+  const auto sram1 = g.add_core("sram1");  // 4
+  const auto sram2 = g.add_core("sram2");  // 5
+  const auto up_samp = g.add_core("ups");  // 6 up-sampler
+  const auto bab = g.add_core("bab");      // 7 BAB calculator
+  const auto risc = g.add_core("risc");    // 8
+  const auto idct = g.add_core("idct");    // 9
+  const auto adsp = g.add_core("adsp");    // 10 audio DSP
+  const auto rast = g.add_core("rast");    // 11 rasterizer
+
+  g.add_flow(vu, sdram, 190);
+  g.add_flow(sdram, vu, 190);
+  g.add_flow(au, sdram, 60);
+  g.add_flow(sdram, au, 0.5);
+  g.add_flow(med_cpu, sdram, 600);
+  g.add_flow(sdram, med_cpu, 40);
+  g.add_flow(med_cpu, sram1, 40);
+  g.add_flow(sram1, med_cpu, 40);
+  g.add_flow(up_samp, sdram, 910);
+  g.add_flow(sdram, up_samp, 250);
+  g.add_flow(bab, sram2, 32);
+  g.add_flow(sram2, bab, 32);
+  g.add_flow(risc, sdram, 500);
+  g.add_flow(sdram, risc, 0.5);
+  g.add_flow(risc, sram2, 250);
+  g.add_flow(idct, sdram, 500);
+  g.add_flow(adsp, sdram, 33);
+  g.add_flow(sdram, adsp, 33);
+  g.add_flow(rast, sdram, 640);
+  g.add_flow(sdram, rast, 250);
+  return g;
+}
+
+CoreGraph vopd() {
+  // 12-core Video Object Plane Decoder pipeline.
+  CoreGraph g("vopd");
+  const auto vld = g.add_core("vld");          // 0 variable length dec
+  const auto run_le = g.add_core("runle");     // 1 run-length dec
+  const auto inv_scan = g.add_core("invscan"); // 2 inverse scan
+  const auto acdc = g.add_core("acdc");        // 3 AC/DC prediction
+  const auto iquant = g.add_core("iquant");    // 4 inverse quant
+  const auto idct = g.add_core("idct");        // 5
+  const auto up_samp = g.add_core("ups");      // 6 up-sampler
+  const auto vop_rec = g.add_core("voprec");   // 7 VOP reconstruction
+  const auto padding = g.add_core("pad");      // 8
+  const auto vop_mem = g.add_core("vopmem");   // 9
+  const auto stripe_mem = g.add_core("smem");  // 10
+  const auto arm = g.add_core("arm");          // 11
+
+  g.add_flow(vld, run_le, 70);
+  g.add_flow(run_le, inv_scan, 362);
+  g.add_flow(inv_scan, acdc, 362);
+  g.add_flow(acdc, iquant, 357);
+  g.add_flow(acdc, stripe_mem, 49);
+  g.add_flow(stripe_mem, acdc, 27);
+  g.add_flow(iquant, idct, 353);
+  g.add_flow(idct, up_samp, 300);
+  g.add_flow(up_samp, vop_rec, 313);
+  g.add_flow(vop_rec, padding, 313);
+  g.add_flow(padding, vop_mem, 313);
+  g.add_flow(vop_mem, padding, 94);
+  g.add_flow(arm, idct, 16);
+  g.add_flow(idct, arm, 16);
+  g.add_flow(arm, vop_mem, 16);
+  g.add_flow(vop_mem, arm, 500);
+  return g;
+}
+
+CoreGraph mwd() {
+  // 12-core Multi-Window Display.
+  CoreGraph g("mwd");
+  const auto in_ = g.add_core("in");      // 0
+  const auto nr = g.add_core("nr");       // 1 noise reduction
+  const auto mem1 = g.add_core("mem1");   // 2
+  const auto mem2 = g.add_core("mem2");   // 3
+  const auto mem3 = g.add_core("mem3");   // 4
+  const auto hs = g.add_core("hs");       // 5 horizontal scaler
+  const auto vs = g.add_core("vs");       // 6 vertical scaler
+  const auto jug1 = g.add_core("jug1");   // 7 juggler
+  const auto jug2 = g.add_core("jug2");   // 8
+  const auto se = g.add_core("se");       // 9 sharpness enhance
+  const auto blend = g.add_core("blend"); // 10
+  const auto out = g.add_core("out");     // 11
+
+  g.add_flow(in_, nr, 64);
+  g.add_flow(in_, hs, 128);
+  g.add_flow(nr, mem1, 64);
+  g.add_flow(nr, mem2, 64);
+  g.add_flow(mem1, hs, 64);
+  g.add_flow(hs, vs, 128);
+  g.add_flow(vs, jug1, 64);
+  g.add_flow(mem2, vs, 64);
+  g.add_flow(jug1, mem3, 64);
+  g.add_flow(mem3, jug2, 64);
+  g.add_flow(jug2, se, 64);
+  g.add_flow(se, blend, 64);
+  g.add_flow(jug1, blend, 96);
+  g.add_flow(blend, out, 96);
+  return g;
+}
+
+}  // namespace xpl::appgraph

@@ -1,0 +1,60 @@
+// Application core graphs.
+//
+// The front of the paper's design flow: an application is characterized as
+// a graph of cores exchanging traffic at known bandwidths ("application
+// mapping — custom, domain-specific"). SunMap consumes such graphs and
+// maps them onto candidate topologies; this module supplies the graph
+// representation and the three classic multimedia benchmarks used
+// throughout the xpipes literature (MPEG-4 decoder, Video Object Plane
+// Decoder, Multi-Window Display).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xpl::appgraph {
+
+/// One directed communication flow, bandwidth in MB/s.
+struct Flow {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double bandwidth = 0.0;
+};
+
+class CoreGraph {
+ public:
+  explicit CoreGraph(std::string name = "app") : name_(std::move(name)) {}
+
+  std::uint32_t add_core(std::string name);
+  void add_flow(std::uint32_t src, std::uint32_t dst, double bandwidth);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_cores() const { return cores_.size(); }
+  const std::string& core_name(std::uint32_t id) const;
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  /// Does core `id` originate / receive any flow?
+  bool sends(std::uint32_t id) const;
+  bool receives(std::uint32_t id) const;
+
+  /// Total injected bandwidth (sum over flows).
+  double total_bandwidth() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> cores_;
+  std::vector<Flow> flows_;
+};
+
+/// MPEG-4 decoder core graph (12 cores), bandwidths in MB/s after
+/// Bertozzi et al.'s NoC mapping studies.
+CoreGraph mpeg4_decoder();
+
+/// Video Object Plane Decoder (12 cores).
+CoreGraph vopd();
+
+/// Multi-Window Display (12 cores).
+CoreGraph mwd();
+
+}  // namespace xpl::appgraph

@@ -1,0 +1,69 @@
+// Floorplanning: from topology to physical link lengths.
+//
+// The paper's flow diagram runs the mapping through a *floorplanner* with
+// area libraries before topology selection: where switches land on the die
+// decides wire lengths, and xpipes absorbs long wires by pipelining the
+// links (which the ACK/nACK protocol tolerates by design). This module
+// closes that loop:
+//
+//   1. place switches on a tile grid (meshes by their coordinates, other
+//      topologies by simulated annealing on total weighted wire length);
+//   2. convert Manhattan distances to millimetres using a tile pitch
+//      derived from the attached components' estimated areas;
+//   3. set each link's pipeline stages from the wire length and the
+//      signal reach per clock cycle at the target frequency.
+//
+// The result feeds straight back into the simulation (longer links =
+// more latency) and the synthesis report (retransmission windows grow
+// with stages), making the exploration physically grounded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/topology/topology.hpp"
+
+namespace xpl::appgraph {
+
+struct Floorplan {
+  std::size_t grid_width = 0;
+  std::size_t grid_height = 0;
+  double tile_mm = 1.0;  ///< pitch between adjacent tile centres
+  /// Tile coordinates per switch (one switch per tile).
+  std::vector<std::pair<std::size_t, std::size_t>> position;
+
+  /// Manhattan wire length of a link, in mm.
+  double link_length_mm(const topology::Topology& topo,
+                        std::uint32_t link_id) const;
+  /// Total wire length over all links, in mm.
+  double total_wire_mm(const topology::Topology& topo) const;
+  /// Die edge estimate (grid extent times pitch).
+  double die_width_mm() const { return tile_mm * double(grid_width); }
+  double die_height_mm() const { return tile_mm * double(grid_height); }
+};
+
+struct FloorplanOptions {
+  /// Pitch between switch tiles. Roughly sqrt(area of a switch plus its
+  /// attached cores); 1 mm is a sane 130 nm default for small cores.
+  double tile_mm = 1.0;
+  /// How far a signal travels per clock at the target frequency (130 nm,
+  /// repeated wires: ~2 mm/ns, so ~2 mm at 1 GHz).
+  double mm_per_cycle = 2.0;
+  std::size_t anneal_iterations = 20000;
+  std::uint64_t seed = 11;
+};
+
+/// Places switches on the smallest near-square grid. Mesh/torus
+/// topologies (switches carry coordinates) are placed by coordinate;
+/// anything else is annealed to minimize total wire length.
+Floorplan make_floorplan(const topology::Topology& topo,
+                         const FloorplanOptions& options, Rng& rng);
+
+/// Sets every link's pipeline stages from the floorplan:
+/// stages = max(0, ceil(length / mm_per_cycle) - 1) — one "free" cycle is
+/// the receiving register every link already has.
+void apply_link_stages(topology::Topology& topo, const Floorplan& plan,
+                       double mm_per_cycle);
+
+}  // namespace xpl::appgraph

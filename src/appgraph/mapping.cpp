@@ -1,0 +1,212 @@
+#include "src/appgraph/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/common/error.hpp"
+
+namespace xpl::appgraph {
+
+std::vector<std::vector<std::size_t>> switch_distances(
+    const topology::Topology& topo) {
+  const std::size_t n = topo.num_switches();
+  std::vector<std::vector<std::size_t>> dist(
+      n, std::vector<std::size_t>(n, static_cast<std::size_t>(-1)));
+  for (std::uint32_t start = 0; start < n; ++start) {
+    dist[start][start] = 0;
+    std::deque<std::uint32_t> queue{start};
+    while (!queue.empty()) {
+      const std::uint32_t s = queue.front();
+      queue.pop_front();
+      for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+        const auto& link = topo.link(l);
+        if (link.from == s &&
+            dist[start][link.to] == static_cast<std::size_t>(-1)) {
+          dist[start][link.to] = dist[start][s] + 1;
+          queue.push_back(link.to);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+double mapping_cost(const CoreGraph& graph,
+                    const std::vector<std::vector<std::size_t>>& dist,
+                    const Mapping& mapping) {
+  double cost = 0;
+  for (const Flow& f : graph.flows()) {
+    const std::uint32_t a = mapping.core_to_switch.at(f.src);
+    const std::uint32_t b = mapping.core_to_switch.at(f.dst);
+    // +1: even co-located cores cross their switch once (NI->switch->NI).
+    cost += f.bandwidth * static_cast<double>(dist[a][b] + 1);
+  }
+  return cost;
+}
+
+namespace {
+
+std::size_t default_capacity(const CoreGraph& graph,
+                             const topology::Topology& topo,
+                             std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<std::size_t>(
+      1, (graph.num_cores() + topo.num_switches() - 1) /
+             topo.num_switches());
+}
+
+}  // namespace
+
+Mapping greedy_map(const CoreGraph& graph, const topology::Topology& topo,
+                   std::size_t capacity_per_switch) {
+  const std::size_t cap = default_capacity(graph, topo, capacity_per_switch);
+  require(cap * topo.num_switches() >= graph.num_cores(),
+          "greedy_map: topology too small for the application");
+  const auto dist = switch_distances(topo);
+  const std::size_t cores = graph.num_cores();
+
+  // Total traffic per core, heaviest first.
+  std::vector<double> traffic(cores, 0);
+  for (const Flow& f : graph.flows()) {
+    traffic[f.src] += f.bandwidth;
+    traffic[f.dst] += f.bandwidth;
+  }
+  std::vector<std::uint32_t> order(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return traffic[a] > traffic[b];
+  });
+
+  Mapping mapping;
+  mapping.core_to_switch.assign(cores, 0);
+  std::vector<bool> placed(cores, false);
+  std::vector<std::size_t> load(topo.num_switches(), 0);
+
+  for (const std::uint32_t core : order) {
+    // Cost of placing `core` on switch s against already-placed partners.
+    double best_cost = 0;
+    std::uint32_t best_switch = 0;
+    bool found = false;
+    for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+      if (load[s] >= cap) continue;
+      double cost = 0;
+      for (const Flow& f : graph.flows()) {
+        if (f.src == core && placed[f.dst]) {
+          cost += f.bandwidth *
+                  static_cast<double>(dist[s][mapping.core_to_switch[f.dst]]);
+        }
+        if (f.dst == core && placed[f.src]) {
+          cost += f.bandwidth *
+                  static_cast<double>(dist[mapping.core_to_switch[f.src]][s]);
+        }
+      }
+      if (!found || cost < best_cost) {
+        best_cost = cost;
+        best_switch = s;
+        found = true;
+      }
+    }
+    XPL_ASSERT(found);
+    mapping.core_to_switch[core] = best_switch;
+    placed[core] = true;
+    ++load[best_switch];
+  }
+  return mapping;
+}
+
+Mapping anneal_map(const CoreGraph& graph, const topology::Topology& topo,
+                   const Mapping& initial, Rng& rng, std::size_t iterations,
+                   std::size_t capacity_per_switch) {
+  const std::size_t cap = default_capacity(graph, topo, capacity_per_switch);
+  const auto dist = switch_distances(topo);
+  Mapping current = initial;
+  double current_cost = mapping_cost(graph, dist, current);
+  Mapping best = current;
+  double best_cost = current_cost;
+
+  std::vector<std::size_t> load(topo.num_switches(), 0);
+  for (const std::uint32_t s : current.core_to_switch) ++load[s];
+
+  double temperature = best_cost * 0.05 + 1.0;
+  const double cooling =
+      std::pow(1e-3, 1.0 / static_cast<double>(std::max<std::size_t>(
+                          1, iterations)));
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Mapping candidate = current;
+    const auto core = static_cast<std::uint32_t>(
+        rng.next_below(graph.num_cores()));
+    const auto old_sw = candidate.core_to_switch[core];
+    if (rng.chance(0.5)) {
+      // Swap with a random other core.
+      const auto other = static_cast<std::uint32_t>(
+          rng.next_below(graph.num_cores()));
+      if (other == core) continue;
+      std::swap(candidate.core_to_switch[core],
+                candidate.core_to_switch[other]);
+    } else {
+      // Move to a random switch with room.
+      const auto to = static_cast<std::uint32_t>(
+          rng.next_below(topo.num_switches()));
+      if (to == old_sw || load[to] >= cap) continue;
+      candidate.core_to_switch[core] = to;
+    }
+    const double cost = mapping_cost(graph, dist, candidate);
+    const double delta = cost - current_cost;
+    if (delta <= 0 || rng.chance(std::exp(-delta / temperature))) {
+      // Recompute the load tracker (covers both swaps and moves).
+      for (auto& l : load) l = 0;
+      for (const std::uint32_t s : candidate.core_to_switch) ++load[s];
+      current = std::move(candidate);
+      current_cost = cost;
+      if (cost < best_cost) {
+        best = current;
+        best_cost = cost;
+      }
+    }
+    temperature *= cooling;
+  }
+  return best;
+}
+
+MappedNoc build_mapped_topology(const CoreGraph& graph,
+                                const topology::Topology& base,
+                                const Mapping& mapping) {
+  require(base.num_nis() == 0,
+          "build_mapped_topology: base topology must have no NIs");
+  require(mapping.core_to_switch.size() == graph.num_cores(),
+          "build_mapped_topology: mapping size mismatch");
+  MappedNoc out;
+  out.topo = base;
+  out.initiator_index.assign(graph.num_cores(), -1);
+  out.target_index.assign(graph.num_cores(), -1);
+
+  std::size_t next_ini = 0;
+  std::size_t next_tgt = 0;
+  // Attachment order: NI ids must interleave consistently with the
+  // topology port maps, so iterate cores in id order.
+  for (std::uint32_t c = 0; c < graph.num_cores(); ++c) {
+    const std::uint32_t sw = mapping.core_to_switch[c];
+    if (graph.sends(c)) {
+      out.topo.attach_initiator(sw, graph.core_name(c) + "_ini");
+      out.initiator_index[c] = static_cast<std::int64_t>(next_ini++);
+    }
+    if (graph.receives(c)) {
+      out.topo.attach_target(sw, graph.core_name(c) + "_tgt");
+      out.target_index[c] = static_cast<std::int64_t>(next_tgt++);
+    }
+  }
+
+  out.weights.assign(next_ini, std::vector<double>(next_tgt, 0.0));
+  for (const Flow& f : graph.flows()) {
+    const auto i = out.initiator_index[f.src];
+    const auto t = out.target_index[f.dst];
+    XPL_ASSERT(i >= 0 && t >= 0);
+    out.weights[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] +=
+        f.bandwidth;
+  }
+  return out;
+}
+
+}  // namespace xpl::appgraph

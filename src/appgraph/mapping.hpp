@@ -1,0 +1,67 @@
+// Core-to-switch mapping (the SunMap step).
+//
+// Assigns application cores to the switches of a candidate topology so
+// that heavy flows travel few hops. Cost = sum over flows of
+// bandwidth x hop-distance. Two algorithms: a greedy constructor (place
+// cores in decreasing traffic order next to their strongest partner) and
+// simulated-annealing refinement by pairwise swaps/moves.
+//
+// A mapped application becomes a concrete NoC: each core that sends gets
+// an initiator NI and each core that receives gets a target NI on its
+// assigned switch (build_mapped_topology), plus the per-pair weight
+// matrix that drives weighted traffic simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/appgraph/core_graph.hpp"
+#include "src/common/rng.hpp"
+#include "src/topology/topology.hpp"
+
+namespace xpl::appgraph {
+
+/// core id -> switch id.
+struct Mapping {
+  std::vector<std::uint32_t> core_to_switch;
+};
+
+/// All-pairs switch hop distances (BFS over links).
+std::vector<std::vector<std::size_t>> switch_distances(
+    const topology::Topology& topo);
+
+/// Communication cost of `mapping`: sum of bandwidth x hops.
+double mapping_cost(const CoreGraph& graph,
+                    const std::vector<std::vector<std::size_t>>& dist,
+                    const Mapping& mapping);
+
+/// Greedy placement; `capacity` limits cores per switch (default: evenly
+/// split, at least 1).
+Mapping greedy_map(const CoreGraph& graph, const topology::Topology& topo,
+                   std::size_t capacity_per_switch = 0);
+
+/// Simulated-annealing refinement of `initial`.
+Mapping anneal_map(const CoreGraph& graph, const topology::Topology& topo,
+                   const Mapping& initial, Rng& rng,
+                   std::size_t iterations = 20000,
+                   std::size_t capacity_per_switch = 0);
+
+/// Result of instantiating a mapped application.
+struct MappedNoc {
+  topology::Topology topo;  ///< with NIs attached
+  /// Per core: its initiator NI index (position among initiators) or -1.
+  std::vector<std::int64_t> initiator_index;
+  /// Per core: its target NI index (position among targets) or -1.
+  std::vector<std::int64_t> target_index;
+  /// weights[i][t] for traffic::Pattern::kWeighted (initiator-index by
+  /// target-index bandwidth).
+  std::vector<std::vector<double>> weights;
+};
+
+/// Attaches NIs for every core per its send/receive roles and derives the
+/// traffic weight matrix. `base` must contain only switches and links.
+MappedNoc build_mapped_topology(const CoreGraph& graph,
+                                const topology::Topology& base,
+                                const Mapping& mapping);
+
+}  // namespace xpl::appgraph

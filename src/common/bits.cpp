@@ -1,0 +1,191 @@
+#include "src/common/bits.hpp"
+
+#include <bit>
+
+namespace xpl {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}  // namespace
+
+BitVector::BitVector(std::size_t width)
+    : width_(width), words_(ceil_div(width, kWordBits), 0) {}
+
+BitVector::BitVector(std::size_t width, std::uint64_t value)
+    : BitVector(width) {
+  if (width < kWordBits) {
+    require((value >> width) == 0,
+            "BitVector: initial value wider than vector");
+  }
+  if (!words_.empty()) words_[0] = value;
+  mask_top();
+}
+
+void BitVector::mask_top() {
+  const std::size_t rem = width_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+bool BitVector::get(std::size_t pos) const {
+  XPL_ASSERT(pos < width_);
+  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
+}
+
+void BitVector::set(std::size_t pos, bool value) {
+  XPL_ASSERT(pos < width_);
+  const std::uint64_t mask = std::uint64_t{1} << (pos % kWordBits);
+  if (value) {
+    words_[pos / kWordBits] |= mask;
+  } else {
+    words_[pos / kWordBits] &= ~mask;
+  }
+}
+
+std::uint64_t BitVector::slice(std::size_t pos, std::size_t count) const {
+  XPL_ASSERT(count <= kWordBits);
+  XPL_ASSERT(pos + count <= width_);
+  if (count == 0) return 0;
+  const std::size_t word = pos / kWordBits;
+  const std::size_t off = pos % kWordBits;
+  std::uint64_t value = words_[word] >> off;
+  if (off + count > kWordBits) {
+    value |= words_[word + 1] << (kWordBits - off);
+  }
+  if (count < kWordBits) {
+    value &= (std::uint64_t{1} << count) - 1;
+  }
+  return value;
+}
+
+void BitVector::deposit(std::size_t pos, std::size_t count,
+                        std::uint64_t value) {
+  XPL_ASSERT(count <= kWordBits);
+  XPL_ASSERT(pos + count <= width_);
+  if (count == 0) return;
+  if (count < kWordBits) {
+    value &= (std::uint64_t{1} << count) - 1;
+  }
+  const std::size_t word = pos / kWordBits;
+  const std::size_t off = pos % kWordBits;
+  const std::size_t low_count = std::min(count, kWordBits - off);
+  const std::uint64_t low_mask = (low_count == kWordBits)
+                                     ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << low_count) - 1;
+  words_[word] =
+      (words_[word] & ~(low_mask << off)) | ((value & low_mask) << off);
+  if (count > low_count) {
+    const std::size_t high_count = count - low_count;
+    const std::uint64_t high_mask = (std::uint64_t{1} << high_count) - 1;
+    words_[word + 1] = (words_[word + 1] & ~high_mask) |
+                       ((value >> low_count) & high_mask);
+  }
+}
+
+BitVector BitVector::subvector(std::size_t pos, std::size_t count) const {
+  XPL_ASSERT(pos + count <= width_);
+  BitVector out(count);
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t chunk = std::min<std::size_t>(kWordBits, count - done);
+    out.deposit(done, chunk, slice(pos + done, chunk));
+    done += chunk;
+  }
+  return out;
+}
+
+void BitVector::deposit_vector(std::size_t pos, const BitVector& value) {
+  XPL_ASSERT(pos + value.width() <= width_);
+  std::size_t done = 0;
+  while (done < value.width()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(kWordBits, value.width() - done);
+    deposit(pos + done, chunk, value.slice(done, chunk));
+    done += chunk;
+  }
+}
+
+void BitVector::resize(std::size_t width) {
+  width_ = width;
+  words_.resize(ceil_div(width, kWordBits), 0);
+  mask_top();
+}
+
+std::uint64_t BitVector::to_u64() const {
+  require(width_ <= kWordBits, "BitVector::to_u64: vector wider than 64 bits");
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVector::parity() const { return (popcount() & 1u) != 0; }
+
+bool BitVector::is_zero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(width_);
+  for (std::size_t i = width_; i-- > 0;) {
+    s.push_back(get(i) ? '1' : '0');
+  }
+  return s;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return width_ == other.width_ && words_ == other.words_;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  require(width_ == other.width_, "BitVector::operator^=: width mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return *this;
+}
+
+BitWriter& BitWriter::put(std::size_t count, std::uint64_t value) {
+  require(pos_ + count <= bits_.width(), "BitWriter: field overflows vector");
+  bits_.deposit(pos_, count, value);
+  pos_ += count;
+  return *this;
+}
+
+BitWriter& BitWriter::put_vector(const BitVector& value) {
+  require(pos_ + value.width() <= bits_.width(),
+          "BitWriter: vector field overflows");
+  bits_.deposit_vector(pos_, value);
+  pos_ += value.width();
+  return *this;
+}
+
+std::uint64_t BitReader::get(std::size_t count) {
+  require(pos_ + count <= bits_.width(), "BitReader: read past end");
+  const std::uint64_t v = bits_.slice(pos_, count);
+  pos_ += count;
+  return v;
+}
+
+BitVector BitReader::get_vector(std::size_t count) {
+  require(pos_ + count <= bits_.width(), "BitReader: read past end");
+  BitVector v = bits_.subvector(pos_, count);
+  pos_ += count;
+  return v;
+}
+
+std::size_t bits_for(std::size_t n) {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace xpl

@@ -1,0 +1,136 @@
+// Arbitrary-width bit vectors and field packing.
+//
+// The xpipes lite packet format is defined at the bit level: a ~50-bit
+// header register is decomposed into flits of a configurable width
+// (16..128 bits in the paper). BitVector models such registers exactly,
+// independent of the host word size, so packetization round-trips at any
+// flit width. Bit 0 is the least-significant bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace xpl {
+
+/// Fixed-width vector of bits with word-granular storage.
+///
+/// Invariants: width() is set at construction (or resize) and all storage
+/// bits above width() are zero, so equality and hashing are value-based.
+class BitVector {
+ public:
+  /// Creates an all-zero vector of `width` bits (width may be 0).
+  explicit BitVector(std::size_t width = 0);
+
+  /// Creates a vector of `width` bits initialized from the low bits of
+  /// `value`. Bits of `value` beyond `width` must be zero.
+  BitVector(std::size_t width, std::uint64_t value);
+
+  std::size_t width() const { return width_; }
+
+  /// Reads one bit. `pos` must be < width().
+  bool get(std::size_t pos) const;
+
+  /// Writes one bit. `pos` must be < width().
+  void set(std::size_t pos, bool value);
+
+  /// Extracts `count` bits starting at `pos` (count <= 64) as an integer.
+  std::uint64_t slice(std::size_t pos, std::size_t count) const;
+
+  /// Deposits the low `count` bits of `value` at `pos` (count <= 64).
+  void deposit(std::size_t pos, std::size_t count, std::uint64_t value);
+
+  /// Extracts an arbitrary-width field as a BitVector.
+  BitVector subvector(std::size_t pos, std::size_t count) const;
+
+  /// Deposits an entire BitVector at `pos`.
+  void deposit_vector(std::size_t pos, const BitVector& value);
+
+  /// Grows or shrinks to `width` bits; new bits are zero, dropped bits are
+  /// discarded.
+  void resize(std::size_t width);
+
+  /// Value of the whole vector, which must be at most 64 bits wide.
+  std::uint64_t to_u64() const;
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// XOR-reduction of all bits (even parity bit).
+  bool parity() const;
+
+  /// All bits zero?
+  bool is_zero() const;
+
+  /// Binary string, most-significant bit first, e.g. "0101".
+  std::string to_string() const;
+
+  bool operator==(const BitVector& other) const;
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  /// XORs `other` (same width) into this vector. Used by error injection.
+  BitVector& operator^=(const BitVector& other);
+
+  /// Raw storage words (read-only), little-endian word order.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void mask_top();
+
+  std::size_t width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Incremental writer that appends fields LSB-first into a BitVector.
+/// Mirrors how the NI fills the header register field by field.
+class BitWriter {
+ public:
+  explicit BitWriter(std::size_t width) : bits_(width) {}
+
+  /// Appends the low `count` bits of `value`. Throws if it would overflow.
+  BitWriter& put(std::size_t count, std::uint64_t value);
+
+  /// Appends a whole BitVector.
+  BitWriter& put_vector(const BitVector& value);
+
+  /// Bits written so far.
+  std::size_t position() const { return pos_; }
+
+  /// Finishes and returns the vector (remaining bits stay zero).
+  const BitVector& bits() const { return bits_; }
+
+ private:
+  BitVector bits_;
+  std::size_t pos_ = 0;
+};
+
+/// Incremental reader that consumes fields LSB-first from a BitVector.
+class BitReader {
+ public:
+  explicit BitReader(const BitVector& bits) : bits_(bits) {}
+
+  /// Reads `count` bits (<= 64) and advances.
+  std::uint64_t get(std::size_t count);
+
+  /// Reads an arbitrary-width field and advances.
+  BitVector get_vector(std::size_t count);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return bits_.width() - pos_; }
+
+ private:
+  const BitVector& bits_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits needed to represent values 0..n-1 (at least 1).
+std::size_t bits_for(std::size_t n);
+
+/// ceil(a / b) for positive integers.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace xpl

@@ -1,0 +1,74 @@
+#include "src/common/crc.hpp"
+
+namespace xpl {
+
+namespace {
+
+// Bitwise CRC over the vector, LSB-first bit order, zero initial value.
+// Flits are at most a few hundred bits, so the bitwise loop is not a
+// bottleneck; it also exactly matches the serial LFSR the synthesis model
+// charges gates for.
+std::uint16_t crc_generic(const BitVector& bits, std::uint16_t poly,
+                          unsigned width) {
+  std::uint16_t reg = 0;
+  const std::uint16_t top = static_cast<std::uint16_t>(1u << (width - 1));
+  const std::uint16_t mask =
+      static_cast<std::uint16_t>((width == 16) ? 0xFFFFu : ((1u << width) - 1));
+  for (std::size_t i = 0; i < bits.width(); ++i) {
+    const bool in = bits.get(i);
+    const bool msb = (reg & top) != 0;
+    reg = static_cast<std::uint16_t>((reg << 1) & mask);
+    if (in != msb) reg = static_cast<std::uint16_t>(reg ^ poly);
+  }
+  return static_cast<std::uint16_t>(reg & mask);
+}
+
+}  // namespace
+
+std::size_t crc_width(CrcKind kind) {
+  switch (kind) {
+    case CrcKind::kNone:
+      return 0;
+    case CrcKind::kParity:
+      return 1;
+    case CrcKind::kCrc8:
+      return 8;
+    case CrcKind::kCrc16:
+      return 16;
+  }
+  return 0;
+}
+
+std::uint16_t crc_compute(CrcKind kind, const BitVector& bits) {
+  switch (kind) {
+    case CrcKind::kNone:
+      return 0;
+    case CrcKind::kParity:
+      return bits.parity() ? 1 : 0;
+    case CrcKind::kCrc8:
+      return crc_generic(bits, 0x07, 8);
+    case CrcKind::kCrc16:
+      return crc_generic(bits, 0x1021, 16);
+  }
+  return 0;
+}
+
+bool crc_check(CrcKind kind, const BitVector& bits, std::uint16_t checksum) {
+  return crc_compute(kind, bits) == checksum;
+}
+
+const char* crc_name(CrcKind kind) {
+  switch (kind) {
+    case CrcKind::kNone:
+      return "none";
+    case CrcKind::kParity:
+      return "parity";
+    case CrcKind::kCrc8:
+      return "crc8";
+    case CrcKind::kCrc16:
+      return "crc16";
+  }
+  return "?";
+}
+
+}  // namespace xpl

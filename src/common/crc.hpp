@@ -1,0 +1,37 @@
+// Error-detection codes used by the xpipes lite link-level protocol.
+//
+// The paper's switch implements ACK/nACK error control for pipelined,
+// unreliable links: each flit carries a checksum, the receiving switch
+// verifies it and answers ACK or nACK. The library offers three codes
+// with different cost/coverage tradeoffs; the synthesis model charges
+// gates per code accordingly.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/bits.hpp"
+
+namespace xpl {
+
+/// Checksum algorithm attached to every flit on a link.
+enum class CrcKind : std::uint8_t {
+  kNone,    ///< no checking (reliable links); 0 check bits
+  kParity,  ///< single even-parity bit; detects all 1-bit errors
+  kCrc8,    ///< CRC-8/ATM, polynomial x^8+x^2+x+1 (0x07)
+  kCrc16,   ///< CRC-16/CCITT, polynomial 0x1021
+};
+
+/// Number of check bits appended per flit for `kind`.
+std::size_t crc_width(CrcKind kind);
+
+/// Computes the checksum of `bits` under `kind`. The result fits in
+/// crc_width(kind) bits (0 for kNone).
+std::uint16_t crc_compute(CrcKind kind, const BitVector& bits);
+
+/// True if `checksum` matches the recomputed checksum of `bits`.
+bool crc_check(CrcKind kind, const BitVector& bits, std::uint16_t checksum);
+
+/// Human-readable name ("parity", "crc8", ...).
+const char* crc_name(CrcKind kind);
+
+}  // namespace xpl

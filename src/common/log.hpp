@@ -1,0 +1,28 @@
+// Minimal leveled logging.
+//
+// Simulation modules log through this interface so tests can silence or
+// capture output. Logging defaults to kWarn to keep benches quiet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xpl {
+
+enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` at `level` to stderr if it passes the threshold.
+void log_message(LogLevel level, const std::string& msg);
+
+/// printf-style convenience wrapper.
+void logf(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace xpl

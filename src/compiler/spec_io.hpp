@@ -1,0 +1,46 @@
+// NoC specification file format.
+//
+// The original xpipesCompiler consumed a textual NoC specification plus
+// routing tables. This module defines that interface for our compiler: a
+// line-oriented, comment-friendly format describing the network-wide
+// parameters, every switch, link and NI attachment. Round-trips exactly
+// (write_spec(parse_spec(text)) == canonical form), so specs can be
+// version-controlled and diffed.
+//
+//   # xpipes lite NoC specification
+//   noc my_soc
+//   flit_width 32
+//   beat_width 32
+//   max_burst 16
+//   threads 4
+//   target_window 4096
+//   routing xy            # xy | shortest | updown
+//   arbiter rr            # rr | fixed
+//   crc crc8              # none | parity | crc8 | crc16
+//   switch sw_0_0 coord 0 0
+//   switch hub
+//   link sw_0_0 hub stages 2
+//   initiator cpu0 at sw_0_0
+//   target mem0 at hub
+#pragma once
+
+#include <string>
+
+#include "src/compiler/compiler.hpp"
+
+namespace xpl::compiler {
+
+/// Parses a specification from text. Throws xpl::Error with a line number
+/// on malformed input.
+NocSpec parse_spec(const std::string& text);
+
+/// Reads and parses a specification file.
+NocSpec load_spec(const std::string& path);
+
+/// Renders `spec` in canonical form (stable ordering, one item per line).
+std::string write_spec(const NocSpec& spec);
+
+/// Writes the canonical form to `path`.
+void save_spec(const NocSpec& spec, const std::string& path);
+
+}  // namespace xpl::compiler

@@ -1,0 +1,130 @@
+#include "src/link/goback_n.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::link {
+
+ProtocolConfig ProtocolConfig::for_link(std::size_t stages, CrcKind crc) {
+  ProtocolConfig config;
+  // One kernel register at each end plus `stages` relays per direction,
+  // plus a couple of cycles of endpoint processing.
+  config.window = 2 * (stages + 1) + 4;
+  config.seq_bits = bits_for(2 * config.window);
+  config.crc = crc;
+  config.validate();
+  return config;
+}
+
+void ProtocolConfig::validate() const {
+  require(window >= 1, "ProtocolConfig: window must be >= 1");
+  require(seq_bits >= 1 && seq_bits <= 8,
+          "ProtocolConfig: seq_bits must be in [1,8]");
+  // Go-back-N correctness: sequence space must exceed the window so a
+  // stale retransmission can never alias a new flit.
+  require((std::size_t{1} << seq_bits) > window,
+          "ProtocolConfig: sequence space must exceed window");
+}
+
+GoBackNSender::GoBackNSender(LinkWires wires, const ProtocolConfig& config)
+    : wires_(wires),
+      config_(config),
+      seq_mask_(static_cast<std::uint8_t>((1u << config.seq_bits) - 1)) {
+  config_.validate();
+}
+
+void GoBackNSender::begin_cycle() {
+  XPL_ASSERT(wires_.rev != nullptr);
+  const AckBeat ack = wires_.rev->read();
+  if (!ack.valid || buffer_.empty()) return;
+  const std::uint8_t base = buffer_.front().flit.seqno;
+  const std::uint8_t offset = (ack.seqno - base) & seq_mask_;
+  if (ack.ack) {
+    // Receivers acknowledge flits in order, one per cycle, so a live ACK
+    // always names the oldest unacknowledged flit; anything else is a
+    // stale duplicate from before a rewind and is ignored.
+    if (offset == 0) {
+      buffer_.pop_front();
+      if (resend_idx_ > 0) --resend_idx_;
+    }
+  } else {
+    // nACK(seq): receiver wants everything from `seq` again.
+    if (offset < buffer_.size()) {
+      resend_idx_ = offset;
+    }
+  }
+}
+
+bool GoBackNSender::can_accept() const {
+  return buffer_.size() < config_.window;
+}
+
+void GoBackNSender::accept(Flit flit) {
+  XPL_ASSERT(can_accept());
+  flit.seqno = next_seq_;
+  next_seq_ = (next_seq_ + 1) & seq_mask_;
+  buffer_.push_back(Entry{std::move(flit), /*sent=*/false});
+}
+
+void GoBackNSender::end_cycle() {
+  XPL_ASSERT(wires_.fwd != nullptr);
+  if (resend_idx_ < buffer_.size()) {
+    Entry& entry = buffer_[resend_idx_];
+    if (entry.sent) {
+      ++retransmissions_;
+    } else {
+      entry.sent = true;
+    }
+    Flit flit = entry.flit;
+    flit_seal(flit, config_.crc);
+    wires_.fwd->write(FlitBeat{true, std::move(flit)});
+    ++resend_idx_;
+    ++flits_sent_;
+  } else {
+    wires_.fwd->write(FlitBeat{});
+  }
+}
+
+GoBackNReceiver::GoBackNReceiver(LinkWires wires,
+                                 const ProtocolConfig& config)
+    : wires_(wires),
+      config_(config),
+      seq_mask_(static_cast<std::uint8_t>((1u << config.seq_bits) - 1)) {
+  config_.validate();
+}
+
+std::optional<Flit> GoBackNReceiver::begin_cycle(bool can_take) {
+  XPL_ASSERT(wires_.fwd != nullptr);
+  pending_ack_ = AckBeat{};
+  const FlitBeat& beat = wires_.fwd->read();
+  if (!beat.valid) return std::nullopt;
+
+  if (!flit_verify(beat.flit, config_.crc)) {
+    // Corrupted in flight: ask the sender to go back to what we expect.
+    ++crc_rejections_;
+    pending_ack_ = AckBeat{true, /*ack=*/false, expected_seq_};
+    return std::nullopt;
+  }
+  if ((beat.flit.seqno & seq_mask_) != expected_seq_) {
+    // Stale flit racing a rewind; drop silently (the sender is already
+    // resending from expected_seq_, nACKing again would only thrash).
+    return std::nullopt;
+  }
+  if (!can_take) {
+    // Flow control: intact and in order, but no room. nACK so the sender
+    // retries; expected_seq_ stays put.
+    ++flow_rejections_;
+    pending_ack_ = AckBeat{true, /*ack=*/false, expected_seq_};
+    return std::nullopt;
+  }
+  pending_ack_ = AckBeat{true, /*ack=*/true, expected_seq_};
+  expected_seq_ = (expected_seq_ + 1) & seq_mask_;
+  ++flits_accepted_;
+  return beat.flit;
+}
+
+void GoBackNReceiver::end_cycle() {
+  XPL_ASSERT(wires_.rev != nullptr);
+  wires_.rev->write(pending_ack_);
+}
+
+}  // namespace xpl::link

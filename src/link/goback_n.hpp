@@ -1,0 +1,116 @@
+// ACK/nACK go-back-N link-level flow & error control.
+//
+// This is the paper's switch-to-switch protocol: every flit carries a
+// sequence number and a CRC; the receiving hop checks both and answers ACK
+// (advance) or nACK (go back and resend). The same nACK path doubles as
+// flow control — a receiver with no buffer space nACKs, so the sender
+// retries later. Senders keep transmitted flits in a retransmission buffer
+// until acknowledged, sized to cover the link round trip so a clean link
+// sustains one flit per cycle.
+//
+// GoBackNSender and GoBackNReceiver are building blocks *embedded* in the
+// switch and NI modules (they are not kernel modules themselves); the
+// owner calls begin_cycle / end_cycle from its tick().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/common/crc.hpp"
+#include "src/link/link.hpp"
+#include "src/packet/flit.hpp"
+
+namespace xpl::link {
+
+/// Shared parameters of one link's protocol endpoints.
+struct ProtocolConfig {
+  std::size_t window = 8;              ///< max unacknowledged flits
+  std::size_t seq_bits = 5;            ///< sequence number width
+  CrcKind crc = CrcKind::kCrc8;        ///< per-flit check code
+
+  /// Sizes window and sequence space to keep an N-stage pipelined link
+  /// fully busy: round trip is 2*(stages+1) kernel hops plus endpoint
+  /// processing.
+  static ProtocolConfig for_link(std::size_t stages,
+                                 CrcKind crc = CrcKind::kCrc8);
+
+  void validate() const;
+};
+
+/// Sender endpoint: owns the retransmission buffer.
+class GoBackNSender {
+ public:
+  GoBackNSender() = default;
+  GoBackNSender(LinkWires wires, const ProtocolConfig& config);
+
+  /// Processes incoming ACK/nACK. Call first in the owner's tick().
+  void begin_cycle();
+
+  /// True if a new flit can be queued this cycle (window has room).
+  bool can_accept() const;
+
+  /// Queues `flit` for (re)transmission; assigns its sequence number.
+  /// Requires can_accept().
+  void accept(Flit flit);
+
+  /// Transmits at most one flit and drives the wire. Call last in tick().
+  void end_cycle();
+
+  /// In-flight (sent or queued, unacknowledged) flits.
+  std::size_t in_flight() const { return buffer_.size(); }
+  bool idle() const { return buffer_.empty(); }
+
+  std::uint64_t flits_sent() const { return flits_sent_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  LinkWires wires_{};
+  ProtocolConfig config_{};
+  std::uint8_t seq_mask_ = 0;
+
+  struct Entry {
+    Flit flit;
+    bool sent = false;  ///< transmitted at least once (retx accounting)
+  };
+  std::deque<Entry> buffer_;     ///< unacked flits, oldest first
+  std::size_t resend_idx_ = 0;   ///< next buffer index to transmit
+  std::uint8_t next_seq_ = 0;    ///< seqno for the next accepted flit
+
+  std::uint64_t flits_sent_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+/// Receiver endpoint: verifies CRC and sequence, produces ACK/nACK.
+class GoBackNReceiver {
+ public:
+  GoBackNReceiver() = default;
+  GoBackNReceiver(LinkWires wires, const ProtocolConfig& config);
+
+  /// Examines the arriving flit. `can_take` tells the receiver whether the
+  /// owner has buffer space this cycle; without space the flit is nACKed
+  /// (flow control). Returns the flit when it is accepted in order and
+  /// intact. Call first in the owner's tick().
+  std::optional<Flit> begin_cycle(bool can_take);
+
+  /// Drives the ACK wire. Call last in the owner's tick().
+  void end_cycle();
+
+  std::uint64_t flits_accepted() const { return flits_accepted_; }
+  std::uint64_t crc_rejections() const { return crc_rejections_; }
+  std::uint64_t flow_rejections() const { return flow_rejections_; }
+
+ private:
+  LinkWires wires_{};
+  ProtocolConfig config_{};
+  std::uint8_t seq_mask_ = 0;
+
+  std::uint8_t expected_seq_ = 0;
+  AckBeat pending_ack_{};
+
+  std::uint64_t flits_accepted_ = 0;
+  std::uint64_t crc_rejections_ = 0;
+  std::uint64_t flow_rejections_ = 0;
+};
+
+}  // namespace xpl::link

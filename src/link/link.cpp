@@ -1,0 +1,71 @@
+#include "src/link/link.hpp"
+
+namespace xpl::link {
+
+PipelinedLink::PipelinedLink(std::string name, const LinkWires& upstream,
+                             const LinkWires& downstream,
+                             const Config& config)
+    : sim::Module(std::move(name)),
+      config_(config),
+      up_(upstream),
+      down_(downstream),
+      fwd_pipe_(config.stages),
+      rev_pipe_(config.stages),
+      rng_(config.seed) {}
+
+FlitBeat PipelinedLink::maybe_corrupt(FlitBeat beat) {
+  if (!beat.valid || config_.bit_error_rate <= 0.0) return beat;
+  bool corrupted = false;
+  // Independent per-bit flips across all protected fields, the same fault
+  // model the ACK/nACK CRC is meant to cover.
+  Flit& flit = beat.flit;
+  for (std::size_t i = 0; i < flit.payload.width(); ++i) {
+    if (rng_.chance(config_.bit_error_rate)) {
+      flit.payload.set(i, !flit.payload.get(i));
+      corrupted = true;
+    }
+  }
+  if (rng_.chance(config_.bit_error_rate)) {
+    flit.head = !flit.head;
+    corrupted = true;
+  }
+  if (rng_.chance(config_.bit_error_rate)) {
+    flit.tail = !flit.tail;
+    corrupted = true;
+  }
+  if (rng_.chance(config_.bit_error_rate)) {
+    flit.seqno ^= 1u << rng_.next_below(8);
+    corrupted = true;
+  }
+  if (corrupted) ++flits_corrupted_;
+  return beat;
+}
+
+void PipelinedLink::tick(sim::Kernel&) {
+  // Forward direction: sender -> (stages) -> receiver.
+  FlitBeat incoming = maybe_corrupt(up_.fwd->read());
+  if (incoming.valid) ++flits_carried_;
+  if (fwd_pipe_.empty()) {
+    down_.fwd->write(incoming);
+  } else {
+    down_.fwd->write(fwd_pipe_.back());
+    for (std::size_t i = fwd_pipe_.size(); i-- > 1;) {
+      fwd_pipe_[i] = fwd_pipe_[i - 1];
+    }
+    fwd_pipe_[0] = incoming;
+  }
+
+  // Reverse direction: receiver -> (stages) -> sender. Reliable.
+  const AckBeat ack_in = down_.rev->read();
+  if (rev_pipe_.empty()) {
+    up_.rev->write(ack_in);
+  } else {
+    up_.rev->write(rev_pipe_.back());
+    for (std::size_t i = rev_pipe_.size(); i-- > 1;) {
+      rev_pipe_[i] = rev_pipe_[i - 1];
+    }
+    rev_pipe_[0] = ack_in;
+  }
+}
+
+}  // namespace xpl::link

@@ -1,0 +1,70 @@
+// Pipelined, possibly unreliable NoC link.
+//
+// xpipes lite is explicitly designed around pipelined links: wire delay on
+// long inter-switch connections is absorbed by inserting relay registers,
+// and the resulting links are allowed to be *unreliable* — the switch's
+// ACK/nACK protocol (goback_n.hpp) recovers from in-flight corruption.
+// This module models an N-stage register pipeline in each direction plus
+// optional bit-error injection on the forward (flit) direction. The
+// reverse (ACK) direction is modelled as reliable; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/packet/flit.hpp"
+#include "src/sim/kernel.hpp"
+
+namespace xpl::link {
+
+/// Wire pair of one link direction endpoint: forward flits, reverse acks.
+struct LinkWires {
+  sim::Signal<FlitBeat>* fwd = nullptr;
+  sim::Signal<AckBeat>* rev = nullptr;
+
+  static LinkWires make(sim::Kernel& kernel) {
+    return {&kernel.make_signal<FlitBeat>(), &kernel.make_signal<AckBeat>()};
+  }
+};
+
+/// One unidirectional link: `upstream` wires face the sender, `downstream`
+/// wires face the receiver. With `stages == 0` the link degenerates to the
+/// single kernel register between the endpoints (minimum 1 cycle); each
+/// additional stage adds one cycle of forward and one of reverse latency.
+class PipelinedLink : public sim::Module {
+ public:
+  struct Config {
+    std::size_t stages = 0;        ///< extra relay registers per direction
+    double bit_error_rate = 0.0;   ///< per-bit flip probability per traversal
+    std::uint64_t seed = 1;        ///< error-injection RNG seed
+  };
+
+  PipelinedLink(std::string name, const LinkWires& upstream,
+                const LinkWires& downstream, const Config& config);
+
+  void tick(sim::Kernel& kernel) override;
+
+  /// Flits that traversed the link (including retransmissions).
+  std::uint64_t flits_carried() const { return flits_carried_; }
+  /// Flits corrupted by error injection.
+  std::uint64_t flits_corrupted() const { return flits_corrupted_; }
+  /// Utilization numerator for link-load statistics.
+  std::uint64_t busy_cycles() const { return flits_carried_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  FlitBeat maybe_corrupt(FlitBeat beat);
+
+  Config config_;
+  LinkWires up_;
+  LinkWires down_;
+  std::vector<FlitBeat> fwd_pipe_;
+  std::vector<AckBeat> rev_pipe_;
+  Rng rng_;
+  std::uint64_t flits_carried_ = 0;
+  std::uint64_t flits_corrupted_ = 0;
+};
+
+}  // namespace xpl::link

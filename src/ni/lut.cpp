@@ -1,0 +1,64 @@
+#include "src/ni/lut.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::ni {
+
+void RouteLut::add_range(const AddressRange& range) {
+  require(range.size > 0, "RouteLut: empty address range");
+  for (const AddressRange& existing : ranges_) {
+    const bool disjoint = range.base + range.size <= existing.base ||
+                          existing.base + existing.size <= range.base;
+    require(disjoint, "RouteLut: overlapping address ranges");
+  }
+  ranges_.push_back(range);
+}
+
+void RouteLut::set_route(std::uint32_t dst, Route route) {
+  if (dst >= routes_.size()) routes_.resize(dst + 1);
+  routes_[dst] = std::move(route);
+}
+
+std::optional<LutHit> RouteLut::lookup(std::uint64_t addr) const {
+  for (const AddressRange& range : ranges_) {
+    if (range.contains(addr)) {
+      const Route* route = route_to(range.dst);
+      require(route != nullptr, "RouteLut: range maps to routeless target");
+      return LutHit{range.dst, addr - range.base, route};
+    }
+  }
+  return std::nullopt;
+}
+
+const Route* RouteLut::route_to(std::uint32_t dst) const {
+  if (dst >= routes_.size() || !routes_[dst].has_value()) return nullptr;
+  return &*routes_[dst];
+}
+
+std::size_t RouteLut::num_routes() const {
+  std::size_t n = 0;
+  for (const auto& r : routes_) {
+    if (r.has_value()) ++n;
+  }
+  return n;
+}
+
+void ResponseLut::set_route(std::uint32_t src, Route route) {
+  if (src >= routes_.size()) routes_.resize(src + 1);
+  routes_[src] = std::move(route);
+}
+
+const Route* ResponseLut::route_to(std::uint32_t src) const {
+  if (src >= routes_.size() || !routes_[src].has_value()) return nullptr;
+  return &*routes_[src];
+}
+
+std::size_t ResponseLut::num_routes() const {
+  std::size_t n = 0;
+  for (const auto& r : routes_) {
+    if (r.has_value()) ++n;
+  }
+  return n;
+}
+
+}  // namespace xpl::ni

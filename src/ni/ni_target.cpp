@@ -1,0 +1,163 @@
+#include "src/ni/ni_target.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::ni {
+
+void TargetConfig::validate() const {
+  format.validate();
+  require(format.beat_width <= 64,
+          "TargetConfig: beat_width above 64 is not supported by the OCP "
+          "data path");
+  require(job_queue_depth >= 1, "TargetConfig: job_queue_depth >= 1");
+  protocol.validate();
+}
+
+TargetNi::TargetNi(std::string name, const TargetConfig& config,
+                   const ocp::OcpWires& ocp, const link::LinkWires& net_in,
+                   const link::LinkWires& net_out)
+    : sim::Module(std::move(name)),
+      config_(config),
+      rx_(net_in, config.protocol),
+      tx_(net_out, config.protocol),
+      ocp_req_(ocp.req, config.ocp_req_credits),
+      ocp_resp_(ocp.resp, config.ocp_resp_fifo),
+      depack_(config.format) {
+  config_.validate();
+}
+
+void TargetNi::complete_response(RespBuild build) {
+  const Route* route = lut_.route_to(build.meta.src);
+  require(route != nullptr, "TargetNi: no response route for source");
+  Packet packet;
+  packet.header.route = *route;
+  packet.header.cmd = PacketCmd::kResponse;
+  packet.header.src = config_.node_id;
+  packet.header.dst = build.meta.src;
+  packet.header.txn_id = build.meta.txn_id;
+  packet.header.thread_id = build.meta.thread_id;
+  packet.header.burst_len =
+      static_cast<std::uint32_t>(build.beats.size());
+  packet.header.resp = build.resp;
+  packet.header.interrupt = build.interrupt;
+  packet.beats = std::move(build.beats);
+  auto flits = packetize(packet, config_.format);
+  for (Flit& flit : flits) flit_out_.push_back(std::move(flit));
+  ++packets_sent_;
+}
+
+void TargetNi::tick(sim::Kernel&) {
+  tx_.begin_cycle();
+  ocp_req_.begin_cycle();
+  ocp_resp_.begin_cycle();
+
+  // Network transmit: drain the response packetizer.
+  if (!flit_out_.empty() && tx_.can_accept()) {
+    tx_.accept(flit_out_.front());
+    flit_out_.pop_front();
+  }
+
+  // OCP response side: collect beats from the slave core. The per-thread
+  // pending queue identifies which network transaction each beat answers.
+  while (!ocp_resp_.empty()) {
+    const ocp::RespBeat beat = ocp_resp_.front();
+    ocp_resp_.pop();
+    XPL_ASSERT(beat.valid);
+    auto pending_it = pending_.find(beat.thread_id);
+    require(pending_it != pending_.end() && !pending_it->second.empty(),
+            "TargetNi: response beat with no pending request");
+    auto build_it = collecting_.find(beat.thread_id);
+    if (build_it == collecting_.end()) {
+      RespBuild build;
+      build.meta = pending_it->second.front();
+      build_it = collecting_.emplace(beat.thread_id, std::move(build)).first;
+    }
+    RespBuild& build = build_it->second;
+    build.resp = static_cast<std::uint8_t>(beat.resp);
+    build.interrupt = build.interrupt || beat.interrupt;
+    if (build.meta.cmd == PacketCmd::kRead) {
+      BitVector data(config_.format.beat_width);
+      data.deposit(0, std::min<std::size_t>(64, config_.format.beat_width),
+                   beat.data);
+      build.beats.push_back(std::move(data));
+    }
+    if (beat.last) {
+      pending_it->second.pop_front();
+      if (pending_it->second.empty()) pending_.erase(pending_it);
+      RespBuild done = std::move(build_it->second);
+      collecting_.erase(build_it);
+      complete_response(std::move(done));
+    }
+  }
+
+  // OCP request side: replay the next decoded packet beat by beat.
+  if (!issuing_.has_value() && !jobs_.empty() && flit_out_.empty()) {
+    issuing_ = std::move(jobs_.front());
+    jobs_.pop_front();
+    issue_beat_ = 0;
+  }
+  if (issuing_.has_value() && ocp_req_.can_send()) {
+    const Packet& packet = *issuing_;
+    const Header& h = packet.header;
+    ocp::ReqBeat beat;
+    beat.valid = true;
+    switch (h.cmd) {
+      case PacketCmd::kWrite:
+        beat.cmd = ocp::Cmd::kWrite;
+        break;
+      case PacketCmd::kRead:
+        beat.cmd = ocp::Cmd::kRead;
+        break;
+      case PacketCmd::kWriteNp:
+        beat.cmd = ocp::Cmd::kWriteNp;
+        break;
+      case PacketCmd::kResponse:
+        XPL_ASSERT(false);  // filtered at depacketization
+    }
+    beat.addr = h.addr;
+    beat.burst_len = h.burst_len;
+    beat.burst_seq = static_cast<ocp::BurstSeq>(h.burst_seq);
+    beat.beat_index = issue_beat_;
+    beat.thread_id = h.thread_id;
+    beat.sideband_flag = h.sideband;
+    if (h.cmd != PacketCmd::kRead) {
+      XPL_ASSERT(issue_beat_ < packet.beats.size());
+      beat.data = packet.beats[issue_beat_].to_u64();
+    }
+    ocp_req_.send(beat);
+    ++issue_beat_;
+    const std::uint32_t req_beats =
+        (h.cmd == PacketCmd::kRead) ? 1 : h.burst_len;
+    if (issue_beat_ == req_beats) {
+      if (h.cmd != PacketCmd::kWrite) {
+        pending_[h.thread_id].push_back(
+            PendingResp{h.src, h.txn_id, h.thread_id, h.cmd, h.burst_len});
+      }
+      issuing_.reset();
+    }
+  }
+
+  // Network receive: depacketize request flits.
+  const bool can_take = jobs_.size() < config_.job_queue_depth;
+  if (auto flit = rx_.begin_cycle(can_take)) {
+    if (auto packet = depack_.push(*flit)) {
+      require(packet->header.cmd != PacketCmd::kResponse,
+              "TargetNi: response packet arrived at target");
+      ++packets_received_;
+      jobs_.push_back(std::move(*packet));
+    }
+  }
+
+  tx_.end_cycle();
+  rx_.end_cycle();
+  ocp_req_.end_cycle();
+  ocp_resp_.end_cycle();
+}
+
+bool TargetNi::idle() const {
+  return jobs_.empty() && !issuing_.has_value() && pending_.empty() &&
+         collecting_.empty() && flit_out_.empty() && tx_.idle() &&
+         depack_.idle() && ocp_resp_.empty();
+}
+
+}  // namespace xpl::ni

@@ -1,0 +1,250 @@
+#include "src/noc/network.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace xpl::noc {
+
+namespace {
+
+// Largest pipeline depth over all links: kept as the reference uniform
+// protocol (SwitchConfig::protocol); the actual per-port endpoints are
+// sized per link below.
+std::size_t max_link_stages(const topology::Topology& topo) {
+  std::size_t stages = 0;
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    stages = std::max(stages, topo.link(l).stages);
+  }
+  return stages;
+}
+
+}  // namespace
+
+Network::Network(topology::Topology topo, const NetworkConfig& config)
+    : topo_(std::move(topo)), config_(config) {
+  topo_.validate();
+  routes_ = topology::compute_all_routes(topo_, config.routing);
+  deadlock_ = topology::check_deadlock(topo_, routes_);
+  if (config.require_deadlock_free) {
+    require(deadlock_.deadlock_free,
+            "Network: routing tables can deadlock (" +
+                deadlock_.to_string(topo_) + "); use XY routing or set "
+                "require_deadlock_free = false");
+  }
+
+  // ---- Derive the packet format from the instantiated network.
+  format_.flit_width = config.flit_width;
+  format_.beat_width = config.beat_width;
+  format_.header = HeaderFormat::for_network(
+      topo_.max_radix_out(), topo_.num_nis(), routes_.max_hops(),
+      bits_for(config.target_window), config.max_burst, config.num_threads);
+  format_.validate();
+
+  // Per-link protocol sizing: each link's go-back-N window covers *its*
+  // round trip (the compiler's per-instance buffer optimization); NI
+  // attachment links are local and get the minimum window. The uniform
+  // worst-case config is kept for reference in the switch configs'
+  // `protocol` field.
+  const link::ProtocolConfig protocol =
+      link::ProtocolConfig::for_link(max_link_stages(topo_), config.crc);
+  const link::ProtocolConfig ni_protocol =
+      link::ProtocolConfig::for_link(0, config.crc);
+  std::vector<link::ProtocolConfig> link_protocol;
+  for (std::uint32_t l = 0; l < topo_.num_links(); ++l) {
+    link_protocol.push_back(
+        link::ProtocolConfig::for_link(topo_.link(l).stages, config.crc));
+  }
+  auto protocol_for = [&](const topology::PortRef& ref) {
+    return ref.kind == topology::PortRef::Kind::kLink
+               ? link_protocol[ref.id]
+               : ni_protocol;
+  };
+
+  initiator_ids_ = topo_.initiator_ids();
+  target_ids_ = topo_.target_ids();
+
+  // ---- Allocate wires: one LinkWires pair per topology link and per NI
+  // attachment direction.
+  struct WirePair {
+    link::LinkWires up;    // sender side
+    link::LinkWires down;  // receiver side
+  };
+  auto make_pair = [&] {
+    return WirePair{link::LinkWires::make(kernel_),
+                    link::LinkWires::make(kernel_)};
+  };
+
+  std::vector<WirePair> link_wires;  // per topology link id
+  for (std::uint32_t l = 0; l < topo_.num_links(); ++l) {
+    link_wires.push_back(make_pair());
+  }
+  std::vector<WirePair> ni_in_wires;   // NI -> switch, per NI id
+  std::vector<WirePair> ni_out_wires;  // switch -> NI, per NI id
+  for (std::uint32_t n = 0; n < topo_.num_nis(); ++n) {
+    ni_in_wires.push_back(make_pair());
+    ni_out_wires.push_back(make_pair());
+  }
+
+  // ---- Link modules (error injection only between switches).
+  for (std::uint32_t l = 0; l < topo_.num_links(); ++l) {
+    link::PipelinedLink::Config lcfg;
+    lcfg.stages = topo_.link(l).stages;
+    lcfg.bit_error_rate = config.bit_error_rate;
+    lcfg.seed = config.seed * 7919 + l;
+    links_.push_back(std::make_unique<link::PipelinedLink>(
+        "link" + std::to_string(l), link_wires[l].up, link_wires[l].down,
+        lcfg));
+  }
+  // NI attachment links: local, reliable, unpipelined.
+  for (std::uint32_t n = 0; n < topo_.num_nis(); ++n) {
+    link::PipelinedLink::Config lcfg;  // stages 0, no errors
+    links_.push_back(std::make_unique<link::PipelinedLink>(
+        "nilink_in" + std::to_string(n), ni_in_wires[n].up,
+        ni_in_wires[n].down, lcfg));
+    links_.push_back(std::make_unique<link::PipelinedLink>(
+        "nilink_out" + std::to_string(n), ni_out_wires[n].up,
+        ni_out_wires[n].down, lcfg));
+  }
+
+  // ---- Switches, with wires ordered by the topology port maps.
+  for (std::uint32_t s = 0; s < topo_.num_switches(); ++s) {
+    const auto in_ports = topo_.input_ports(s);
+    const auto out_ports = topo_.output_ports(s);
+    std::vector<link::LinkWires> in_wires;
+    for (const auto& ref : in_ports) {
+      in_wires.push_back(ref.kind == topology::PortRef::Kind::kLink
+                             ? link_wires[ref.id].down
+                             : ni_in_wires[ref.id].down);
+    }
+    std::vector<link::LinkWires> out_wires;
+    for (const auto& ref : out_ports) {
+      out_wires.push_back(ref.kind == topology::PortRef::Kind::kLink
+                              ? link_wires[ref.id].up
+                              : ni_out_wires[ref.id].up);
+    }
+    switchlib::SwitchConfig scfg;
+    scfg.num_inputs = in_ports.size();
+    scfg.num_outputs = out_ports.size();
+    scfg.flit_width = config.flit_width;
+    scfg.port_bits = format_.header.port_bits;
+    scfg.route_bits = format_.header.route_bits();
+    scfg.input_fifo_depth = config.input_fifo_depth;
+    scfg.output_fifo_depth =
+        (s < config.output_fifo_override.size() &&
+         config.output_fifo_override[s] != 0)
+            ? config.output_fifo_override[s]
+            : config.output_fifo_depth;
+    scfg.extra_pipeline = config.extra_switch_pipeline;
+    scfg.arbiter = config.arbiter;
+    scfg.protocol = protocol;
+    for (const auto& ref : in_ports) {
+      scfg.input_protocols.push_back(protocol_for(ref));
+    }
+    for (const auto& ref : out_ports) {
+      scfg.output_protocols.push_back(protocol_for(ref));
+    }
+    switches_.push_back(std::make_unique<switchlib::Switch>(
+        topo_.switch_node(s).name, scfg, std::move(in_wires),
+        std::move(out_wires)));
+  }
+
+  // ---- NIs and cores.
+  for (std::size_t i = 0; i < initiator_ids_.size(); ++i) {
+    const std::uint32_t node = initiator_ids_[i];
+    const ocp::OcpWires ocp_wires = ocp::OcpWires::make(kernel_);
+
+    ocp::MasterCore::Config mcfg;
+    mcfg.max_outstanding = config.max_outstanding;
+    masters_.push_back(std::make_unique<ocp::MasterCore>(
+        topo_.ni(node).name + "_core", ocp_wires, mcfg));
+
+    ni::InitiatorConfig icfg;
+    icfg.format = format_;
+    icfg.node_id = node;
+    icfg.ocp_req_fifo = mcfg.req_credits;
+    icfg.ocp_resp_credits = mcfg.resp_fifo_depth;
+    icfg.max_outstanding = config.max_outstanding;
+    icfg.protocol = ni_protocol;
+    auto ni_mod = std::make_unique<ni::InitiatorNi>(
+        topo_.ni(node).name, icfg, ocp_wires, ni_in_wires[node].up,
+        ni_out_wires[node].down);
+    // Program the address decoder: one window per target.
+    for (std::size_t t = 0; t < target_ids_.size(); ++t) {
+      const std::uint32_t tgt_node = target_ids_[t];
+      ni_mod->lut().add_range(
+          ni::AddressRange{target_base(t), config.target_window, tgt_node});
+      ni_mod->lut().set_route(tgt_node, routes_.at(node, tgt_node));
+    }
+    initiator_nis_.push_back(std::move(ni_mod));
+  }
+
+  for (std::size_t t = 0; t < target_ids_.size(); ++t) {
+    const std::uint32_t node = target_ids_[t];
+    const ocp::OcpWires ocp_wires = ocp::OcpWires::make(kernel_);
+
+    ocp::SlaveCore::Config scfg;
+    scfg.latency = config.slave_latency;
+    scfg.size_bytes = config.target_window;
+    slaves_.push_back(std::make_unique<ocp::SlaveCore>(
+        topo_.ni(node).name + "_core", ocp_wires, scfg));
+
+    ni::TargetConfig tcfg;
+    tcfg.format = format_;
+    tcfg.node_id = node;
+    tcfg.ocp_req_credits = scfg.req_fifo_depth;
+    tcfg.ocp_resp_fifo = scfg.resp_credits;
+    tcfg.protocol = ni_protocol;
+    auto ni_mod = std::make_unique<ni::TargetNi>(
+        topo_.ni(node).name, tcfg, ocp_wires, ni_out_wires[node].down,
+        ni_in_wires[node].up);
+    for (const std::uint32_t ini_node : initiator_ids_) {
+      ni_mod->lut().set_route(ini_node, routes_.at(node, ini_node));
+    }
+    target_nis_.push_back(std::move(ni_mod));
+  }
+
+  // ---- Register everything with the kernel. Order is irrelevant for
+  // correctness (two-phase signals); keep it deterministic for debugging.
+  for (auto& m : masters_) kernel_.add_module(*m);
+  for (auto& m : initiator_nis_) kernel_.add_module(*m);
+  for (auto& m : switches_) kernel_.add_module(*m);
+  for (auto& m : links_) kernel_.add_module(*m);
+  for (auto& m : target_nis_) kernel_.add_module(*m);
+  for (auto& m : slaves_) kernel_.add_module(*m);
+}
+
+bool Network::quiescent() const {
+  for (const auto& m : masters_) {
+    if (!m->quiescent()) return false;
+  }
+  for (const auto& m : initiator_nis_) {
+    if (!m->idle()) return false;
+  }
+  for (const auto& m : target_nis_) {
+    if (!m->idle()) return false;
+  }
+  for (const auto& m : switches_) {
+    if (!m->idle()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Network::run_until_quiescent(std::uint64_t max_cycles) {
+  return kernel_.run_until([this] { return quiescent(); }, max_cycles);
+}
+
+std::uint64_t Network::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& s : switches_) total += s->retransmissions();
+  return total;
+}
+
+std::uint64_t Network::total_link_flits() const {
+  std::uint64_t total = 0;
+  for (const auto& l : links_) total += l->flits_carried();
+  return total;
+}
+
+}  // namespace xpl::noc

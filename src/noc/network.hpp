@@ -1,0 +1,131 @@
+// Whole-network simulation assembly.
+//
+// Network is the simulation view the xpipesCompiler produces: given a
+// Topology and a NetworkConfig it derives the packet format, computes the
+// routing tables (and checks them for deadlock), instantiates every NI,
+// switch and pipelined link, wires them through kernel signals, programs
+// the NI LUTs, and attaches an OCP master/slave core to every NI so
+// testbenches and benchmarks can drive real transactions end to end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/link/link.hpp"
+#include "src/ni/ni_initiator.hpp"
+#include "src/ni/ni_target.hpp"
+#include "src/ocp/agents.hpp"
+#include "src/sim/kernel.hpp"
+#include "src/switchlib/switch.hpp"
+#include "src/topology/deadlock.hpp"
+#include "src/topology/routing.hpp"
+#include "src/topology/topology.hpp"
+
+namespace xpl::noc {
+
+struct NetworkConfig {
+  std::size_t flit_width = 32;   ///< paper sweep: 16 / 32 / 64 / 128
+  std::size_t beat_width = 32;   ///< OCP data width
+  std::size_t max_burst = 16;    ///< longest burst in beats
+  std::size_t num_threads = 4;   ///< OCP thread ids
+  std::uint64_t target_window = 1ull << 16;  ///< bytes of address space per target
+
+  topology::RoutingAlgorithm routing =
+      topology::RoutingAlgorithm::kShortestPath;
+  bool require_deadlock_free = true;  ///< throw if routes can deadlock
+
+  switchlib::ArbiterKind arbiter = switchlib::ArbiterKind::kRoundRobin;
+  std::size_t input_fifo_depth = 2;
+  std::size_t output_fifo_depth = 4;
+  /// Per-switch output-queue override (indexed by switch id; 0 = use
+  /// output_fifo_depth). Filled by the compiler's buffer-sizing pass —
+  /// the paper's per-instance "component optimizations".
+  std::vector<std::size_t> output_fifo_override;
+  std::size_t extra_switch_pipeline = 0;  ///< 0 = 2-stage lite switch
+
+  CrcKind crc = CrcKind::kCrc8;
+  double bit_error_rate = 0.0;  ///< on switch-to-switch links only
+  std::uint64_t seed = 1;
+
+  std::size_t max_outstanding = 8;   ///< per initiator NI
+  std::uint32_t slave_latency = 2;   ///< target core service latency
+};
+
+class Network {
+ public:
+  Network(topology::Topology topo, const NetworkConfig& config);
+
+  sim::Kernel& kernel() { return kernel_; }
+  const topology::Topology& topo() const { return topo_; }
+  const NetworkConfig& config() const { return config_; }
+  const PacketFormat& format() const { return format_; }
+  const topology::RoutingTables& routes() const { return routes_; }
+  const topology::DeadlockReport& deadlock_report() const {
+    return deadlock_;
+  }
+
+  std::size_t num_initiators() const { return initiator_nis_.size(); }
+  std::size_t num_targets() const { return target_nis_.size(); }
+  std::size_t num_switches() const { return switches_.size(); }
+
+  /// Indexed by position among initiators (not global NI id).
+  ocp::MasterCore& master(std::size_t i) { return *masters_.at(i); }
+  ni::InitiatorNi& initiator_ni(std::size_t i) {
+    return *initiator_nis_.at(i);
+  }
+  /// Indexed by position among targets.
+  ocp::SlaveCore& slave(std::size_t i) { return *slaves_.at(i); }
+  ni::TargetNi& target_ni(std::size_t i) { return *target_nis_.at(i); }
+
+  switchlib::Switch& switch_at(std::size_t s) { return *switches_.at(s); }
+  const std::vector<std::unique_ptr<link::PipelinedLink>>& links() const {
+    return links_;
+  }
+
+  /// Global NI id of initiator/target index (for LUT/route queries).
+  std::uint32_t initiator_node_id(std::size_t i) const {
+    return initiator_ids_.at(i);
+  }
+  std::uint32_t target_node_id(std::size_t i) const {
+    return target_ids_.at(i);
+  }
+
+  /// First byte address of target index `t`'s window in the global map.
+  std::uint64_t target_base(std::size_t t) const {
+    return static_cast<std::uint64_t>(t) * config_.target_window;
+  }
+
+  void step(std::size_t cycles = 1) { kernel_.run(cycles); }
+
+  /// True once every master, NI and switch has drained.
+  bool quiescent() const;
+
+  /// Steps until quiescent or `max_cycles`; returns cycles stepped.
+  std::uint64_t run_until_quiescent(std::uint64_t max_cycles);
+
+  /// Sum of retransmissions over all switch and NI senders.
+  std::uint64_t total_retransmissions() const;
+  /// Sum of flits carried over all links.
+  std::uint64_t total_link_flits() const;
+
+ private:
+  topology::Topology topo_;
+  NetworkConfig config_;
+  PacketFormat format_;
+  topology::RoutingTables routes_;
+  topology::DeadlockReport deadlock_;
+
+  sim::Kernel kernel_;
+  std::vector<std::uint32_t> initiator_ids_;
+  std::vector<std::uint32_t> target_ids_;
+
+  std::vector<std::unique_ptr<switchlib::Switch>> switches_;
+  std::vector<std::unique_ptr<link::PipelinedLink>> links_;
+  std::vector<std::unique_ptr<ni::InitiatorNi>> initiator_nis_;
+  std::vector<std::unique_ptr<ni::TargetNi>> target_nis_;
+  std::vector<std::unique_ptr<ocp::MasterCore>> masters_;
+  std::vector<std::unique_ptr<ocp::SlaveCore>> slaves_;
+};
+
+}  // namespace xpl::noc

@@ -1,0 +1,105 @@
+#include "src/ocp/monitor.hpp"
+
+#include <sstream>
+
+namespace xpl::ocp {
+
+Monitor::Monitor(std::string name, const OcpWires& wires)
+    : sim::Module(std::move(name)),
+      req_wire_(wires.req.data),
+      resp_wire_(wires.resp.data) {}
+
+void Monitor::flag(std::uint64_t cycle, const std::string& what) {
+  std::ostringstream os;
+  os << "cycle " << cycle << ": " << what;
+  violations_.push_back(os.str());
+}
+
+void Monitor::tick(sim::Kernel& kernel) {
+  const std::uint64_t cycle = kernel.cycle();
+
+  // ---- Request channel.
+  const auto& req = req_wire_->read();
+  if (req.valid) {
+    ++req_beats_;
+    const ReqBeat& beat = req.value;
+    if (beat.cmd == Cmd::kIdle) {
+      flag(cycle, "valid request beat with MCmd IDLE");
+    }
+    if (!in_burst_) {
+      if (beat.beat_index != 0) {
+        flag(cycle, "burst started at beat_index " +
+                        std::to_string(beat.beat_index));
+      }
+      burst_len_ = beat.burst_len;
+      burst_cmd_ = beat.cmd;
+      burst_thread_ = beat.thread_id;
+      expect_beat_ = 1;
+      if (beat.burst_len == 0) flag(cycle, "burst_len 0");
+      const std::uint32_t wire_beats =
+          (beat.cmd == Cmd::kRead) ? 1 : beat.burst_len;
+      if (wire_beats > 1) {
+        in_burst_ = true;
+      } else {
+        // Transaction complete on the wire.
+        ++transactions_;
+        if (beat.cmd != Cmd::kWrite) {
+          const std::uint32_t resp_beats =
+              (beat.cmd == Cmd::kRead) ? beat.burst_len : 1;
+          outstanding_[beat.thread_id].emplace_back(beat.cmd, resp_beats);
+        }
+      }
+    } else {
+      if (beat.beat_index != expect_beat_) {
+        flag(cycle, "beat_index " + std::to_string(beat.beat_index) +
+                        " expected " + std::to_string(expect_beat_));
+      }
+      if (beat.burst_len != burst_len_) {
+        flag(cycle, "burst_len changed mid-burst");
+      }
+      if (beat.cmd != burst_cmd_) {
+        flag(cycle, "MCmd changed mid-burst");
+      }
+      if (beat.thread_id != burst_thread_) {
+        flag(cycle, "thread changed mid-burst (interleaving)");
+      }
+      ++expect_beat_;
+      if (expect_beat_ == burst_len_) {
+        in_burst_ = false;
+        ++transactions_;
+        if (burst_cmd_ != Cmd::kWrite) {
+          const std::uint32_t resp_beats =
+              (burst_cmd_ == Cmd::kRead) ? burst_len_ : 1;
+          outstanding_[burst_thread_].emplace_back(burst_cmd_, resp_beats);
+        }
+      }
+    }
+  }
+
+  // ---- Response channel.
+  const auto& resp = resp_wire_->read();
+  if (resp.valid) {
+    ++resp_beats_;
+    const RespBeat& beat = resp.value;
+    auto it = outstanding_.find(beat.thread_id);
+    if (it == outstanding_.end() || it->second.empty()) {
+      flag(cycle, "response beat on thread " +
+                      std::to_string(beat.thread_id) +
+                      " with nothing outstanding");
+    } else {
+      auto& [cmd, expect] = it->second.front();
+      auto& progress = resp_progress_[beat.thread_id];
+      ++progress;
+      const bool should_be_last = progress == expect;
+      if (beat.last != should_be_last) {
+        flag(cycle, beat.last ? "early SResp last" : "missing SResp last");
+      }
+      if (beat.last || should_be_last) {
+        it->second.erase(it->second.begin());
+        progress = 0;
+      }
+    }
+  }
+}
+
+}  // namespace xpl::ocp

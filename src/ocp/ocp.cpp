@@ -1,0 +1,54 @@
+#include "src/ocp/ocp.hpp"
+
+#include <sstream>
+
+namespace xpl::ocp {
+
+const char* cmd_name(Cmd cmd) {
+  switch (cmd) {
+    case Cmd::kIdle:
+      return "IDLE";
+    case Cmd::kWrite:
+      return "WRITE";
+    case Cmd::kRead:
+      return "READ";
+    case Cmd::kWriteNp:
+      return "WRITE_NP";
+  }
+  return "?";
+}
+
+const char* resp_name(Resp resp) {
+  switch (resp) {
+    case Resp::kNull:
+      return "NULL";
+    case Resp::kDva:
+      return "DVA";
+    case Resp::kFail:
+      return "FAIL";
+    case Resp::kErr:
+      return "ERR";
+  }
+  return "?";
+}
+
+const char* burst_seq_name(BurstSeq seq) {
+  switch (seq) {
+    case BurstSeq::kIncr:
+      return "INCR";
+    case BurstSeq::kWrap:
+      return "WRAP";
+    case BurstSeq::kStream:
+      return "STREAM";
+  }
+  return "?";
+}
+
+std::string Transaction::to_string() const {
+  std::ostringstream os;
+  os << cmd_name(cmd) << " addr=0x" << std::hex << addr << std::dec
+     << " burst=" << burst_len << " thr=" << thread_id;
+  return os.str();
+}
+
+}  // namespace xpl::ocp

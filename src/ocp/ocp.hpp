@@ -1,0 +1,109 @@
+// OCP 2.0-style transaction-level core interface.
+//
+// xpipes lite NIs expose OCP to the attached cores: a transaction-centric,
+// core-tailorable socket with independent request and response phases,
+// burst support, sideband (interrupt) signals, and thread extensions. This
+// module models the subset the NI consumes, at burst-beat granularity: the
+// request channel presents MCmd/MAddr/MBurstLength on the first beat of a
+// burst and MData on every write beat; the response channel returns
+// SResp/SData per beat. Both channels use a valid/accept handshake, which
+// is OCP's MCmd/SCmdAccept and SResp/MRespAccept pairing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bits.hpp"
+
+namespace xpl::ocp {
+
+/// OCP MCmd encodings used by the library.
+enum class Cmd : std::uint8_t {
+  kIdle = 0,
+  kWrite = 1,    ///< posted write
+  kRead = 2,
+  kWriteNp = 3,  ///< non-posted write (completion response expected)
+};
+
+/// OCP SResp encodings.
+enum class Resp : std::uint8_t {
+  kNull = 0,
+  kDva = 1,   ///< data valid / accept
+  kFail = 2,  ///< request failed at the target
+  kErr = 3,   ///< transport error
+};
+
+/// OCP MBurstSeq: how the address advances across a burst.
+enum class BurstSeq : std::uint8_t {
+  kIncr = 0,    ///< addr, addr+8, addr+16, ...
+  kWrap = 1,    ///< increments, wrapping within the aligned burst block
+  kStream = 2,  ///< same address every beat (FIFO-style targets)
+};
+
+const char* cmd_name(Cmd cmd);
+const char* resp_name(Resp resp);
+const char* burst_seq_name(BurstSeq seq);
+
+/// One beat of the OCP request channel (master -> slave).
+struct ReqBeat {
+  bool valid = false;
+  Cmd cmd = Cmd::kIdle;
+  std::uint64_t addr = 0;        ///< MAddr (first beat of a burst)
+  std::uint64_t data = 0;        ///< MData (write beats)
+  std::uint32_t burst_len = 1;   ///< MBurstLength in beats
+  BurstSeq burst_seq = BurstSeq::kIncr;  ///< MBurstSeq
+  std::uint32_t beat_index = 0;  ///< position within the burst
+  std::uint32_t thread_id = 0;   ///< MThreadID
+  std::uint8_t byte_en = 0xFF;   ///< MByteEn
+  bool sideband_flag = false;    ///< MFlag sideband bit carried end-to-end
+};
+
+/// One beat of the OCP response channel (slave -> master).
+struct RespBeat {
+  bool valid = false;
+  Resp resp = Resp::kNull;
+  std::uint64_t data = 0;       ///< SData
+  std::uint32_t thread_id = 0;  ///< SThreadID
+  bool last = false;            ///< final beat of the transaction
+  bool interrupt = false;       ///< SInterrupt sideband
+};
+
+/// A whole transaction at the level the cores and testbenches think in.
+struct Transaction {
+  Cmd cmd = Cmd::kRead;
+  std::uint64_t addr = 0;
+  std::vector<std::uint64_t> data;  ///< write payload (cmd != kRead)
+  std::uint32_t burst_len = 1;      ///< beats (== data.size() for writes)
+  BurstSeq burst_seq = BurstSeq::kIncr;  ///< MBurstSeq
+  std::uint32_t thread_id = 0;
+  bool sideband_flag = false;
+
+  /// True if the initiator expects a response packet.
+  bool expects_response() const { return cmd != Cmd::kWrite; }
+
+  std::string to_string() const;
+};
+
+/// The result delivered back to the initiating core.
+struct TransactionResult {
+  Resp resp = Resp::kNull;
+  std::vector<std::uint64_t> data;  ///< read data (for kRead)
+  std::uint32_t thread_id = 0;
+  std::uint64_t issue_cycle = 0;     ///< first request beat accepted
+  std::uint64_t complete_cycle = 0;  ///< last response beat delivered
+};
+
+/// Signal bundle of one OCP socket. The master drives `req` and
+/// `resp_accept`; the slave drives `req_accept` and `resp`. All four are
+/// registered signals (see sim::Signal), so the handshake completes when
+/// valid && accept are observed in the same cycle.
+template <template <typename> class SignalT>
+struct SocketT {
+  SignalT<ReqBeat>* req = nullptr;
+  SignalT<bool>* req_accept = nullptr;
+  SignalT<RespBeat>* resp = nullptr;
+  SignalT<bool>* resp_accept = nullptr;
+};
+
+}  // namespace xpl::ocp

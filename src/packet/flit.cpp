@@ -1,0 +1,36 @@
+#include "src/packet/flit.hpp"
+
+#include <sstream>
+
+namespace xpl {
+
+std::string Flit::to_string() const {
+  std::ostringstream os;
+  os << (head ? "H" : "-") << (tail ? "T" : "-") << " seq=" << int(seqno)
+     << " payload=" << payload.to_string();
+  return os.str();
+}
+
+BitVector flit_protected_bits(const Flit& flit) {
+  BitVector bits(flit.payload.width() + 2 + 8);
+  bits.deposit_vector(0, flit.payload);
+  bits.set(flit.payload.width(), flit.head);
+  bits.set(flit.payload.width() + 1, flit.tail);
+  bits.deposit(flit.payload.width() + 2, 8, flit.seqno);
+  return bits;
+}
+
+void flit_seal(Flit& flit, CrcKind kind) {
+  flit.checksum = crc_compute(kind, flit_protected_bits(flit));
+}
+
+bool flit_verify(const Flit& flit, CrcKind kind) {
+  return crc_check(kind, flit_protected_bits(flit), flit.checksum);
+}
+
+std::size_t flit_wire_width(std::size_t flit_width, std::size_t seq_bits,
+                            CrcKind kind) {
+  return flit_width + 2 + seq_bits + crc_width(kind);
+}
+
+}  // namespace xpl

@@ -1,0 +1,67 @@
+// Flit: the unit of link traversal and flow control.
+//
+// xpipes lite uses wormhole switching: a packet is a head flit (carrying the
+// header register contents, possibly spread over several flits when the flit
+// width is small), zero or more body flits (payload register contents), and
+// a tail marker releasing the wormhole path. On the wire each flit carries:
+//
+//   payload (flit_width bits) | head | tail | link seqno | CRC
+//
+// The seqno and CRC belong to the link-level ACK/nACK retransmission
+// protocol; switches regenerate them hop by hop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bits.hpp"
+#include "src/common/crc.hpp"
+
+namespace xpl {
+
+/// One flit as it travels a link.
+struct Flit {
+  BitVector payload;          ///< flit_width data bits
+  bool head = false;          ///< first flit of a packet
+  bool tail = false;          ///< last flit of a packet
+  std::uint8_t seqno = 0;     ///< link-level go-back-N sequence number
+  std::uint16_t checksum = 0; ///< CRC over payload+head+tail+seqno
+
+  Flit() = default;
+  Flit(BitVector p, bool h, bool t) : payload(std::move(p)), head(h), tail(t) {}
+
+  std::string to_string() const;
+};
+
+/// Bits protected by the flit checksum, in a canonical order. Both the
+/// sender (to generate) and receiver (to verify) use this exact view, so a
+/// corruption anywhere in the protected fields is detected with the code's
+/// guarantees.
+BitVector flit_protected_bits(const Flit& flit);
+
+/// Computes and installs the checksum for `kind`.
+void flit_seal(Flit& flit, CrcKind kind);
+
+/// True if the stored checksum matches the payload under `kind`.
+bool flit_verify(const Flit& flit, CrcKind kind);
+
+/// Physical wire width of one flit beat for synthesis accounting:
+/// payload + 2 control bits + seqno bits + CRC bits.
+std::size_t flit_wire_width(std::size_t flit_width, std::size_t seq_bits,
+                            CrcKind kind);
+
+/// Valid/flit pair carried on a forward link signal.
+struct FlitBeat {
+  bool valid = false;
+  Flit flit;
+};
+
+/// ACK/nACK beat carried on a reverse link signal. `ack == false` means
+/// nACK: the receiver asks the sender to go back to `seqno`.
+struct AckBeat {
+  bool valid = false;
+  bool ack = true;
+  std::uint8_t seqno = 0;
+};
+
+}  // namespace xpl

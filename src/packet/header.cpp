@@ -1,0 +1,143 @@
+#include "src/packet/header.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace xpl {
+
+const char* packet_cmd_name(PacketCmd cmd) {
+  switch (cmd) {
+    case PacketCmd::kWrite:
+      return "WRITE";
+    case PacketCmd::kRead:
+      return "READ";
+    case PacketCmd::kWriteNp:
+      return "WRITE_NP";
+    case PacketCmd::kResponse:
+      return "RESPONSE";
+  }
+  return "?";
+}
+
+HeaderFormat HeaderFormat::for_network(std::size_t max_radix,
+                                       std::size_t num_nodes,
+                                       std::size_t diameter,
+                                       std::size_t addr_bits,
+                                       std::size_t max_burst,
+                                       std::size_t num_threads) {
+  require(max_radix >= 1, "HeaderFormat: radix must be >= 1");
+  require(num_nodes >= 1, "HeaderFormat: need at least one node");
+  HeaderFormat f;
+  f.port_bits = bits_for(std::max<std::size_t>(max_radix, 2));
+  f.max_hops = std::max<std::size_t>(diameter, 1);
+  f.node_bits = bits_for(std::max<std::size_t>(num_nodes, 2));
+  f.burst_bits = bits_for(max_burst + 1);
+  f.thread_bits = bits_for(std::max<std::size_t>(num_threads, 2));
+  f.addr_bits = addr_bits;
+  return f;
+}
+
+std::string Header::to_string() const {
+  std::ostringstream os;
+  os << packet_cmd_name(cmd) << " src=" << src << " dst=" << dst
+     << " txn=" << txn_id << " thr=" << thread_id << " burst=" << burst_len
+     << " addr=0x" << std::hex << addr << std::dec << " route=[";
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    if (i) os << ",";
+    os << int(route[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+BitVector pack_header(const Header& header, const HeaderFormat& format) {
+  require(header.route.size() <= format.max_hops,
+          "pack_header: route longer than max_hops");
+  require(header.burst_len < (std::uint64_t{1} << format.burst_bits),
+          "pack_header: burst_len overflows field");
+  require(header.src < (std::uint64_t{1} << format.node_bits),
+          "pack_header: src id overflows field");
+  require(header.dst < (std::uint64_t{1} << format.node_bits),
+          "pack_header: dst id overflows field");
+  require(header.txn_id < (std::uint64_t{1} << format.txn_bits),
+          "pack_header: txn id overflows field");
+  require(header.thread_id < (std::uint64_t{1} << format.thread_bits),
+          "pack_header: thread id overflows field");
+
+  BitWriter w(format.width());
+  // Route, hop 0 in the least significant slot.
+  BitVector route_field(format.route_bits());
+  for (std::size_t i = 0; i < header.route.size(); ++i) {
+    require(header.route[i] < (1u << format.port_bits),
+            "pack_header: port selector overflows field");
+    route_field.deposit(i * format.port_bits, format.port_bits,
+                        header.route[i]);
+  }
+  w.put_vector(route_field);
+  w.put(HeaderFormat::kCmdBits, static_cast<std::uint64_t>(header.cmd));
+  w.put(format.node_bits, header.src);
+  w.put(format.node_bits, header.dst);
+  w.put(format.txn_bits, header.txn_id);
+  w.put(format.thread_bits, header.thread_id);
+  w.put(format.burst_bits, header.burst_len);
+  require(header.burst_seq < 4, "pack_header: burst_seq overflows field");
+  w.put(HeaderFormat::kSeqBits, header.burst_seq);
+  w.put(1, header.sideband ? 1 : 0);
+  w.put(1, header.interrupt ? 1 : 0);
+  require(header.resp < 4, "pack_header: resp code overflows field");
+  w.put(HeaderFormat::kRespBits, header.resp);
+  const std::uint64_t addr_mask =
+      (format.addr_bits >= 64) ? ~std::uint64_t{0}
+                               : ((std::uint64_t{1} << format.addr_bits) - 1);
+  w.put(format.addr_bits, header.addr & addr_mask);
+  XPL_ASSERT(w.position() == format.width());
+  return w.bits();
+}
+
+Header unpack_header(const BitVector& bits, const HeaderFormat& format) {
+  require(bits.width() == format.width(),
+          "unpack_header: bit width does not match format");
+  BitReader r(bits);
+  Header h;
+  h.route.resize(format.max_hops);
+  for (std::size_t i = 0; i < format.max_hops; ++i) {
+    h.route[i] = static_cast<std::uint8_t>(r.get(format.port_bits));
+  }
+  h.cmd = static_cast<PacketCmd>(r.get(HeaderFormat::kCmdBits));
+  h.src = static_cast<std::uint32_t>(r.get(format.node_bits));
+  h.dst = static_cast<std::uint32_t>(r.get(format.node_bits));
+  h.txn_id = static_cast<std::uint32_t>(r.get(format.txn_bits));
+  h.thread_id = static_cast<std::uint32_t>(r.get(format.thread_bits));
+  h.burst_len = static_cast<std::uint32_t>(r.get(format.burst_bits));
+  h.burst_seq = static_cast<std::uint8_t>(r.get(HeaderFormat::kSeqBits));
+  h.sideband = r.get(1) != 0;
+  h.interrupt = r.get(1) != 0;
+  h.resp = static_cast<std::uint8_t>(r.get(HeaderFormat::kRespBits));
+  h.addr = r.get(format.addr_bits);
+  XPL_ASSERT(r.remaining() == 0);
+  return h;
+}
+
+std::uint8_t peek_route_port(const BitVector& head_flit_payload,
+                             std::size_t port_bits) {
+  XPL_ASSERT(head_flit_payload.width() >= port_bits);
+  return static_cast<std::uint8_t>(head_flit_payload.slice(0, port_bits));
+}
+
+BitVector consume_route_port(const BitVector& head_flit_payload,
+                             std::size_t port_bits,
+                             std::size_t route_bits_in_flit) {
+  XPL_ASSERT(route_bits_in_flit <= head_flit_payload.width());
+  XPL_ASSERT(port_bits <= route_bits_in_flit);
+  BitVector out = head_flit_payload;
+  // Shift the route portion down by one selector; zero-fill the top slot.
+  const std::size_t keep = route_bits_in_flit - port_bits;
+  BitVector shifted = head_flit_payload.subvector(port_bits, keep);
+  out.deposit_vector(0, shifted);
+  out.deposit(keep, port_bits, 0);
+  return out;
+}
+
+}  // namespace xpl

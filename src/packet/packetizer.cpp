@@ -1,0 +1,110 @@
+#include "src/packet/packetizer.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace xpl {
+
+void PacketFormat::validate() const {
+  require(flit_width > 0, "PacketFormat: flit_width must be > 0");
+  require(beat_width > 0, "PacketFormat: beat_width must be > 0");
+  require(header.route_bits() <= flit_width,
+          "PacketFormat: route field must fit in the first flit "
+          "(reduce max_hops or widen flits)");
+}
+
+namespace {
+
+// Appends `bits` decomposed into flit_width chunks to `out`.
+void decompose(const BitVector& bits, std::size_t flit_width,
+               std::vector<Flit>& out) {
+  std::size_t pos = 0;
+  while (pos < bits.width()) {
+    const std::size_t chunk = std::min(flit_width, bits.width() - pos);
+    BitVector payload(flit_width);
+    payload.deposit_vector(0, bits.subvector(pos, chunk));
+    out.emplace_back(std::move(payload), /*head=*/false, /*tail=*/false);
+    pos += chunk;
+  }
+}
+
+}  // namespace
+
+std::vector<Flit> packetize(const Packet& packet, const PacketFormat& format) {
+  format.validate();
+  for (const BitVector& beat : packet.beats) {
+    require(beat.width() == format.beat_width,
+            "packetize: beat width mismatch");
+  }
+  std::vector<Flit> flits;
+  flits.reserve(format.packet_flits(packet.beats.size()));
+  decompose(pack_header(packet.header, format.header), format.flit_width,
+            flits);
+  for (const BitVector& beat : packet.beats) {
+    decompose(beat, format.flit_width, flits);
+  }
+  XPL_ASSERT(!flits.empty());
+  flits.front().head = true;
+  flits.back().tail = true;
+  return flits;
+}
+
+Depacketizer::Depacketizer(PacketFormat format) : format_(std::move(format)) {
+  format_.validate();
+  header_bits_.resize(format_.header.width());
+  beat_bits_.resize(format_.beat_width);
+}
+
+std::optional<Packet> Depacketizer::push(const Flit& flit) {
+  require(flit.payload.width() == format_.flit_width,
+          "Depacketizer: flit width mismatch");
+  if (state_ == State::kIdle) {
+    require(flit.head, "Depacketizer: expected head flit");
+    state_ = State::kHeader;
+    flit_count_ = 0;
+    header_fill_ = 0;
+    beat_fill_ = 0;
+    current_ = Packet{};
+  } else {
+    require(!flit.head, "Depacketizer: unexpected head flit mid-packet");
+  }
+
+  if (state_ == State::kHeader) {
+    const std::size_t take =
+        std::min(format_.flit_width, header_bits_.width() - header_fill_);
+    header_bits_.deposit_vector(header_fill_,
+                                flit.payload.subvector(0, take));
+    header_fill_ += take;
+    if (header_fill_ == header_bits_.width()) {
+      current_.header = unpack_header(header_bits_, format_.header);
+      state_ = State::kBody;
+    }
+  } else {
+    const std::size_t take =
+        std::min(format_.flit_width, beat_bits_.width() - beat_fill_);
+    beat_bits_.deposit_vector(beat_fill_, flit.payload.subvector(0, take));
+    beat_fill_ += take;
+    if (beat_fill_ == beat_bits_.width()) {
+      current_.beats.push_back(beat_bits_);
+      beat_bits_ = BitVector(format_.beat_width);
+      beat_fill_ = 0;
+    }
+  }
+  ++flit_count_;
+
+  if (flit.tail) {
+    require(state_ == State::kBody,
+            "Depacketizer: tail arrived before the header completed");
+    require(beat_fill_ == 0,
+            "Depacketizer: tail arrived mid-beat");
+    state_ = State::kIdle;
+    Packet done = std::move(current_);
+    current_ = Packet{};
+    flit_count_ = 0;
+    return done;
+  }
+  return std::nullopt;
+}
+
+}  // namespace xpl

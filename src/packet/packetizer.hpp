@@ -1,0 +1,91 @@
+// Packetization: decomposing a transaction into flits and back.
+//
+// Mirrors the paper's NI datapath: a header register (pack_header) written
+// once per transaction and a payload register written once per burst beat,
+// each decomposed into flits of the configured width. Decomposition is
+// register-aligned — every register starts on a fresh flit — exactly as a
+// hardware shifter over a single holding register behaves.
+//
+// Constraint checked here and by NocConfig: the whole route field must fit
+// in the first flit (route_bits <= flit_width), so every switch can read
+// and consume its output-port selector from the head flit alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/packet/flit.hpp"
+#include "src/packet/header.hpp"
+
+namespace xpl {
+
+/// A whole network packet in decoded form.
+struct Packet {
+  Header header;
+  /// Payload beats, each `beat_width` bits (one per burst beat). Write and
+  /// response packets carry beats; read requests carry none.
+  std::vector<BitVector> beats;
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Static geometry of packets for one network configuration.
+struct PacketFormat {
+  HeaderFormat header;
+  std::size_t flit_width = 32;  ///< payload bits per flit
+  std::size_t beat_width = 32;  ///< payload bits per burst beat
+
+  std::size_t header_flits() const {
+    return ceil_div(header.width(), flit_width);
+  }
+  std::size_t flits_per_beat() const {
+    return ceil_div(beat_width, flit_width);
+  }
+  /// Total flits of a packet with `beats` payload beats.
+  std::size_t packet_flits(std::size_t beats) const {
+    return header_flits() + beats * flits_per_beat();
+  }
+
+  /// Throws xpl::Error if the configuration is unusable (route field does
+  /// not fit the first flit, or zero widths).
+  void validate() const;
+};
+
+/// Decomposes `packet` into flits (head marked on the first, tail on the
+/// last). Flits carry no link seqno/CRC yet; the link layer seals them.
+std::vector<Flit> packetize(const Packet& packet, const PacketFormat& format);
+
+/// Streaming reassembler: push flits in order; a decoded Packet pops out
+/// when the tail flit arrives. One instance per receiving port.
+class Depacketizer {
+ public:
+  explicit Depacketizer(PacketFormat format);
+
+  /// Consumes the next in-order flit of the current packet. Throws
+  /// xpl::Error on protocol violations (head in mid-packet, etc.).
+  /// Returns the completed packet when `flit.tail` is set.
+  std::optional<Packet> push(const Flit& flit);
+
+  /// True between packets (next flit must be a head flit).
+  bool idle() const { return state_ == State::kIdle; }
+
+  /// Flits consumed of the in-progress packet (0 when idle).
+  std::size_t flits_so_far() const { return flit_count_; }
+
+  const PacketFormat& format() const { return format_; }
+
+ private:
+  enum class State { kIdle, kHeader, kBody };
+
+  PacketFormat format_;
+  State state_ = State::kIdle;
+  std::size_t flit_count_ = 0;
+  BitVector header_bits_;
+  std::size_t header_fill_ = 0;
+  BitVector beat_bits_;
+  std::size_t beat_fill_ = 0;
+  Packet current_;
+};
+
+}  // namespace xpl

@@ -1,0 +1,32 @@
+#include "src/sim/kernel.hpp"
+
+namespace xpl::sim {
+
+void Kernel::step() {
+  for (Module* m : modules_) {
+    m->tick(*this);
+  }
+  for (auto& s : signals_) {
+    s->commit();
+  }
+  ++cycle_;
+  for (auto& p : probes_) {
+    p(cycle_);
+  }
+}
+
+void Kernel::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+std::uint64_t Kernel::run_until(const std::function<bool()>& done,
+                                std::uint64_t max_cycles) {
+  std::uint64_t n = 0;
+  while (n < max_cycles && !done()) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace xpl::sim

@@ -1,0 +1,141 @@
+// Cycle-accurate two-phase simulation kernel.
+//
+// This is the repository's substitute for the SystemC runtime the original
+// xpipes lite library was written against (see DESIGN.md §2). The modelling
+// discipline matches fully synchronous, fully registered RTL:
+//
+//  * Every inter-module connection is a Signal<T> with current/next values.
+//  * Each cycle the kernel calls Module::tick() on every module. A tick
+//    reads only *current* signal values and writes *next* values, then the
+//    kernel commits all signals at once. Module evaluation order therefore
+//    cannot affect results, and every signal hop costs exactly one cycle —
+//    the same semantics as a flop-to-flop path in the synthesizable RTL.
+//  * xpipes lite was explicitly "designed for pipelined links", i.e. all of
+//    its interfaces tolerate register stages, so this discipline models the
+//    real library without combinational cross-module paths.
+//
+// Signals hold their value until rewritten; by convention a module drives
+// each of its outputs every cycle (like an always_ff block that assigns all
+// outputs on every edge).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace xpl::sim {
+
+class Kernel;
+
+/// Base class of all clocked hardware modules.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// One clock cycle: read current signal values, write next values and
+  /// stage internal state updates. Called exactly once per Kernel::step().
+  virtual void tick(Kernel& kernel) = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Type-erased base so the kernel can commit any signal.
+class SignalBase {
+ public:
+  virtual ~SignalBase() = default;
+  virtual void commit() = 0;
+};
+
+/// A registered wire of type T between two modules.
+///
+/// read() returns the value as of the last commit; write() stages a value
+/// that becomes visible after the current cycle's commit.
+template <typename T>
+class Signal : public SignalBase {
+ public:
+  explicit Signal(T reset = T{}) : curr_(reset), next_(reset) {}
+
+  const T& read() const { return curr_; }
+
+  void write(T value) {
+    next_ = std::move(value);
+    written_ = true;
+  }
+
+  void commit() override {
+    if (written_) {
+      curr_ = std::move(next_);
+      written_ = false;
+    }
+  }
+
+ private:
+  T curr_;
+  T next_;
+  bool written_ = false;
+};
+
+/// Owns signals, schedules modules, and advances simulated time.
+class Kernel {
+ public:
+  Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Creates a kernel-owned signal and returns a stable reference.
+  template <typename T>
+  Signal<T>& make_signal(T reset = T{}) {
+    auto sig = std::make_unique<Signal<T>>(std::move(reset));
+    Signal<T>& ref = *sig;
+    signals_.push_back(std::move(sig));
+    return ref;
+  }
+
+  /// Registers a module. The kernel does not take ownership; modules must
+  /// outlive the kernel's run (the Network owns them in practice).
+  void add_module(Module& module) { modules_.push_back(&module); }
+
+  /// Registers a callback run after every commit (statistics probes).
+  void add_probe(std::function<void(std::uint64_t cycle)> probe) {
+    probes_.push_back(std::move(probe));
+  }
+
+  /// Advances one clock cycle: tick all modules, commit all signals,
+  /// run probes.
+  void step();
+
+  /// Advances `cycles` clock cycles.
+  void run(std::uint64_t cycles);
+
+  /// Runs until `done()` returns true or `max_cycles` elapse; returns the
+  /// number of cycles actually run.
+  std::uint64_t run_until(const std::function<bool()>& done,
+                          std::uint64_t max_cycles);
+
+  /// Cycles elapsed since construction.
+  std::uint64_t cycle() const { return cycle_; }
+
+  std::size_t module_count() const { return modules_.size(); }
+  std::size_t signal_count() const { return signals_.size(); }
+
+ private:
+  std::vector<Module*> modules_;
+  std::vector<std::unique_ptr<SignalBase>> signals_;
+  std::vector<std::function<void(std::uint64_t)>> probes_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace xpl::sim

@@ -1,0 +1,82 @@
+#include "src/sim/trace.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::sim {
+
+VcdTracer::VcdTracer(Kernel& kernel, const std::string& path)
+    : kernel_(kernel), out_(path) {
+  require(out_.good(), "VcdTracer: cannot open " + path);
+}
+
+VcdTracer::~VcdTracer() { finish(); }
+
+void VcdTracer::add_probe(const std::string& name, std::size_t width,
+                          std::function<std::uint64_t()> sample) {
+  require(!started_, "VcdTracer: add_probe after start");
+  require(width >= 1 && width <= 64, "VcdTracer: width must be in [1,64]");
+  Probe probe;
+  probe.name = name;
+  probe.id = id_for(probes_.size());
+  probe.width = width;
+  probe.sample = std::move(sample);
+  probes_.push_back(std::move(probe));
+}
+
+std::string VcdTracer::id_for(std::size_t index) {
+  // Printable-ASCII identifier codes, base 94 starting at '!'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdTracer::start() {
+  require(!started_, "VcdTracer: start called twice");
+  started_ = true;
+  out_ << "$date xpipes lite simulation $end\n"
+       << "$version xpl::sim::VcdTracer $end\n"
+       << "$timescale 1ns $end\n"
+       << "$scope module noc $end\n";
+  for (const Probe& probe : probes_) {
+    out_ << "$var wire " << probe.width << " " << probe.id << " "
+         << probe.name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  kernel_.add_probe([this](std::uint64_t cycle) { dump_cycle(cycle); });
+}
+
+void VcdTracer::dump_cycle(std::uint64_t cycle) {
+  if (finished_) return;
+  bool stamped = false;
+  for (Probe& probe : probes_) {
+    const std::uint64_t value = probe.sample();
+    if (probe.emitted && value == probe.last) continue;
+    if (!stamped) {
+      out_ << "#" << cycle << "\n";
+      stamped = true;
+    }
+    if (probe.width == 1) {
+      out_ << (value & 1) << probe.id << "\n";
+    } else {
+      out_ << "b";
+      for (std::size_t bit = probe.width; bit-- > 0;) {
+        out_ << ((value >> bit) & 1);
+      }
+      out_ << " " << probe.id << "\n";
+    }
+    probe.last = value;
+    probe.emitted = true;
+  }
+}
+
+void VcdTracer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.flush();
+  out_.close();
+}
+
+}  // namespace xpl::sim

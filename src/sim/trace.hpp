@@ -1,0 +1,64 @@
+// VCD waveform tracing for the simulation view.
+//
+// The original library's SystemC simulation view came with waveform
+// dumping for free; this tracer restores that capability for the cycle
+// kernel. Modules (or testbenches) register named probes — callables
+// returning up-to-64-bit values — and the tracer emits a standard VCD
+// file one timestep per kernel cycle, loadable in GTKWave & friends.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/kernel.hpp"
+
+namespace xpl::sim {
+
+class VcdTracer {
+ public:
+  /// Opens `path` for writing. Throws xpl::Error if it cannot.
+  VcdTracer(Kernel& kernel, const std::string& path);
+  ~VcdTracer();
+
+  VcdTracer(const VcdTracer&) = delete;
+  VcdTracer& operator=(const VcdTracer&) = delete;
+
+  /// Registers a probe before start(): `sample` is read after each commit.
+  /// `width` in bits (1 => scalar). Names may contain dots for hierarchy
+  /// ("sw0.out_fifo_depth").
+  void add_probe(const std::string& name, std::size_t width,
+                 std::function<std::uint64_t()> sample);
+
+  /// Writes the VCD header and hooks the kernel. Call once, after all
+  /// probes are registered and before stepping the kernel.
+  void start();
+
+  /// Flushes and closes the file (also done by the destructor).
+  void finish();
+
+  std::size_t probe_count() const { return probes_.size(); }
+
+ private:
+  struct Probe {
+    std::string name;
+    std::string id;  ///< VCD identifier code
+    std::size_t width;
+    std::function<std::uint64_t()> sample;
+    std::uint64_t last = ~std::uint64_t{0};
+    bool emitted = false;
+  };
+
+  void dump_cycle(std::uint64_t cycle);
+  static std::string id_for(std::size_t index);
+
+  Kernel& kernel_;
+  std::ofstream out_;
+  std::vector<Probe> probes_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace xpl::sim

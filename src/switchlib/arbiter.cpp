@@ -1,0 +1,39 @@
+#include "src/switchlib/arbiter.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::switchlib {
+
+const char* arbiter_name(ArbiterKind kind) {
+  switch (kind) {
+    case ArbiterKind::kFixedPriority:
+      return "fixed";
+    case ArbiterKind::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+std::optional<std::size_t> FixedPriorityArbiter::grant(
+    const std::vector<bool>& requests) {
+  XPL_ASSERT(requests.size() == num_inputs_);
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    if (requests[i]) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RoundRobinArbiter::grant(
+    const std::vector<bool>& requests) {
+  XPL_ASSERT(requests.size() == num_inputs_);
+  for (std::size_t k = 0; k < num_inputs_; ++k) {
+    const std::size_t i = (pointer_ + k) % num_inputs_;
+    if (requests[i]) {
+      pointer_ = (i + 1) % num_inputs_;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace xpl::switchlib

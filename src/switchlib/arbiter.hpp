@@ -1,0 +1,73 @@
+// Output-port arbiters.
+//
+// Each switch output port owns one arbiter choosing among the input ports
+// that request it. The paper offers two policies: fixed priority (cheapest
+// logic) and round robin (fair). Arbiters are plain combinational-logic
+// models, unit-testable in isolation and mirrored gate-for-gate by the
+// synthesis estimator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace xpl::switchlib {
+
+enum class ArbiterKind : std::uint8_t { kFixedPriority, kRoundRobin };
+
+const char* arbiter_name(ArbiterKind kind);
+
+/// Grants the lowest-indexed requester.
+class FixedPriorityArbiter {
+ public:
+  explicit FixedPriorityArbiter(std::size_t num_inputs)
+      : num_inputs_(num_inputs) {}
+
+  /// Returns the granted input, or nullopt if `requests` is all false.
+  std::optional<std::size_t> grant(const std::vector<bool>& requests);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+
+ private:
+  std::size_t num_inputs_;
+};
+
+/// Grants the first requester at or after a rotating pointer; the pointer
+/// advances past each grant, giving each input a fair share.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t num_inputs)
+      : num_inputs_(num_inputs) {}
+
+  std::optional<std::size_t> grant(const std::vector<bool>& requests);
+
+  /// Pointer state (the synthesis model charges log2(n) flops for it).
+  std::size_t pointer() const { return pointer_; }
+
+  std::size_t num_inputs() const { return num_inputs_; }
+
+ private:
+  std::size_t num_inputs_;
+  std::size_t pointer_ = 0;
+};
+
+/// Policy-erased arbiter used by the switch.
+class Arbiter {
+ public:
+  Arbiter(ArbiterKind kind, std::size_t num_inputs)
+      : kind_(kind), fixed_(num_inputs), rr_(num_inputs) {}
+
+  std::optional<std::size_t> grant(const std::vector<bool>& requests) {
+    return kind_ == ArbiterKind::kFixedPriority ? fixed_.grant(requests)
+                                                : rr_.grant(requests);
+  }
+
+  ArbiterKind kind() const { return kind_; }
+
+ private:
+  ArbiterKind kind_;
+  FixedPriorityArbiter fixed_;
+  RoundRobinArbiter rr_;
+};
+
+}  // namespace xpl::switchlib

@@ -1,0 +1,193 @@
+#include "src/switchlib/switch.hpp"
+
+#include "src/common/error.hpp"
+#include "src/packet/header.hpp"
+
+namespace xpl::switchlib {
+
+void SwitchConfig::validate() const {
+  require(num_inputs >= 1 && num_outputs >= 1,
+          "SwitchConfig: need at least one input and one output");
+  require(num_outputs <= (std::size_t{1} << port_bits),
+          "SwitchConfig: port_bits too small for num_outputs");
+  require(route_bits <= flit_width,
+          "SwitchConfig: route field must fit in one flit");
+  require(port_bits <= route_bits, "SwitchConfig: route field too small");
+  require(input_fifo_depth >= 1, "SwitchConfig: input fifo depth >= 1");
+  require(output_fifo_depth >= 1, "SwitchConfig: output fifo depth >= 1");
+  protocol.validate();
+  require(input_protocols.empty() || input_protocols.size() == num_inputs,
+          "SwitchConfig: input_protocols size mismatch");
+  require(output_protocols.empty() ||
+              output_protocols.size() == num_outputs,
+          "SwitchConfig: output_protocols size mismatch");
+  for (const auto& p : input_protocols) p.validate();
+  for (const auto& p : output_protocols) p.validate();
+}
+
+Switch::Switch(std::string name, const SwitchConfig& config,
+               std::vector<link::LinkWires> input_wires,
+               std::vector<link::LinkWires> output_wires)
+    : sim::Module(std::move(name)), config_(config) {
+  config_.validate();
+  require(input_wires.size() == config.num_inputs,
+          "Switch: input wire count mismatch");
+  require(output_wires.size() == config.num_outputs,
+          "Switch: output wire count mismatch");
+  inputs_.reserve(config.num_inputs);
+  for (std::size_t i = 0; i < config.num_inputs; ++i) {
+    InputPort port;
+    port.rx =
+        link::GoBackNReceiver(input_wires[i], config_.input_protocol(i));
+    inputs_.push_back(std::move(port));
+  }
+  outputs_.reserve(config.num_outputs);
+  for (std::size_t o = 0; o < config.num_outputs; ++o) {
+    OutputPort port(config.arbiter, config.num_inputs);
+    port.tx =
+        link::GoBackNSender(output_wires[o], config_.output_protocol(o));
+    outputs_.push_back(std::move(port));
+  }
+  packets_out_.assign(config.num_outputs, 0);
+}
+
+std::optional<std::size_t> Switch::requested_output(
+    const InputPort& in) const {
+  if (in.fifo.empty()) return std::nullopt;
+  if (in.locked_output != kNoPort) return in.locked_output;
+  const Flit& flit = in.fifo.front();
+  XPL_ASSERT(flit.head);  // unlocked input must present a head flit
+  const std::size_t port = peek_route_port(flit.payload, config_.port_bits);
+  require(port < config_.num_outputs,
+          "Switch: head flit requests a nonexistent output port");
+  return port;
+}
+
+void Switch::tick(sim::Kernel& kernel) {
+  // ---- Reverse order of the pipeline so each flit advances exactly one
+  // stage per cycle (see DESIGN.md: stage 1 = input latch, stage 2 =
+  // arbitration + crossbar + output-queue write, then link transmit).
+
+  // ACK/nACK bookkeeping first: senders retire or rewind.
+  for (OutputPort& out : outputs_) {
+    out.tx.begin_cycle();
+  }
+
+  // Link transmit: drain output queues into the go-back-N senders.
+  for (OutputPort& out : outputs_) {
+    if (!out.fifo.empty() && out.tx.can_accept()) {
+      out.tx.accept(out.fifo.front());
+      out.fifo.pop_front();
+    }
+  }
+
+  // Extra pipeline stages (old-xpipes emulation): release delay-line
+  // entries that have spent extra_pipeline cycles in flight.
+  if (config_.extra_pipeline > 0) {
+    for (OutputPort& out : outputs_) {
+      if (!out.pipe.empty() &&
+          kernel.cycle() >= out.pipe.front().second + config_.extra_pipeline) {
+        out.fifo.push_back(std::move(out.pipe.front().first));
+        out.pipe.pop_front();
+      }
+    }
+  }
+
+  // Stage 2: arbitration + crossbar traversal.
+  bool any_switched = false;
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    OutputPort& out = outputs_[o];
+    // Space accounting covers both the queue and the in-flight delay line.
+    const std::size_t committed = out.fifo.size() + out.pipe.size();
+    if (committed >= config_.output_fifo_depth) continue;
+
+    std::size_t winner = kNoPort;
+    if (out.locked_input != kNoPort) {
+      // Wormhole in progress: only the owning input may proceed.
+      const InputPort& in = inputs_[out.locked_input];
+      if (!in.fifo.empty()) winner = out.locked_input;
+    } else {
+      std::vector<bool> requests(inputs_.size(), false);
+      bool any = false;
+      for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        const auto req = requested_output(inputs_[i]);
+        // Only unlocked inputs with a head flit may open a new wormhole.
+        if (req.has_value() && *req == o &&
+            inputs_[i].locked_output == kNoPort) {
+          requests[i] = true;
+          any = true;
+        }
+      }
+      if (any) {
+        const auto grant = out.arbiter.grant(requests);
+        XPL_ASSERT(grant.has_value());
+        winner = *grant;
+        out.locked_input = winner;
+        inputs_[winner].locked_output = o;
+        ++packets_out_[o];
+      }
+    }
+
+    if (winner == kNoPort) continue;
+    InputPort& in = inputs_[winner];
+    Flit flit = in.fifo.front();
+    in.fifo.pop_front();
+    if (flit.head) {
+      // Consume this hop's route selector.
+      flit.payload = consume_route_port(flit.payload, config_.port_bits,
+                                        config_.route_bits);
+    }
+    if (flit.tail) {
+      // Wormhole complete: release the path.
+      out.locked_input = kNoPort;
+      in.locked_output = kNoPort;
+    }
+    if (config_.extra_pipeline > 0) {
+      out.pipe.emplace_back(std::move(flit), kernel.cycle());
+    } else {
+      out.fifo.push_back(std::move(flit));
+    }
+    ++flits_switched_;
+    any_switched = true;
+  }
+  if (any_switched) ++active_cycles_;
+
+  // Stage 1: latch arriving flits into input buffers (with ACK/nACK).
+  for (InputPort& in : inputs_) {
+    const bool can_take = in.fifo.size() < config_.input_fifo_depth;
+    if (auto flit = in.rx.begin_cycle(can_take)) {
+      // Wormhole protocol check: head flits only between packets.
+      if (in.expecting_body) {
+        require(!flit->head, "Switch: head flit arrived mid-packet");
+      } else {
+        require(flit->head, "Switch: body flit arrived with no wormhole");
+      }
+      in.expecting_body = !flit->tail;
+      in.fifo.push_back(std::move(*flit));
+    }
+  }
+
+  // Drive all wires.
+  for (InputPort& in : inputs_) in.rx.end_cycle();
+  for (OutputPort& out : outputs_) out.tx.end_cycle();
+}
+
+std::uint64_t Switch::retransmissions() const {
+  std::uint64_t total = 0;
+  for (const OutputPort& out : outputs_) total += out.tx.retransmissions();
+  return total;
+}
+
+bool Switch::idle() const {
+  for (const InputPort& in : inputs_) {
+    if (!in.fifo.empty() || in.locked_output != kNoPort) return false;
+  }
+  for (const OutputPort& out : outputs_) {
+    if (!out.fifo.empty() || !out.pipe.empty() || !out.tx.idle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xpl::switchlib

@@ -1,0 +1,126 @@
+// The xpipes lite switch.
+//
+// Faithful to the paper's microarchitecture:
+//   * wormhole switching with source-based routing — the head flit carries
+//     the whole route; each switch reads its output-port selector from the
+//     head flit's low bits and shifts the route field (header.hpp);
+//   * 2-stage pipeline — stage 1 latches the incoming flit into the input
+//     buffer, stage 2 arbitrates, traverses the crossbar and writes the
+//     output queue; an optional `extra_pipeline` parameter reproduces the
+//     7-stage switch of the *first* xpipes library for the latency
+//     comparison (bench F8);
+//   * output queuing — per-output FIFOs ("buffering for performance");
+//   * ACK/nACK flow & error control on every port, over pipelined,
+//     unreliable links (goback_n.hpp);
+//   * fixed-priority or round-robin arbitration, one arbiter + wormhole
+//     allocator lock per output, n_out x n_in crossbar.
+//
+// Port counts are independent (the paper's mesh uses 4x4 and 6x4
+// switches), set per instance by the xpipesCompiler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/link/goback_n.hpp"
+#include "src/link/link.hpp"
+#include "src/sim/kernel.hpp"
+#include "src/switchlib/arbiter.hpp"
+
+namespace xpl::switchlib {
+
+/// Per-instance switch parameters (the xpipesCompiler's knobs).
+struct SwitchConfig {
+  std::size_t num_inputs = 4;
+  std::size_t num_outputs = 4;
+  std::size_t flit_width = 32;        ///< payload bits per flit
+  std::size_t port_bits = 3;          ///< route selector width
+  std::size_t route_bits = 24;        ///< route field width in head flits
+  std::size_t input_fifo_depth = 2;   ///< stage-1 buffer per input
+  std::size_t output_fifo_depth = 4;  ///< output queue per output
+  std::size_t extra_pipeline = 0;     ///< 0 => the paper's 2-stage switch
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+  link::ProtocolConfig protocol{};    ///< uniform ACK/nACK parameters
+  /// Optional per-port protocol overrides (per-instance buffer sizing:
+  /// the go-back-N window of each port matches *its* link's round trip
+  /// instead of the network-wide worst case). Empty = use `protocol`.
+  std::vector<link::ProtocolConfig> input_protocols;
+  std::vector<link::ProtocolConfig> output_protocols;
+
+  const link::ProtocolConfig& input_protocol(std::size_t port) const {
+    return input_protocols.empty() ? protocol : input_protocols.at(port);
+  }
+  const link::ProtocolConfig& output_protocol(std::size_t port) const {
+    return output_protocols.empty() ? protocol : output_protocols.at(port);
+  }
+
+  /// Total pipeline stages as the paper counts them.
+  std::size_t pipeline_stages() const { return 2 + extra_pipeline; }
+
+  void validate() const;
+};
+
+/// One switch instance. Input port i receives on `input_wires[i]`; output
+/// port o transmits on `output_wires[o]`.
+class Switch : public sim::Module {
+ public:
+  Switch(std::string name, const SwitchConfig& config,
+         std::vector<link::LinkWires> input_wires,
+         std::vector<link::LinkWires> output_wires);
+
+  void tick(sim::Kernel& kernel) override;
+
+  const SwitchConfig& config() const { return config_; }
+
+  /// Flits forwarded input->output since construction.
+  std::uint64_t flits_switched() const { return flits_switched_; }
+  /// Cycles in which at least one flit traversed the crossbar.
+  std::uint64_t active_cycles() const { return active_cycles_; }
+  /// Per-output count of granted head flits (packets routed).
+  const std::vector<std::uint64_t>& packets_per_output() const {
+    return packets_out_;
+  }
+  /// Retransmissions requested of this switch's senders (error/flow).
+  std::uint64_t retransmissions() const;
+
+  /// True when no flit is buffered or in flight inside the switch.
+  bool idle() const;
+
+ private:
+  static constexpr std::size_t kNoPort = static_cast<std::size_t>(-1);
+
+  struct InputPort {
+    link::GoBackNReceiver rx;
+    std::deque<Flit> fifo;
+    std::size_t locked_output = kNoPort;  ///< wormhole in progress
+    bool expecting_body = false;          ///< protocol check state
+  };
+
+  struct OutputPort {
+    link::GoBackNSender tx;
+    std::deque<Flit> fifo;
+    /// Crossbar-to-queue delay line modelling extra pipeline stages; each
+    /// entry records the cycle it entered and exits extra_pipeline later.
+    std::deque<std::pair<Flit, std::uint64_t>> pipe;
+    std::size_t locked_input = kNoPort;  ///< wormhole allocator state
+    Arbiter arbiter;
+
+    explicit OutputPort(ArbiterKind kind, std::size_t inputs)
+        : arbiter(kind, inputs) {}
+  };
+
+  /// Output requested by the flit at the head of input `i`, if any.
+  std::optional<std::size_t> requested_output(const InputPort& in) const;
+
+  SwitchConfig config_;
+  std::vector<InputPort> inputs_;
+  std::vector<OutputPort> outputs_;
+
+  std::uint64_t flits_switched_ = 0;
+  std::uint64_t active_cycles_ = 0;
+  std::vector<std::uint64_t> packets_out_;
+};
+
+}  // namespace xpl::switchlib

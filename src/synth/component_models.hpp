@@ -1,0 +1,45 @@
+// Gate-level models of the xpipes lite components.
+//
+// Each builder walks the exact microarchitecture the simulator implements
+// (switchlib/switch.hpp, ni/ni_initiator.hpp, ni/ni_target.hpp) and sums
+// primitive costs from netlist.hpp, so the area/power scaling with flit
+// width, port count and buffer depth is structural. Logic-depth functions
+// model the critical path for the frequency estimates.
+#pragma once
+
+#include "src/ni/ni_initiator.hpp"
+#include "src/ni/ni_target.hpp"
+#include "src/switchlib/switch.hpp"
+#include "src/synth/netlist.hpp"
+
+namespace xpl::synth {
+
+/// Bits of one flit on the wire (payload + head/tail + seqno + CRC): the
+/// width every link-level buffer and datapath is built for.
+std::size_t wire_bits(std::size_t flit_width, const link::ProtocolConfig& p);
+
+/// Switch netlist: input buffers, route shifter, arbiters + allocator
+/// locks, crossbar, output queues, go-back-N retransmission buffers,
+/// per-port CRC generate/check.
+Netlist build_switch_netlist(const switchlib::SwitchConfig& config);
+
+/// Critical-path logic levels of the switch (arbitration + crossbar
+/// traversal dominates; grows with ln of the port counts).
+double switch_logic_levels(const switchlib::SwitchConfig& config);
+
+/// Initiator NI netlist: OCP front-end registers, header/payload
+/// registers, flit alignment shifter, address-decode + route LUT,
+/// outstanding-transaction table, response depacketizer, link endpoints.
+Netlist build_initiator_ni_netlist(const ni::InitiatorConfig& config,
+                                   std::size_t num_targets);
+
+double initiator_ni_logic_levels(const ni::InitiatorConfig& config);
+
+/// Target NI netlist: request depacketizer + job queue, OCP master
+/// front-end, response packetizer, response-route LUT, link endpoints.
+Netlist build_target_ni_netlist(const ni::TargetConfig& config,
+                                std::size_t num_initiators);
+
+double target_ni_logic_levels(const ni::TargetConfig& config);
+
+}  // namespace xpl::synth

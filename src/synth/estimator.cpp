@@ -1,0 +1,127 @@
+#include "src/synth/estimator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace xpl::synth {
+
+std::string Estimate::to_string() const {
+  std::ostringstream os;
+  os << "area=" << area_mm2 << "mm2 power=" << power_mw
+     << "mW fmax=" << fmax_mhz << "MHz @" << target_mhz << "MHz"
+     << (feasible ? "" : " INFEASIBLE");
+  return os.str();
+}
+
+double Estimator::nominal_fmax_mhz(double logic_levels) const {
+  const double period_ps =
+      logic_levels * tech_.gate_delay_ps + tech_.setup_skew_ps;
+  return 1.0e6 / period_ps;
+}
+
+double Estimator::max_fmax_mhz(double logic_levels) const {
+  const double period_ps =
+      logic_levels * tech_.gate_delay_ps * tech_.min_delay_scale +
+      tech_.setup_skew_ps;
+  return 1.0e6 / period_ps;
+}
+
+double Estimator::full_custom_fmax_mhz(double logic_levels) const {
+  const double period_ps =
+      logic_levels * tech_.gate_delay_ps * tech_.full_custom_delay_scale +
+      tech_.setup_skew_ps;
+  return 1.0e6 / period_ps;
+}
+
+double Estimator::effort_from_floor(double logic_levels, double target_mhz,
+                                    double floor_scale) const {
+  require(target_mhz > 0, "Estimator: target frequency must be positive");
+  const double period_ps = 1.0e6 / target_mhz;
+  const double logic_budget_ps = period_ps - tech_.setup_skew_ps;
+  if (logic_budget_ps <= 0) return std::numeric_limits<double>::infinity();
+  // Per-level delay the implementation must reach.
+  const double need = logic_budget_ps / logic_levels;
+  const double nominal = tech_.gate_delay_ps;
+  if (need >= nominal) return 1.0;
+  const double floor_ps = nominal * floor_scale;
+  if (need < floor_ps) return std::numeric_limits<double>::infinity();
+  // Normalized tightening in (0, 1]: 0 at nominal, 1 at the floor.
+  const double u = (nominal - need) / (nominal - floor_ps);
+  return 1.0 + tech_.effort_area_penalty *
+                   std::pow(u, tech_.effort_shape);
+}
+
+double Estimator::effort_multiplier(double logic_levels,
+                                    double target_mhz) const {
+  return effort_from_floor(logic_levels, target_mhz, tech_.min_delay_scale);
+}
+
+double Estimator::area_mm2(const Netlist& netlist) const {
+  const double gates =
+      netlist.combinational + netlist.flops * tech_.dff_nand2_eq;
+  return gates * tech_.nand2_area_um2 * tech_.layout_overhead * 1.0e-6;
+}
+
+Estimate Estimator::estimate(const Netlist& netlist, double logic_levels,
+                             double target_mhz, double activity) const {
+  Estimate e;
+  e.target_mhz = target_mhz;
+  e.fmax_mhz = max_fmax_mhz(logic_levels);
+  const double mult = effort_multiplier(logic_levels, target_mhz);
+  if (!std::isfinite(mult)) {
+    e.feasible = false;
+    e.area_mm2 = area_mm2(netlist) * (1.0 + tech_.effort_area_penalty);
+    e.power_mw = 0.0;
+    return e;
+  }
+  e.area_mm2 = area_mm2(netlist) * mult;
+
+  // Dynamic power: switched combinational gates + clocked flops, inflated
+  // by upsizing on the critical cone; leakage scales with raw gate count.
+  const double gates =
+      netlist.combinational + netlist.flops * tech_.dff_nand2_eq;
+  const double f_hz = target_mhz * 1.0e6;
+  const double power_scale = std::pow(mult, tech_.effort_power_exponent);
+  const double dynamic_w =
+      (netlist.combinational * tech_.gate_energy_fj * activity +
+       netlist.flops * tech_.flop_clock_fj) *
+      1.0e-15 * f_hz * power_scale;
+  const double leakage_w = gates * tech_.leakage_nw_per_gate * 1.0e-9;
+  e.power_mw = (dynamic_w + leakage_w) * 1.0e3;
+  return e;
+}
+
+Estimate Estimator::estimate_full_custom(const Netlist& netlist,
+                                         double logic_levels,
+                                         double target_mhz,
+                                         double activity) const {
+  Estimate e;
+  e.target_mhz = target_mhz;
+  e.fmax_mhz = full_custom_fmax_mhz(logic_levels);
+  const double mult =
+      effort_from_floor(logic_levels, target_mhz,
+                        tech_.full_custom_delay_scale);
+  if (!std::isfinite(mult)) {
+    e.feasible = false;
+    e.area_mm2 = area_mm2(netlist) * tech_.full_custom_density *
+                 (1.0 + tech_.effort_area_penalty);
+    return e;
+  }
+  e.area_mm2 = area_mm2(netlist) * tech_.full_custom_density * mult;
+  const double gates =
+      netlist.combinational + netlist.flops * tech_.dff_nand2_eq;
+  const double f_hz = target_mhz * 1.0e6;
+  const double power_scale = std::pow(mult, tech_.effort_power_exponent);
+  const double dynamic_w =
+      (netlist.combinational * tech_.gate_energy_fj * activity +
+       netlist.flops * tech_.flop_clock_fj) *
+      1.0e-15 * f_hz * power_scale * tech_.full_custom_density;
+  const double leakage_w = gates * tech_.leakage_nw_per_gate * 1.0e-9;
+  e.power_mw = (dynamic_w + leakage_w) * 1.0e3;
+  return e;
+}
+
+}  // namespace xpl::synth

@@ -1,0 +1,73 @@
+// Area / power / frequency estimation — the "synthesis backend".
+//
+// Given a component Netlist and its critical-path depth, the estimator
+// answers the three questions the paper's evaluation asks:
+//   * what is the maximum clock frequency (at a given synthesis effort)?
+//   * what is the area when synthesized *at* a target frequency? (area
+//     grows as timing tightens: figure F6's area/frequency tradeoff)
+//   * what is the power at that frequency and a given switching activity?
+#pragma once
+
+#include <string>
+
+#include "src/synth/netlist.hpp"
+#include "src/synth/tech.hpp"
+
+namespace xpl::synth {
+
+/// One synthesis run's results for a component.
+struct Estimate {
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  double fmax_mhz = 0.0;      ///< max frequency at full effort
+  double target_mhz = 0.0;    ///< the frequency it was synthesized for
+  bool feasible = true;       ///< target within fmax
+
+  std::string to_string() const;
+};
+
+class Estimator {
+ public:
+  explicit Estimator(Technology tech = Technology::umc130())
+      : tech_(tech) {}
+
+  const Technology& tech() const { return tech_; }
+
+  /// Frequency at nominal drive strengths (effort multiplier 1).
+  double nominal_fmax_mhz(double logic_levels) const;
+
+  /// Frequency at maximum synthesis effort (the macro/soft-IP flow).
+  double max_fmax_mhz(double logic_levels) const;
+
+  /// Frequency a full-custom implementation of the same microarchitecture
+  /// reaches (figure F6's upper curve).
+  double full_custom_fmax_mhz(double logic_levels) const;
+
+  /// Area multiplier needed to close timing at `target_mhz`
+  /// (1.0 below nominal fmax, grows to 1+effort_area_penalty at max).
+  double effort_multiplier(double logic_levels, double target_mhz) const;
+
+  /// Full estimate at `target_mhz` with switching `activity` (average
+  /// toggle probability per gate per cycle; NoC components run ~0.10-0.20
+  /// under load).
+  Estimate estimate(const Netlist& netlist, double logic_levels,
+                    double target_mhz, double activity = 0.15) const;
+
+  /// Area-only shortcut at relaxed timing.
+  double area_mm2(const Netlist& netlist) const;
+
+  /// Full-custom variant of estimate(): same microarchitecture laid out
+  /// by hand — denser, and able to chase timing down to
+  /// full_custom_delay_scale (figure F6's upper curve).
+  Estimate estimate_full_custom(const Netlist& netlist, double logic_levels,
+                                double target_mhz,
+                                double activity = 0.15) const;
+
+ private:
+  double effort_from_floor(double logic_levels, double target_mhz,
+                           double floor_scale) const;
+
+  Technology tech_;
+};
+
+}  // namespace xpl::synth

@@ -1,0 +1,82 @@
+// Structural netlist accounting in NAND2-equivalents.
+//
+// Component models (component_models.hpp) build a Netlist by summing the
+// costs of the RTL structures the simulator actually implements: FIFOs,
+// muxes, arbiters, CRC logic, LUT ROMs. Keeping the primitive costs in one
+// place makes the scaling behaviour — the *shape* of the paper's area
+// figures — a structural consequence of the microarchitecture rather than
+// a curve fit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace xpl::synth {
+
+/// Gate totals of one component. `combinational` is in NAND2-equivalents;
+/// `flops` counts DFFs (converted to NAND2-eq by the Technology).
+struct Netlist {
+  double combinational = 0.0;
+  double flops = 0.0;
+
+  Netlist& operator+=(const Netlist& other) {
+    combinational += other.combinational;
+    flops += other.flops;
+    return *this;
+  }
+  friend Netlist operator+(Netlist a, const Netlist& b) { return a += b; }
+  friend Netlist operator*(double k, Netlist n) {
+    n.combinational *= k;
+    n.flops *= k;
+    return n;
+  }
+
+  std::string to_string() const;
+};
+
+// ---- Primitive cost functions. All argument sizes are in bits unless
+// noted. Costs follow standard-cell synthesis folklore: MUX2 ~ 2.5
+// NAND2-eq, XOR2 ~ 2.5, a counter bit ~ 5 (flop charged separately).
+
+/// A bank of `count` D flip-flops.
+Netlist dff_bank(std::size_t count);
+
+/// `width`-bit N-to-1 multiplexer (tree of MUX2s).
+Netlist mux(std::size_t width, std::size_t inputs);
+
+/// Flop-based FIFO: depth x width storage, gray-coded pointers, full/empty
+/// compare. This is how xpipes lite buffers synthesize (no SRAM macros at
+/// these depths).
+Netlist fifo(std::size_t depth, std::size_t width);
+
+/// Binary up counter with carry chain.
+Netlist counter(std::size_t bits);
+
+/// Equality comparator.
+Netlist comparator(std::size_t bits);
+
+/// One-hot decoder of `n` outputs.
+Netlist decoder(std::size_t n);
+
+/// Fixed-priority arbiter over `n` requesters (priority chain).
+Netlist fixed_arbiter(std::size_t n);
+
+/// Round-robin arbiter: rotating pointer + double priority chain.
+Netlist rr_arbiter(std::size_t n);
+
+/// Parallel CRC generator/checker over `data_bits` with `crc_bits` state
+/// (the XOR forest of the unrolled LFSR).
+Netlist crc_logic(std::size_t data_bits, std::size_t crc_bits);
+
+/// Combinational ROM of `entries` words x `width` bits, as synthesized
+/// random logic (address decode + OR planes); entries below 2 are free.
+Netlist lut_rom(std::size_t entries, std::size_t width);
+
+/// Fixed right-shifter by a constant (wiring only) plus the valid masking.
+Netlist const_shifter(std::size_t width);
+
+/// Barrel shifter (`width` bits by log2(width) stages) — used by the flit
+/// alignment datapath in the NI packetizer.
+Netlist barrel_shifter(std::size_t width);
+
+}  // namespace xpl::synth

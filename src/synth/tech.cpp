@@ -1,0 +1,7 @@
+#include "src/synth/tech.hpp"
+
+namespace xpl::synth {
+
+Technology Technology::umc130() { return Technology{}; }
+
+}  // namespace xpl::synth

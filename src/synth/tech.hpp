@@ -1,0 +1,52 @@
+// 130 nm technology model.
+//
+// The paper reports Synopsys synthesis results on a 130 nm standard-cell
+// library (area in mm², power in mW, clock up to ~1 GHz). No EDA tools are
+// available here, so this model plays the role of that backend (DESIGN.md
+// §2): component netlists are expressed in NAND2-equivalent gates and DFF
+// counts (netlist.hpp), and this file supplies the technology constants
+// that map them to area, power and achievable frequency. The constants are
+// calibrated against the paper's anchor points (DESIGN.md §5) and are
+// deliberately exposed so studies can re-target them.
+#pragma once
+
+namespace xpl::synth {
+
+struct Technology {
+  // ---- Area.
+  double nand2_area_um2 = 5.1;  ///< one NAND2-equivalent, 130 nm std cell
+  double dff_nand2_eq = 5.2;    ///< a scan DFF in NAND2-equivalents
+  /// Post-synthesis to post-layout inflation: cell spreading, clock tree,
+  /// routing. Applied once per component.
+  double layout_overhead = 1.18;
+
+  // ---- Timing.
+  double gate_delay_ps = 45.0;  ///< per logic level at nominal drive
+  double setup_skew_ps = 150.0; ///< clk->q + setup + skew margin
+  /// Best-case per-level delay scale reachable by upsizing/restructuring
+  /// at maximum synthesis effort — the "macro based" flow of figure F6.
+  double min_delay_scale = 0.60;
+  /// What hand design reaches on the same path — the "full custom" curve
+  /// of figure F6 (the paper's 5x5 switch runs to ~1.5 GHz there).
+  double full_custom_delay_scale = 0.37;
+  /// Hand layout packs tighter than placed-and-routed std cells.
+  double full_custom_density = 0.85;
+
+  // ---- Synthesis effort/area tradeoff: area multiplier grows from 1 at
+  // relaxed timing to (1 + effort_area_penalty) at min_delay_scale.
+  double effort_area_penalty = 0.70;
+  double effort_shape = 1.6;  ///< exponent of the penalty curve
+
+  // ---- Power (1.2 V nominal).
+  double gate_energy_fj = 4.2;   ///< switched energy per gate-eq toggle
+  double flop_clock_fj = 2.4;    ///< clock-tree + internal toggle per DFF
+  double leakage_nw_per_gate = 15.0;
+  /// Extra switched power of upsized gates at high effort (sqrt of the
+  /// area multiplier — only the critical cone is upsized).
+  double effort_power_exponent = 0.5;
+
+  /// The default library used across the repository.
+  static Technology umc130();
+};
+
+}  // namespace xpl::synth

@@ -1,0 +1,88 @@
+#include "src/topology/deadlock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xpl::topology {
+
+std::string DeadlockReport::to_string(const Topology& topo) const {
+  if (deadlock_free) return "deadlock-free";
+  std::ostringstream os;
+  os << "channel-dependency cycle:";
+  for (const std::uint32_t l : cycle) {
+    const Link& link = topo.link(l);
+    os << " " << topo.switch_node(link.from).name << "->"
+       << topo.switch_node(link.to).name;
+  }
+  return os.str();
+}
+
+DeadlockReport check_deadlock(const Topology& topo,
+                              const RoutingTables& tables) {
+  // Dependency edges between link ids: route ... l1, l2 ... adds l1 -> l2.
+  const std::size_t n = topo.num_links();
+  std::vector<std::vector<std::uint32_t>> deps(n);
+
+  for (const auto& [pair, route] : tables.routes) {
+    const std::uint32_t src = pair.first;
+    std::uint32_t cur = topo.ni(src).switch_id;
+    std::int64_t prev_link = -1;
+    for (const std::uint8_t selector : route) {
+      const auto ports = topo.output_ports(cur);
+      require(selector < ports.size(), "check_deadlock: bad selector");
+      const PortRef& ref = ports[selector];
+      if (ref.kind == PortRef::Kind::kNi) break;  // ejection channel
+      if (prev_link >= 0) {
+        deps[static_cast<std::size_t>(prev_link)].push_back(ref.id);
+      }
+      prev_link = ref.id;
+      cur = topo.link(ref.id).to;
+    }
+  }
+  for (auto& d : deps) {
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+
+  // Iterative DFS cycle detection with path recovery.
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<std::uint8_t> color(n, kWhite);
+  std::vector<std::int64_t> parent(n, -1);
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    // Stack of (node, next-child-index).
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{root, 0}};
+    color[root] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      if (child < deps[node].size()) {
+        const std::uint32_t next = deps[node][child++];
+        if (color[next] == kGrey) {
+          // Found a cycle: walk back from `node` to `next`.
+          DeadlockReport report;
+          report.deadlock_free = false;
+          report.cycle.push_back(next);
+          for (std::uint32_t s = node; s != next;) {
+            report.cycle.push_back(s);
+            XPL_ASSERT(parent[s] >= 0);
+            s = static_cast<std::uint32_t>(parent[s]);
+          }
+          std::reverse(report.cycle.begin(), report.cycle.end());
+          return report;
+        }
+        if (color[next] == kWhite) {
+          color[next] = kGrey;
+          parent[next] = node;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return DeadlockReport{};
+}
+
+}  // namespace xpl::topology

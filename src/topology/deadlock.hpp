@@ -1,0 +1,34 @@
+// Channel-dependency-graph deadlock analysis.
+//
+// Wormhole networks deadlock when routes create a cycle in the channel
+// dependency graph (Dally & Seitz). The xpipesCompiler runs this check on
+// the routing tables before instantiating a network: XY routes on meshes
+// pass by construction; arbitrary shortest-path routes on rings/tori may
+// not, and the flow reports the offending cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topology/routing.hpp"
+#include "src/topology/topology.hpp"
+
+namespace xpl::topology {
+
+struct DeadlockReport {
+  bool deadlock_free = true;
+  /// One cycle of link ids witnessing the problem (empty when free).
+  std::vector<std::uint32_t> cycle;
+
+  std::string to_string(const Topology& topo) const;
+};
+
+/// Builds the channel dependency graph induced by `tables` and searches it
+/// for cycles. Channels are the topology's switch-to-switch links (NI
+/// injection/ejection channels cannot participate in cycles and are
+/// excluded).
+DeadlockReport check_deadlock(const Topology& topo,
+                              const RoutingTables& tables);
+
+}  // namespace xpl::topology

@@ -1,0 +1,70 @@
+#include "src/topology/dot.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace xpl::topology {
+
+std::string to_dot(const Topology& topo, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph noc {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, style=filled, fillcolor=lightsteelblue];\n";
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    const auto& node = topo.switch_node(s);
+    os << "  sw" << s << " [label=\"" << node.name << "\"";
+    if (node.x >= 0 && node.y >= 0) {
+      os << ", pos=\"" << node.x << "," << node.y << "!\"";
+    }
+    os << "];\n";
+  }
+  if (options.show_nis) {
+    for (std::uint32_t n = 0; n < topo.num_nis(); ++n) {
+      const auto& ni = topo.ni(n);
+      os << "  ni" << n << " [label=\"" << ni.name << "\", shape=ellipse, "
+         << "fillcolor=" << (ni.initiator ? "palegreen" : "khaki")
+         << "];\n";
+      os << "  ni" << n << " -> sw" << ni.switch_id
+         << " [dir=both, style=dashed];\n";
+    }
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> drawn;
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(l);
+    bool duplex = false;
+    if (options.collapse_duplex) {
+      if (drawn.count({link.to, link.from})) continue;  // already drawn
+      // Is there a reverse link with the same depth?
+      for (std::uint32_t r = 0; r < topo.num_links(); ++r) {
+        const Link& rev = topo.link(r);
+        if (rev.from == link.to && rev.to == link.from &&
+            rev.stages == link.stages) {
+          duplex = true;
+          break;
+        }
+      }
+    }
+    drawn.insert({link.from, link.to});
+    os << "  sw" << link.from << " -> sw" << link.to;
+    os << " [";
+    if (duplex) os << "dir=both";
+    if (options.label_stages && link.stages > 0) {
+      os << (duplex ? ", " : "") << "label=\"" << link.stages << "\"";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void save_dot(const Topology& topo, const std::string& path,
+              const DotOptions& options) {
+  std::ofstream out(path);
+  require(out.good(), "save_dot: cannot open " + path);
+  out << to_dot(topo, options);
+}
+
+}  // namespace xpl::topology

@@ -1,0 +1,27 @@
+// Graphviz export of topologies.
+//
+// Design-space exploration produces candidate networks worth eyeballing;
+// to_dot renders a topology (switches, NIs, links with pipeline depths)
+// as a `dot` digraph. Duplex link pairs collapse to a single double-headed
+// edge to keep diagrams readable.
+#pragma once
+
+#include <string>
+
+#include "src/topology/topology.hpp"
+
+namespace xpl::topology {
+
+struct DotOptions {
+  bool show_nis = true;          ///< draw NI nodes and attachment edges
+  bool collapse_duplex = true;   ///< one edge per duplex pair
+  bool label_stages = true;      ///< annotate pipelined links
+};
+
+std::string to_dot(const Topology& topo, const DotOptions& options = {});
+
+/// Writes to_dot() output to `path`.
+void save_dot(const Topology& topo, const std::string& path,
+              const DotOptions& options = {});
+
+}  // namespace xpl::topology

@@ -1,0 +1,166 @@
+#include "src/topology/generators.hpp"
+
+#include <string>
+
+namespace xpl::topology {
+
+namespace {
+
+void attach_plan(Topology& topo, const NiPlan& plan) {
+  const std::size_t n = topo.num_switches();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::size_t ini =
+        plan.initiators.empty() ? 1 : plan.initiators.at(s);
+    const std::size_t tgt = plan.targets.empty() ? 0 : plan.targets.at(s);
+    for (std::size_t i = 0; i < ini; ++i) topo.attach_initiator(s);
+    for (std::size_t i = 0; i < tgt; ++i) topo.attach_target(s);
+  }
+}
+
+}  // namespace
+
+NiPlan NiPlan::uniform(std::size_t num_switches, std::size_t ini_each,
+                       std::size_t tgt_each) {
+  NiPlan plan;
+  plan.initiators.assign(num_switches, ini_each);
+  plan.targets.assign(num_switches, tgt_each);
+  return plan;
+}
+
+Topology make_mesh(std::size_t width, std::size_t height, const NiPlan& plan,
+                   std::size_t link_stages) {
+  require(width >= 1 && height >= 1, "make_mesh: degenerate dimensions");
+  Topology topo;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::uint32_t id = topo.add_switch(
+          "sw_" + std::to_string(x) + "_" + std::to_string(y));
+      topo.switch_node(id).x = static_cast<int>(x);
+      topo.switch_node(id).y = static_cast<int>(y);
+    }
+  }
+  auto at = [width](std::size_t x, std::size_t y) {
+    return static_cast<std::uint32_t>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) topo.add_duplex(at(x, y), at(x + 1, y), link_stages);
+      if (y + 1 < height) topo.add_duplex(at(x, y), at(x, y + 1), link_stages);
+    }
+  }
+  attach_plan(topo, plan);
+  return topo;
+}
+
+Topology make_torus(std::size_t width, std::size_t height, const NiPlan& plan,
+                    std::size_t link_stages) {
+  require(width >= 3 && height >= 3,
+          "make_torus: need at least 3x3 (wrap links would duplicate)");
+  Topology topo;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::uint32_t id = topo.add_switch(
+          "sw_" + std::to_string(x) + "_" + std::to_string(y));
+      topo.switch_node(id).x = static_cast<int>(x);
+      topo.switch_node(id).y = static_cast<int>(y);
+    }
+  }
+  auto at = [width](std::size_t x, std::size_t y) {
+    return static_cast<std::uint32_t>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      topo.add_duplex(at(x, y), at((x + 1) % width, y), link_stages);
+      topo.add_duplex(at(x, y), at(x, (y + 1) % height), link_stages);
+    }
+  }
+  attach_plan(topo, plan);
+  return topo;
+}
+
+Topology make_ring(std::size_t count, const NiPlan& plan,
+                   std::size_t link_stages) {
+  require(count >= 3, "make_ring: need at least 3 switches");
+  Topology topo;
+  for (std::size_t i = 0; i < count; ++i) topo.add_switch();
+  for (std::size_t i = 0; i < count; ++i) {
+    topo.add_duplex(static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>((i + 1) % count), link_stages);
+  }
+  attach_plan(topo, plan);
+  return topo;
+}
+
+Topology make_star(std::size_t leaves, const NiPlan& plan,
+                   std::size_t link_stages) {
+  require(leaves >= 1, "make_star: need at least one leaf");
+  Topology topo;
+  const std::uint32_t hub = topo.add_switch("hub");
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::uint32_t leaf = topo.add_switch("leaf" + std::to_string(i));
+    topo.add_duplex(hub, leaf, link_stages);
+  }
+  attach_plan(topo, plan);
+  return topo;
+}
+
+Topology make_spidergon(std::size_t count, const NiPlan& plan,
+                        std::size_t link_stages) {
+  require(count >= 4 && count % 2 == 0,
+          "make_spidergon: need an even count >= 4");
+  Topology topo;
+  for (std::size_t i = 0; i < count; ++i) topo.add_switch();
+  for (std::size_t i = 0; i < count; ++i) {
+    topo.add_duplex(static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>((i + 1) % count), link_stages);
+  }
+  for (std::size_t i = 0; i < count / 2; ++i) {
+    topo.add_duplex(static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>(i + count / 2), link_stages);
+  }
+  attach_plan(topo, plan);
+  return topo;
+}
+
+Topology make_binary_tree(std::size_t levels, const NiPlan& plan,
+                          std::size_t link_stages) {
+  require(levels >= 1, "make_binary_tree: need at least one level");
+  Topology topo;
+  const std::size_t count = (std::size_t{1} << levels) - 1;
+  for (std::size_t i = 0; i < count; ++i) topo.add_switch();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < count) {
+      topo.add_duplex(static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(left), link_stages);
+    }
+    if (right < count) {
+      topo.add_duplex(static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(right), link_stages);
+    }
+  }
+  attach_plan(topo, plan);
+  return topo;
+}
+
+Topology make_paper_case_study(std::size_t link_stages) {
+  // 3 columns x 4 rows of switches; 8 processors and 11 slaves as in the
+  // paper's "Power of Abstraction" mesh study. Processors sit on the outer
+  // columns, slaves fill the remaining attachment points — the exact
+  // placement is not given in the paper, so we spread NIs to keep the
+  // heavier 6x4 switches in the middle column, matching the two switch
+  // configurations (4x4 and 6x4) it reports.
+  NiPlan plan;
+  plan.initiators = {1, 0, 1,   // row 0
+                     1, 0, 1,   // row 1
+                     1, 0, 1,   // row 2
+                     1, 0, 1};  // row 3
+  plan.targets = {0, 2, 1,      // row 0
+                  0, 2, 1,      // row 1
+                  0, 2, 0,      // row 2
+                  1, 2, 0};     // row 3
+  return make_mesh(3, 4, plan, link_stages);
+}
+
+}  // namespace xpl::topology

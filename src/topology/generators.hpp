@@ -1,0 +1,63 @@
+// Topology library: regular topology generators.
+//
+// The paper's design flow selects among a library of candidate topologies
+// (SunMap's "topology library") before instantiating it through the
+// xpipesCompiler. These generators build the usual suspects; NIs are
+// attached either by the caller or through the `initiators`/`targets`
+// per-switch counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/topology.hpp"
+
+namespace xpl::topology {
+
+/// Per-switch NI attachment plan used by the generators: entry i gives the
+/// number of initiator and target NIs on switch i. An empty vector means
+/// one initiator per switch (a common default for symmetric studies).
+struct NiPlan {
+  std::vector<std::size_t> initiators;
+  std::vector<std::size_t> targets;
+
+  /// Uniform plan: the same counts on every switch.
+  static NiPlan uniform(std::size_t num_switches, std::size_t ini_each,
+                        std::size_t tgt_each);
+};
+
+/// width x height 2D mesh with duplex grid links. Switch (x, y) has id
+/// y*width + x and its coordinates set for XY routing.
+Topology make_mesh(std::size_t width, std::size_t height, const NiPlan& plan,
+                   std::size_t link_stages = 0);
+
+/// 2D torus: mesh plus wrap-around duplex links.
+Topology make_torus(std::size_t width, std::size_t height, const NiPlan& plan,
+                    std::size_t link_stages = 0);
+
+/// Bidirectional ring of `count` switches.
+Topology make_ring(std::size_t count, const NiPlan& plan,
+                   std::size_t link_stages = 0);
+
+/// Star: switch 0 is the hub, switches 1..count-1 are leaves with duplex
+/// links to the hub.
+Topology make_star(std::size_t leaves, const NiPlan& plan,
+                   std::size_t link_stages = 0);
+
+/// Spidergon (STMicroelectronics): ring plus cross links to the opposite
+/// switch; `count` must be even.
+Topology make_spidergon(std::size_t count, const NiPlan& plan,
+                        std::size_t link_stages = 0);
+
+/// Complete binary tree with `levels` levels; duplex parent-child links.
+/// NIs attach per plan (indexed by switch id, root = 0, breadth first).
+Topology make_binary_tree(std::size_t levels, const NiPlan& plan,
+                          std::size_t link_stages = 0);
+
+/// The paper's mesh case study: a 3x4 mesh hosting 8 processors
+/// (initiator NIs) and 11 slaves (target NIs), 19 NIs spread over the 12
+/// switches. Returns the topology; initiator NI ids are 0..7 within the
+/// NI id space in attachment order.
+Topology make_paper_case_study(std::size_t link_stages = 0);
+
+}  // namespace xpl::topology

@@ -1,0 +1,261 @@
+#include "src/topology/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace xpl::topology {
+
+const char* routing_name(RoutingAlgorithm algorithm) {
+  switch (algorithm) {
+    case RoutingAlgorithm::kShortestPath:
+      return "shortest-path";
+    case RoutingAlgorithm::kXY:
+      return "xy";
+    case RoutingAlgorithm::kUpDown:
+      return "up-down";
+  }
+  return "?";
+}
+
+namespace {
+
+// BFS over switches; returns the link ids of a shortest path from_sw ->
+// to_sw (empty if from_sw == to_sw). Deterministic: links are explored in
+// insertion order.
+std::vector<std::uint32_t> bfs_path(const Topology& topo,
+                                    std::uint32_t from_sw,
+                                    std::uint32_t to_sw) {
+  const std::size_t n = topo.num_switches();
+  std::vector<std::int64_t> via_link(n, -1);
+  std::vector<bool> seen(n, false);
+  std::deque<std::uint32_t> queue{from_sw};
+  seen[from_sw] = true;
+  while (!queue.empty() && !seen[to_sw]) {
+    const std::uint32_t s = queue.front();
+    queue.pop_front();
+    for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+      const Link& link = topo.link(l);
+      if (link.from == s && !seen[link.to]) {
+        seen[link.to] = true;
+        via_link[link.to] = l;
+        queue.push_back(link.to);
+      }
+    }
+  }
+  require(seen[to_sw], "compute_route: destination switch unreachable");
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t s = to_sw; s != from_sw;) {
+    const auto l = static_cast<std::uint32_t>(via_link[s]);
+    path.push_back(l);
+    s = topo.link(l).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// Dimension-order: full X displacement, then Y. Requires coordinates and
+// a grid link in the needed direction at every step.
+std::vector<std::uint32_t> xy_path(const Topology& topo,
+                                   std::uint32_t from_sw,
+                                   std::uint32_t to_sw) {
+  std::vector<std::uint32_t> path;
+  std::uint32_t cur = from_sw;
+  auto step_toward = [&](bool x_dim) {
+    const SwitchNode& here = topo.switch_node(cur);
+    const SwitchNode& goal = topo.switch_node(to_sw);
+    require(here.x >= 0 && here.y >= 0 && goal.x >= 0 && goal.y >= 0,
+            "compute_route: XY routing needs grid coordinates");
+    const int want = x_dim ? (goal.x > here.x ? 1 : goal.x < here.x ? -1 : 0)
+                           : (goal.y > here.y ? 1 : goal.y < here.y ? -1 : 0);
+    if (want == 0) return false;
+    for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+      const Link& link = topo.link(l);
+      if (link.from != cur) continue;
+      const SwitchNode& next = topo.switch_node(link.to);
+      const int dx = next.x - here.x;
+      const int dy = next.y - here.y;
+      if (x_dim && dx == want && dy == 0) {
+        path.push_back(l);
+        cur = link.to;
+        return true;
+      }
+      if (!x_dim && dy == want && dx == 0) {
+        path.push_back(l);
+        cur = link.to;
+        return true;
+      }
+    }
+    throw Error("compute_route: grid link missing for XY step");
+  };
+  while (step_toward(/*x_dim=*/true)) {
+  }
+  while (step_toward(/*x_dim=*/false)) {
+  }
+  XPL_ASSERT(cur == to_sw);
+  return path;
+}
+
+// Up*/down* routing (Autonet): assign each switch a BFS level from switch
+// 0; a link is "up" when it goes to a strictly lower (level, id) pair.
+// Legal paths take zero or more up links then zero or more down links —
+// the channel dependency graph over such paths is acyclic on any
+// topology. BFS over (switch, phase) states finds the shortest legal
+// path.
+std::vector<std::uint32_t> updown_path(const Topology& topo,
+                                       std::uint32_t from_sw,
+                                       std::uint32_t to_sw) {
+  const std::size_t n = topo.num_switches();
+  std::vector<std::size_t> level(n, static_cast<std::size_t>(-1));
+  {
+    std::deque<std::uint32_t> queue{0};
+    level[0] = 0;
+    while (!queue.empty()) {
+      const std::uint32_t s = queue.front();
+      queue.pop_front();
+      for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+        const Link& link = topo.link(l);
+        if (link.from == s && level[link.to] == static_cast<std::size_t>(-1)) {
+          level[link.to] = level[s] + 1;
+          queue.push_back(link.to);
+        }
+      }
+    }
+  }
+  auto is_up = [&](const Link& link) {
+    return level[link.to] < level[link.from] ||
+           (level[link.to] == level[link.from] && link.to < link.from);
+  };
+
+  // States: phase 0 = still allowed to go up, phase 1 = down only.
+  constexpr std::size_t kPhases = 2;
+  std::vector<std::int64_t> via(n * kPhases, -2);  // -2 unseen, -1 start
+  auto idx = [&](std::uint32_t sw, std::size_t phase) {
+    return sw * kPhases + phase;
+  };
+  std::deque<std::pair<std::uint32_t, std::size_t>> queue;
+  queue.emplace_back(from_sw, 0);
+  via[idx(from_sw, 0)] = -1;
+  std::int64_t final_state = -1;
+  while (!queue.empty()) {
+    const auto [s, phase] = queue.front();
+    queue.pop_front();
+    if (s == to_sw) {
+      final_state = static_cast<std::int64_t>(idx(s, phase));
+      break;
+    }
+    for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+      const Link& link = topo.link(l);
+      if (link.from != s) continue;
+      const bool up = is_up(link);
+      if (phase == 1 && up) continue;  // no up after down
+      const std::size_t next_phase = up ? phase : 1;
+      if (via[idx(link.to, next_phase)] == -2) {
+        via[idx(link.to, next_phase)] =
+            static_cast<std::int64_t>(idx(s, phase)) * 0x100000000ll +
+            static_cast<std::int64_t>(l);
+        queue.emplace_back(link.to, next_phase);
+      }
+    }
+  }
+  require(final_state >= 0, "compute_route: no up*/down* path");
+  std::vector<std::uint32_t> path;
+  std::int64_t state = final_state;
+  while (via[static_cast<std::size_t>(state)] != -1) {
+    const std::int64_t packed = via[static_cast<std::size_t>(state)];
+    path.push_back(static_cast<std::uint32_t>(packed & 0xFFFFFFFFll));
+    state = packed >> 32;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+Route compute_route(const Topology& topo, std::uint32_t src,
+                    std::uint32_t dst, RoutingAlgorithm algorithm) {
+  require(src < topo.num_nis() && dst < topo.num_nis(),
+          "compute_route: NI id out of range");
+  require(src != dst, "compute_route: src and dst NIs are the same");
+  const std::uint32_t from_sw = topo.ni(src).switch_id;
+  const std::uint32_t to_sw = topo.ni(dst).switch_id;
+
+  std::vector<std::uint32_t> links;
+  switch (algorithm) {
+    case RoutingAlgorithm::kShortestPath:
+      links = bfs_path(topo, from_sw, to_sw);
+      break;
+    case RoutingAlgorithm::kXY:
+      links = xy_path(topo, from_sw, to_sw);
+      break;
+    case RoutingAlgorithm::kUpDown:
+      links = updown_path(topo, from_sw, to_sw);
+      break;
+  }
+
+  // Translate the link path into per-switch output-port selectors.
+  Route route;
+  std::uint32_t cur = from_sw;
+  for (const std::uint32_t l : links) {
+    const std::size_t port =
+        topo.output_index(cur, PortRef{PortRef::Kind::kLink, l});
+    XPL_ASSERT(port != Topology::npos);
+    route.push_back(static_cast<std::uint8_t>(port));
+    cur = topo.link(l).to;
+  }
+  // Final hop: exit the last switch toward the destination NI.
+  const std::size_t exit_port =
+      topo.output_index(cur, PortRef{PortRef::Kind::kNi, dst});
+  XPL_ASSERT(exit_port != Topology::npos);
+  route.push_back(static_cast<std::uint8_t>(exit_port));
+  return route;
+}
+
+const Route& RoutingTables::at(std::uint32_t src, std::uint32_t dst) const {
+  const auto it = routes.find({src, dst});
+  require(it != routes.end(), "RoutingTables: no route for pair");
+  return it->second;
+}
+
+std::size_t RoutingTables::max_hops() const {
+  std::size_t hops = 0;
+  for (const auto& [key, route] : routes) {
+    hops = std::max(hops, route.size());
+  }
+  return hops;
+}
+
+RoutingTables compute_all_routes(const Topology& topo,
+                                 RoutingAlgorithm algorithm) {
+  RoutingTables tables;
+  for (const std::uint32_t ini : topo.initiator_ids()) {
+    for (const std::uint32_t tgt : topo.target_ids()) {
+      tables.routes[{ini, tgt}] = compute_route(topo, ini, tgt, algorithm);
+      tables.routes[{tgt, ini}] = compute_route(topo, tgt, ini, algorithm);
+    }
+  }
+  return tables;
+}
+
+std::vector<std::uint32_t> route_switch_path(const Topology& topo,
+                                             std::uint32_t src,
+                                             const Route& route) {
+  std::vector<std::uint32_t> path;
+  std::uint32_t cur = topo.ni(src).switch_id;
+  path.push_back(cur);
+  for (std::size_t hop = 0; hop < route.size(); ++hop) {
+    const auto ports = topo.output_ports(cur);
+    require(route[hop] < ports.size(),
+            "route_switch_path: selector out of range");
+    const PortRef& ref = ports[route[hop]];
+    if (ref.kind == PortRef::Kind::kNi) {
+      require(hop + 1 == route.size(),
+              "route_switch_path: route continues past an NI exit");
+      break;
+    }
+    cur = topo.link(ref.id).to;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace xpl::topology

@@ -1,0 +1,61 @@
+// Source-route computation — the routing-function half of the paper's
+// "topology selection / routing function co-design" step.
+//
+// xpipes lite switches are source-routed: the whole path is decided at the
+// initiator and carried in the header. The compiler computes one Route per
+// (source NI, destination NI) pair with one of two algorithms:
+//
+//  * kShortestPath — BFS over the link graph with deterministic tie
+//    breaking (insertion order), valid for any topology;
+//  * kXY — dimension-order routing, defined only for switches with grid
+//    coordinates (make_mesh/make_torus); provably deadlock-free on meshes;
+//  * kUpDown — up*/down* routing over a BFS spanning order (Autonet):
+//    shortest path that never takes an up link after a down link;
+//    deadlock-free on any topology, used for rings/stars/spidergons.
+//
+// Each Route entry is the *output port index* to take at the successive
+// switches of the path, ending with the port that exits to the
+// destination NI (topology.hpp's port numbering).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/packet/header.hpp"
+#include "src/topology/topology.hpp"
+
+namespace xpl::topology {
+
+enum class RoutingAlgorithm : std::uint8_t { kShortestPath, kXY, kUpDown };
+
+const char* routing_name(RoutingAlgorithm algorithm);
+
+/// Computes the source route from NI `src` to NI `dst`. Throws xpl::Error
+/// if no path exists or kXY is requested without grid coordinates.
+Route compute_route(const Topology& topo, std::uint32_t src,
+                    std::uint32_t dst, RoutingAlgorithm algorithm);
+
+/// All-pairs routes the compiler programs into the NI LUTs: initiator ->
+/// every target (request routes) and target -> every initiator (response
+/// routes).
+struct RoutingTables {
+  /// routes[{src, dst}] — present for every initiator->target and
+  /// target->initiator pair.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Route> routes;
+
+  const Route& at(std::uint32_t src, std::uint32_t dst) const;
+  /// Longest route in the table, in hops (switch traversals).
+  std::size_t max_hops() const;
+};
+
+RoutingTables compute_all_routes(const Topology& topo,
+                                 RoutingAlgorithm algorithm);
+
+/// Switch sequence visited by a route starting at NI `src` (used by the
+/// deadlock checker and tests). Includes the injection switch first.
+std::vector<std::uint32_t> route_switch_path(const Topology& topo,
+                                             std::uint32_t src,
+                                             const Route& route);
+
+}  // namespace xpl::topology

@@ -1,0 +1,161 @@
+#include "src/traffic/stats.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace xpl::traffic {
+
+std::string LatencyStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " min=" << min << " max=" << max
+     << " p50=" << p50 << " p95=" << p95;
+  return os.str();
+}
+
+LatencyStats collect_latency(noc::Network& network) {
+  std::vector<std::uint64_t> samples;
+  for (std::size_t i = 0; i < network.num_initiators(); ++i) {
+    for (const auto& result : network.master(i).completed()) {
+      if (result.complete_cycle > result.issue_cycle &&
+          !result.data.empty()) {
+        samples.push_back(result.complete_cycle - result.issue_cycle);
+      } else if (result.complete_cycle > result.issue_cycle &&
+                 result.resp != ocp::Resp::kNull && result.data.empty()) {
+        // Non-posted write completions also carry latency.
+        samples.push_back(result.complete_cycle - result.issue_cycle);
+      }
+    }
+  }
+  LatencyStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.min = samples.front();
+  stats.max = samples.back();
+  double sum = 0;
+  for (const auto s : samples) sum += static_cast<double>(s);
+  stats.mean = sum / static_cast<double>(samples.size());
+  auto percentile = [&](double p) {
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1));
+    return static_cast<double>(samples[idx]);
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  return stats;
+}
+
+std::string RunStats::to_string() const {
+  std::ostringstream os;
+  os << "txns=" << transactions << " cycles=" << cycles
+     << " thru=" << throughput << " txn/cy; latency{" << latency.to_string()
+     << "} link_flits=" << link_flits << " retx=" << retransmissions
+     << " util=" << avg_link_utilization;
+  return os.str();
+}
+
+RunStats collect_run(noc::Network& network, std::uint64_t cycles) {
+  RunStats stats;
+  stats.latency = collect_latency(network);
+  for (std::size_t i = 0; i < network.num_initiators(); ++i) {
+    stats.transactions += network.master(i).completed().size();
+  }
+  stats.cycles = cycles;
+  stats.throughput = cycles == 0 ? 0.0
+                                 : static_cast<double>(stats.transactions) /
+                                       static_cast<double>(cycles);
+  stats.link_flits = network.total_link_flits();
+  stats.retransmissions = network.total_retransmissions();
+  const std::size_t links = network.links().size();
+  stats.avg_link_utilization =
+      (cycles == 0 || links == 0)
+          ? 0.0
+          : static_cast<double>(stats.link_flits) /
+                (static_cast<double>(cycles) * static_cast<double>(links));
+  return stats;
+}
+
+double LatencyHistogram::cdf(std::uint64_t latency) const {
+  if (total == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if ((i + 1) * bin_width - 1 <= latency) {
+      below += bins[i];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total);
+}
+
+std::string LatencyHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i] == 0) continue;
+    os << "[" << i * bin_width << "," << (i + 1) * bin_width << "): "
+       << bins[i] << "\n";
+  }
+  return os.str();
+}
+
+LatencyHistogram collect_histogram(noc::Network& network,
+                                   std::uint64_t bin_width) {
+  require(bin_width >= 1, "collect_histogram: bin_width must be >= 1");
+  LatencyHistogram hist;
+  hist.bin_width = bin_width;
+  for (std::size_t i = 0; i < network.num_initiators(); ++i) {
+    for (const auto& result : network.master(i).completed()) {
+      if (result.complete_cycle <= result.issue_cycle) continue;
+      const std::uint64_t latency =
+          result.complete_cycle - result.issue_cycle;
+      const std::size_t bin = latency / bin_width;
+      if (bin >= hist.bins.size()) hist.bins.resize(bin + 1, 0);
+      ++hist.bins[bin];
+      ++hist.total;
+    }
+  }
+  return hist;
+}
+
+std::vector<LinkLoad> collect_link_loads(noc::Network& network,
+                                         std::uint64_t cycles) {
+  std::vector<LinkLoad> loads;
+  for (const auto& link : network.links()) {
+    LinkLoad load;
+    load.name = link->name();
+    load.flits = link->flits_carried();
+    load.corrupted = link->flits_corrupted();
+    load.utilization = cycles == 0 ? 0.0
+                                   : static_cast<double>(load.flits) /
+                                         static_cast<double>(cycles);
+    loads.push_back(std::move(load));
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const LinkLoad& a, const LinkLoad& b) {
+              return a.flits > b.flits;
+            });
+  return loads;
+}
+
+std::size_t write_latency_csv(noc::Network& network,
+                              const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "write_latency_csv: cannot open " + path);
+  out << "initiator,thread,issue_cycle,complete_cycle,latency,beats\n";
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < network.num_initiators(); ++i) {
+    for (const auto& result : network.master(i).completed()) {
+      out << i << "," << result.thread_id << "," << result.issue_cycle
+          << "," << result.complete_cycle << ","
+          << (result.complete_cycle - result.issue_cycle) << ","
+          << result.data.size() << "\n";
+      ++rows;
+    }
+  }
+  return rows;
+}
+
+}  // namespace xpl::traffic

@@ -1,0 +1,76 @@
+// Simulation statistics: transaction latency, throughput, link load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/noc/network.hpp"
+
+namespace xpl::traffic {
+
+/// Latency distribution summary over completed transactions.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Gathers transaction latencies from every master core in `network`.
+/// Only response-carrying transactions (reads, non-posted writes) have
+/// meaningful end-to-end latency; posted writes complete at issue and are
+/// excluded.
+LatencyStats collect_latency(noc::Network& network);
+
+/// Whole-run summary used by benches.
+struct RunStats {
+  LatencyStats latency;
+  std::uint64_t transactions = 0;    ///< completed (all kinds)
+  std::uint64_t cycles = 0;
+  double throughput = 0.0;           ///< transactions per cycle
+  std::uint64_t link_flits = 0;
+  std::uint64_t retransmissions = 0;
+  double avg_link_utilization = 0.0; ///< flits per link per cycle
+
+  std::string to_string() const;
+};
+
+RunStats collect_run(noc::Network& network, std::uint64_t cycles);
+
+/// Latency histogram with fixed-width bins, for distribution plots.
+struct LatencyHistogram {
+  std::uint64_t bin_width = 10;       ///< cycles per bin
+  std::vector<std::uint64_t> bins;    ///< bins[i] counts [i*w, (i+1)*w)
+  std::uint64_t total = 0;
+
+  /// Fraction of samples at or below `latency`.
+  double cdf(std::uint64_t latency) const;
+  std::string to_string() const;
+};
+
+LatencyHistogram collect_histogram(noc::Network& network,
+                                   std::uint64_t bin_width = 10);
+
+/// Per-link load: flits carried / cycles, sorted hottest first.
+struct LinkLoad {
+  std::string name;
+  std::uint64_t flits = 0;
+  std::uint64_t corrupted = 0;
+  double utilization = 0.0;
+};
+
+std::vector<LinkLoad> collect_link_loads(noc::Network& network,
+                                         std::uint64_t cycles);
+
+/// Writes per-transaction records as CSV (initiator, thread, issue cycle,
+/// complete cycle, latency, beats) — one row per completed transaction.
+/// Returns the number of rows written.
+std::size_t write_latency_csv(noc::Network& network,
+                              const std::string& path);
+
+}  // namespace xpl::traffic

@@ -1,0 +1,203 @@
+#include "src/traffic/traffic.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace xpl::traffic {
+
+const char* pattern_name(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kUniformRandom:
+      return "uniform";
+    case Pattern::kHotspot:
+      return "hotspot";
+    case Pattern::kPermutation:
+      return "permutation";
+    case Pattern::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+std::vector<TraceEntry> parse_trace(const std::string& text) {
+  std::vector<TraceEntry> trace;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    TraceEntry entry;
+    std::string cmd;
+    if (!(ls >> entry.cycle)) continue;  // blank / comment-only line
+    if (!(ls >> entry.initiator >> entry.target >> cmd >>
+          entry.addr_offset >> entry.burst)) {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": expected <cycle> <ini> <tgt> <cmd> <offset> <burst>");
+    }
+    if (cmd == "read") {
+      entry.cmd = ocp::Cmd::kRead;
+    } else if (cmd == "write") {
+      entry.cmd = ocp::Cmd::kWrite;
+    } else if (cmd == "writenp") {
+      entry.cmd = ocp::Cmd::kWriteNp;
+    } else {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": unknown command '" + cmd + "'");
+    }
+    require(entry.burst >= 1, "trace line " + std::to_string(lineno) +
+                                  ": burst must be >= 1");
+    if (!trace.empty()) {
+      require(entry.cycle >= trace.back().cycle,
+              "trace line " + std::to_string(lineno) +
+                  ": cycles must be non-decreasing");
+    }
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+std::vector<TraceEntry> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_trace: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_trace(text.str());
+}
+
+TracePlayer::TracePlayer(noc::Network& network, std::vector<TraceEntry> trace)
+    : network_(network), trace_(std::move(trace)), rng_(0xFEED) {
+  for (const TraceEntry& entry : trace_) {
+    require(entry.initiator < network.num_initiators(),
+            "TracePlayer: initiator index out of range");
+    require(entry.target < network.num_targets(),
+            "TracePlayer: target index out of range");
+    require(entry.burst <= network.config().max_burst,
+            "TracePlayer: burst exceeds network max_burst");
+  }
+}
+
+void TracePlayer::step() {
+  while (next_ < trace_.size() && trace_[next_].cycle <= cycle_) {
+    const TraceEntry& entry = trace_[next_];
+    ocp::Transaction txn;
+    txn.cmd = entry.cmd;
+    txn.addr = network_.target_base(entry.target) + entry.addr_offset;
+    txn.burst_len = entry.burst;
+    if (entry.cmd != ocp::Cmd::kRead) {
+      for (std::uint32_t b = 0; b < entry.burst; ++b) {
+        txn.data.push_back(rng_.next_u64());
+      }
+    }
+    network_.master(entry.initiator).push_transaction(std::move(txn));
+    ++next_;
+  }
+  ++cycle_;
+}
+
+void TracePlayer::run(std::size_t cycles) {
+  for (std::size_t c = 0; c < cycles; ++c) {
+    step();
+    network_.step();
+  }
+}
+
+TrafficDriver::TrafficDriver(noc::Network& network,
+                             const TrafficConfig& config)
+    : network_(network), config_(config), rng_(config.seed) {
+  require(network.num_targets() > 0, "TrafficDriver: no targets");
+  require(config.min_burst >= 1 && config.min_burst <= config.max_burst,
+          "TrafficDriver: bad burst range");
+  require(config.max_burst <= network.config().max_burst,
+          "TrafficDriver: burst exceeds network max_burst");
+  if (config.pattern == Pattern::kWeighted) {
+    require(config.weights.size() == network.num_initiators(),
+            "TrafficDriver: weights rows must match initiators");
+    cumulative_.resize(config.weights.size());
+    for (std::size_t i = 0; i < config.weights.size(); ++i) {
+      require(config.weights[i].size() == network.num_targets(),
+              "TrafficDriver: weights cols must match targets");
+      double sum = 0;
+      for (double w : config.weights[i]) {
+        require(w >= 0, "TrafficDriver: negative weight");
+        sum += w;
+        cumulative_[i].push_back(sum);
+      }
+    }
+  }
+  if (config.pattern == Pattern::kHotspot) {
+    require(config.hotspot_target < network.num_targets(),
+            "TrafficDriver: hotspot target out of range");
+  }
+}
+
+std::size_t TrafficDriver::pick_target(std::size_t initiator) {
+  const std::size_t num_targets = network_.num_targets();
+  switch (config_.pattern) {
+    case Pattern::kUniformRandom:
+      return rng_.next_below(num_targets);
+    case Pattern::kHotspot:
+      if (rng_.chance(config_.hotspot_fraction)) {
+        return config_.hotspot_target;
+      }
+      return rng_.next_below(num_targets);
+    case Pattern::kPermutation:
+      return initiator % num_targets;
+    case Pattern::kWeighted: {
+      const auto& cum = cumulative_[initiator];
+      const double total = cum.back();
+      if (total <= 0) return num_targets;  // silent initiator sentinel
+      const double roll = rng_.next_double() * total;
+      for (std::size_t t = 0; t < cum.size(); ++t) {
+        if (roll < cum[t]) return t;
+      }
+      return cum.size() - 1;
+    }
+  }
+  return 0;
+}
+
+void TrafficDriver::step() {
+  for (std::size_t i = 0; i < network_.num_initiators(); ++i) {
+    if (!rng_.chance(config_.injection_rate)) continue;
+    const std::size_t target = pick_target(i);
+    if (target >= network_.num_targets()) continue;  // silent row
+
+    ocp::Transaction txn;
+    const std::uint32_t burst =
+        config_.min_burst +
+        static_cast<std::uint32_t>(rng_.next_below(
+            config_.max_burst - config_.min_burst + 1));
+    txn.burst_len = burst;
+    txn.thread_id = static_cast<std::uint32_t>(
+        rng_.next_below(network_.config().num_threads));
+    // Aligned address inside the window, room for the whole burst.
+    const std::uint64_t window = network_.config().target_window;
+    const std::uint64_t span = 8ull * burst;
+    const std::uint64_t slots = window > span ? (window - span) / 8 : 1;
+    txn.addr = network_.target_base(target) + 8 * rng_.next_below(slots);
+    if (rng_.chance(config_.read_fraction)) {
+      txn.cmd = ocp::Cmd::kRead;
+    } else {
+      txn.cmd = ocp::Cmd::kWrite;
+      for (std::uint32_t b = 0; b < burst; ++b) {
+        txn.data.push_back(rng_.next_u64());
+      }
+    }
+    network_.master(i).push_transaction(std::move(txn));
+    ++injected_;
+  }
+}
+
+void TrafficDriver::run(std::size_t cycles) {
+  for (std::size_t c = 0; c < cycles; ++c) {
+    step();
+    network_.step();
+  }
+}
+
+}  // namespace xpl::traffic

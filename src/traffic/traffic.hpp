@@ -1,0 +1,104 @@
+// Synthetic traffic generation.
+//
+// Drives the Network's OCP master cores with the workloads the paper's
+// evaluation implies: uniform random, hotspot (shared memory), fixed
+// permutation, and bandwidth-weighted application traffic (the task-graph
+// flows of the SunMap step, see appgraph/). A TrafficDriver is stepped
+// alongside the kernel and injects transactions at a configurable rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/noc/network.hpp"
+
+namespace xpl::traffic {
+
+enum class Pattern : std::uint8_t {
+  kUniformRandom,  ///< every target equally likely
+  kHotspot,        ///< one target attracts `hotspot_fraction` of traffic
+  kPermutation,    ///< initiator i always talks to target i mod T
+  kWeighted,       ///< per-pair weights (application flows)
+};
+
+const char* pattern_name(Pattern pattern);
+
+struct TrafficConfig {
+  Pattern pattern = Pattern::kUniformRandom;
+  /// Expected transactions per cycle per initiator (Bernoulli injection).
+  double injection_rate = 0.05;
+  double read_fraction = 0.5;      ///< reads vs posted writes
+  std::uint32_t min_burst = 1;
+  std::uint32_t max_burst = 4;     ///< uniform burst length in beats
+  std::uint32_t hotspot_target = 0;
+  double hotspot_fraction = 0.5;
+  /// kWeighted: weight[i][t] — relative traffic from initiator i to
+  /// target t (rows may be any non-negative values, zero row = silent).
+  std::vector<std::vector<double>> weights;
+  std::uint64_t seed = 42;
+};
+
+/// One scheduled transaction of a trace (trace-driven workloads: replay
+/// recorded traffic instead of synthetic patterns).
+struct TraceEntry {
+  std::uint64_t cycle = 0;      ///< injection cycle (non-decreasing)
+  std::uint32_t initiator = 0;  ///< initiator index
+  std::uint32_t target = 0;     ///< target index
+  ocp::Cmd cmd = ocp::Cmd::kRead;
+  std::uint64_t addr_offset = 0;  ///< within the target's window
+  std::uint32_t burst = 1;
+};
+
+/// Parses a text trace: one entry per line,
+///   <cycle> <initiator> <target> <read|write|writenp> <offset> <burst>
+/// '#' starts a comment. Entries must be sorted by cycle.
+std::vector<TraceEntry> parse_trace(const std::string& text);
+std::vector<TraceEntry> load_trace(const std::string& path);
+
+/// Replays a trace into a network; step once per cycle like TrafficDriver.
+class TracePlayer {
+ public:
+  TracePlayer(noc::Network& network, std::vector<TraceEntry> trace);
+
+  void step();
+  void run(std::size_t cycles);
+  /// True when every entry has been injected.
+  bool done() const { return next_ == trace_.size(); }
+  std::uint64_t injected() const { return next_; }
+
+ private:
+  noc::Network& network_;
+  std::vector<TraceEntry> trace_;
+  std::size_t next_ = 0;
+  std::uint64_t cycle_ = 0;
+  Rng rng_;  ///< write payload generation
+};
+
+/// Injects transactions into every master of `network` when step() is
+/// called once per simulated cycle.
+class TrafficDriver {
+ public:
+  TrafficDriver(noc::Network& network, const TrafficConfig& config);
+
+  /// Rolls injection for every initiator for one cycle.
+  void step();
+
+  /// Convenience: step the network and the driver together.
+  void run(std::size_t cycles);
+
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  std::size_t pick_target(std::size_t initiator);
+
+  noc::Network& network_;
+  TrafficConfig config_;
+  Rng rng_;
+  std::uint64_t injected_ = 0;
+  /// Prefix sums per initiator for kWeighted.
+  std::vector<std::vector<double>> cumulative_;
+};
+
+}  // namespace xpl::traffic

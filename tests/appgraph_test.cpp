@@ -1,0 +1,189 @@
+// Application graphs, mapping quality, mapped-NoC construction.
+#include <gtest/gtest.h>
+
+#include "src/appgraph/core_graph.hpp"
+#include "src/appgraph/explore.hpp"
+#include "src/appgraph/mapping.hpp"
+#include "src/common/error.hpp"
+#include "src/topology/generators.hpp"
+
+namespace xpl::appgraph {
+namespace {
+
+TEST(CoreGraph, BuildAndQuery) {
+  CoreGraph g("toy");
+  const auto a = g.add_core("a");
+  const auto b = g.add_core("b");
+  const auto c = g.add_core("c");
+  g.add_flow(a, b, 100);
+  g.add_flow(b, c, 50);
+  EXPECT_EQ(g.num_cores(), 3u);
+  EXPECT_TRUE(g.sends(a));
+  EXPECT_FALSE(g.receives(a));
+  EXPECT_TRUE(g.sends(b));
+  EXPECT_TRUE(g.receives(b));
+  EXPECT_FALSE(g.sends(c));
+  EXPECT_TRUE(g.receives(c));
+  EXPECT_DOUBLE_EQ(g.total_bandwidth(), 150.0);
+}
+
+TEST(CoreGraph, RejectsBadFlows) {
+  CoreGraph g;
+  const auto a = g.add_core("a");
+  const auto b = g.add_core("b");
+  EXPECT_THROW(g.add_flow(a, a, 10), Error);
+  EXPECT_THROW(g.add_flow(a, b, 0), Error);
+  EXPECT_THROW(g.add_flow(a, 9, 10), Error);
+}
+
+TEST(Benchmarks, ShapesMatchLiterature) {
+  for (const auto& g : {mpeg4_decoder(), vopd(), mwd()}) {
+    EXPECT_EQ(g.num_cores(), 12u) << g.name();
+    EXPECT_GE(g.flows().size(), 10u) << g.name();
+    EXPECT_GT(g.total_bandwidth(), 500.0) << g.name();
+    // Every core participates.
+    for (std::uint32_t c = 0; c < g.num_cores(); ++c) {
+      EXPECT_TRUE(g.sends(c) || g.receives(c))
+          << g.name() << " core " << g.core_name(c);
+    }
+  }
+}
+
+TEST(Mapping, DistancesSymmetricOnMesh) {
+  const auto t = topology::make_mesh(3, 3, topology::NiPlan::uniform(9, 0, 0));
+  const auto dist = switch_distances(t);
+  EXPECT_EQ(dist[0][8], 4u);  // corner to corner
+  EXPECT_EQ(dist[8][0], 4u);
+  EXPECT_EQ(dist[4][4], 0u);
+  EXPECT_EQ(dist[0][1], 1u);
+}
+
+TEST(Mapping, CostCountsBandwidthTimesHops) {
+  CoreGraph g;
+  const auto a = g.add_core("a");
+  const auto b = g.add_core("b");
+  g.add_flow(a, b, 100);
+  const auto t = topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 0, 0));
+  const auto dist = switch_distances(t);
+  Mapping colocated{{0, 0}};
+  Mapping adjacent{{0, 1}};
+  Mapping diagonal{{0, 3}};
+  EXPECT_DOUBLE_EQ(mapping_cost(g, dist, colocated), 100.0);
+  EXPECT_DOUBLE_EQ(mapping_cost(g, dist, adjacent), 200.0);
+  EXPECT_DOUBLE_EQ(mapping_cost(g, dist, diagonal), 300.0);
+}
+
+TEST(Mapping, GreedyRespectsCapacity) {
+  const auto g = vopd();
+  const auto t = topology::make_mesh(3, 4, topology::NiPlan::uniform(12, 0, 0));
+  const Mapping m = greedy_map(g, t, 1);
+  std::vector<int> load(12, 0);
+  for (const auto s : m.core_to_switch) ++load[s];
+  for (const int l : load) EXPECT_LE(l, 1);
+}
+
+TEST(Mapping, GreedyBeatsWorstCase) {
+  const auto g = vopd();
+  const auto t = topology::make_mesh(3, 4, topology::NiPlan::uniform(12, 0, 0));
+  const auto dist = switch_distances(t);
+  const Mapping greedy = greedy_map(g, t, 1);
+  // Identity placement as a naive baseline.
+  Mapping naive;
+  for (std::uint32_t c = 0; c < g.num_cores(); ++c) {
+    naive.core_to_switch.push_back(c);
+  }
+  EXPECT_LE(mapping_cost(g, dist, greedy), mapping_cost(g, dist, naive));
+}
+
+TEST(Mapping, AnnealNeverWorsens) {
+  const auto g = mpeg4_decoder();
+  const auto t = topology::make_mesh(4, 3, topology::NiPlan::uniform(12, 0, 0));
+  const auto dist = switch_distances(t);
+  Rng rng(5);
+  const Mapping greedy = greedy_map(g, t, 1);
+  const Mapping annealed = anneal_map(g, t, greedy, rng, 5000, 1);
+  EXPECT_LE(mapping_cost(g, dist, annealed),
+            mapping_cost(g, dist, greedy) + 1e-9);
+  std::vector<int> load(12, 0);
+  for (const auto s : annealed.core_to_switch) ++load[s];
+  for (const int l : load) EXPECT_LE(l, 1);
+}
+
+TEST(Mapping, TooSmallTopologyRejected) {
+  const auto g = vopd();
+  const auto t = topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 0, 0));
+  EXPECT_THROW(greedy_map(g, t, 1), Error);
+}
+
+TEST(MappedNoc, AttachesNisPerRole) {
+  CoreGraph g;
+  const auto a = g.add_core("a");  // sends only
+  const auto b = g.add_core("b");  // sends and receives
+  const auto c = g.add_core("c");  // receives only
+  g.add_flow(a, b, 10);
+  g.add_flow(b, c, 20);
+  const auto base = topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 0, 0));
+  const MappedNoc mapped =
+      build_mapped_topology(g, base, Mapping{{0, 1, 2}});
+  EXPECT_EQ(mapped.topo.initiator_ids().size(), 2u);  // a, b
+  EXPECT_EQ(mapped.topo.target_ids().size(), 2u);     // b, c
+  EXPECT_EQ(mapped.initiator_index[a], 0);
+  EXPECT_EQ(mapped.initiator_index[b], 1);
+  EXPECT_EQ(mapped.initiator_index[c], -1);
+  EXPECT_EQ(mapped.target_index[a], -1);
+  EXPECT_EQ(mapped.target_index[b], 0);
+  EXPECT_EQ(mapped.target_index[c], 1);
+  // Weight matrix mirrors the flows.
+  EXPECT_DOUBLE_EQ(mapped.weights[0][0], 10.0);  // a -> b
+  EXPECT_DOUBLE_EQ(mapped.weights[1][1], 20.0);  // b -> c
+  EXPECT_DOUBLE_EQ(mapped.weights[0][1], 0.0);
+  mapped.topo.validate();
+}
+
+TEST(MappedNoc, RejectsBaseWithNis) {
+  CoreGraph g;
+  g.add_core("a");
+  const auto base =
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 0));
+  EXPECT_THROW(build_mapped_topology(g, base, Mapping{{0}}), Error);
+}
+
+TEST(Explore, DefaultCandidatesCoverTopologyFamilies) {
+  const auto candidates = default_candidates(12);
+  EXPECT_GE(candidates.size(), 4u);
+  for (const auto& c : candidates) {
+    EXPECT_GE(c.topo.num_switches() *
+                  std::max<std::size_t>(
+                      1, (12 + c.topo.num_switches() - 1) /
+                             c.topo.num_switches()),
+              12u)
+        << c.name;
+  }
+}
+
+TEST(Explore, ScoresEveryCandidate) {
+  const auto g = mwd();
+  ExploreOptions options;
+  options.anneal_iterations = 2000;  // keep the test quick
+  options.sim_cycles = 3000;
+  options.net.target_window = 1 << 12;
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {"mesh_3x4",
+       topology::make_mesh(3, 4, topology::NiPlan::uniform(12, 0, 0))});
+  candidates.push_back(
+      {"star_5",
+       topology::make_star(5, topology::NiPlan::uniform(6, 0, 0))});
+  const auto results = explore(g, candidates, options);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.area_mm2, 0.0) << r.name;
+    EXPECT_GT(r.power_mw, 0.0) << r.name;
+    EXPECT_GT(r.fmax_mhz, 0.0) << r.name;
+    EXPECT_GT(r.mapping_cost, 0.0) << r.name;
+    EXPECT_GT(r.avg_latency_cycles, 0.0) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace xpl::appgraph

@@ -1,0 +1,113 @@
+// Arbiter policies: correctness and fairness.
+#include "src/switchlib/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xpl::switchlib {
+namespace {
+
+std::vector<bool> mask(std::size_t n, std::initializer_list<std::size_t> set) {
+  std::vector<bool> m(n, false);
+  for (const auto i : set) m[i] = true;
+  return m;
+}
+
+TEST(FixedPriorityArbiter, GrantsLowestIndex) {
+  FixedPriorityArbiter arb(4);
+  EXPECT_EQ(arb.grant(mask(4, {2, 3})).value(), 2u);
+  EXPECT_EQ(arb.grant(mask(4, {0, 3})).value(), 0u);
+  EXPECT_EQ(arb.grant(mask(4, {3})).value(), 3u);
+}
+
+TEST(FixedPriorityArbiter, NoRequestNoGrant) {
+  FixedPriorityArbiter arb(4);
+  EXPECT_FALSE(arb.grant(mask(4, {})).has_value());
+}
+
+TEST(FixedPriorityArbiter, StarvesHighIndices) {
+  // Documented behaviour: under continuous low-index load, high indices
+  // never win — the reason the paper also offers round robin.
+  FixedPriorityArbiter arb(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arb.grant(mask(3, {0, 2})).value(), 0u);
+  }
+}
+
+TEST(RoundRobinArbiter, RotatesAmongRequesters) {
+  RoundRobinArbiter arb(4);
+  const auto all = mask(4, {0, 1, 2, 3});
+  EXPECT_EQ(arb.grant(all).value(), 0u);
+  EXPECT_EQ(arb.grant(all).value(), 1u);
+  EXPECT_EQ(arb.grant(all).value(), 2u);
+  EXPECT_EQ(arb.grant(all).value(), 3u);
+  EXPECT_EQ(arb.grant(all).value(), 0u);
+}
+
+TEST(RoundRobinArbiter, SkipsIdleRequesters) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.grant(mask(4, {1, 3})).value(), 1u);
+  EXPECT_EQ(arb.grant(mask(4, {1, 3})).value(), 3u);
+  EXPECT_EQ(arb.grant(mask(4, {1, 3})).value(), 1u);
+}
+
+TEST(RoundRobinArbiter, NoRequestNoGrantKeepsPointer) {
+  RoundRobinArbiter arb(3);
+  EXPECT_EQ(arb.grant(mask(3, {2})).value(), 2u);
+  EXPECT_FALSE(arb.grant(mask(3, {})).has_value());
+  // Pointer still past 2: next grant starts the scan at 0.
+  EXPECT_EQ(arb.grant(mask(3, {0, 2})).value(), 0u);
+}
+
+TEST(RoundRobinArbiter, FairUnderSaturation) {
+  const std::size_t n = 5;
+  RoundRobinArbiter arb(n);
+  std::vector<int> wins(n, 0);
+  const auto all = mask(n, {0, 1, 2, 3, 4});
+  for (int i = 0; i < 1000; ++i) {
+    ++wins[arb.grant(all).value()];
+  }
+  for (const int w : wins) EXPECT_EQ(w, 200);
+}
+
+TEST(Arbiter, PolicyDispatch) {
+  Arbiter fixed(ArbiterKind::kFixedPriority, 3);
+  Arbiter rr(ArbiterKind::kRoundRobin, 3);
+  const auto all = mask(3, {0, 1, 2});
+  EXPECT_EQ(fixed.grant(all).value(), 0u);
+  EXPECT_EQ(fixed.grant(all).value(), 0u);
+  EXPECT_EQ(rr.grant(all).value(), 0u);
+  EXPECT_EQ(rr.grant(all).value(), 1u);
+}
+
+TEST(Arbiter, Names) {
+  EXPECT_STREQ(arbiter_name(ArbiterKind::kFixedPriority), "fixed");
+  EXPECT_STREQ(arbiter_name(ArbiterKind::kRoundRobin), "round-robin");
+}
+
+// Property: any single requester is always granted, for both policies.
+class SingleRequesterSweep
+    : public ::testing::TestWithParam<std::tuple<ArbiterKind, std::size_t>> {
+};
+
+TEST_P(SingleRequesterSweep, AlwaysGranted) {
+  const auto [kind, n] = GetParam();
+  Arbiter arb(kind, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<bool> m(n, false);
+    m[i] = true;
+    const auto grant = arb.grant(m);
+    ASSERT_TRUE(grant.has_value());
+    EXPECT_EQ(*grant, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SingleRequesterSweep,
+    ::testing::Combine(::testing::Values(ArbiterKind::kFixedPriority,
+                                         ArbiterKind::kRoundRobin),
+                       ::testing::Values<std::size_t>(1, 2, 4, 6, 8)));
+
+}  // namespace
+}  // namespace xpl::switchlib

@@ -1,0 +1,121 @@
+// Compiler buffer-sizing pass: the paper's per-instance "component
+// optimizations: buffer sizes".
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.hpp"
+#include "src/synth/component_models.hpp"
+#include "src/topology/generators.hpp"
+
+namespace xpl::compiler {
+namespace {
+
+NocSpec mesh_spec(std::size_t w, std::size_t h) {
+  NocSpec spec;
+  spec.name = "buf";
+  spec.topo = topology::make_mesh(
+      w, h, topology::NiPlan::uniform(w * h, 1, 1));
+  spec.net.routing = topology::RoutingAlgorithm::kXY;
+  spec.net.target_window = 1 << 12;
+  return spec;
+}
+
+TEST(BufferSizing, CentreGetsDeeperQueuesThanCorners) {
+  NocSpec spec = mesh_spec(3, 3);
+  XpipesCompiler xpipes;
+  const auto depths = xpipes.optimize_buffer_sizes(spec, 2, 8);
+  ASSERT_EQ(depths.size(), 9u);
+  // XY routing concentrates traffic through the centre switch (id 4).
+  EXPECT_GT(depths[4], depths[0]);
+  EXPECT_GT(depths[4], depths[8]);
+  EXPECT_EQ(depths[4], 8u);  // hottest switch gets max depth
+  for (const auto d : depths) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 8u);
+  }
+}
+
+TEST(BufferSizing, OverrideReachesInstantiatedSwitches) {
+  NocSpec spec = mesh_spec(3, 3);
+  XpipesCompiler xpipes;
+  const auto depths = xpipes.optimize_buffer_sizes(spec, 2, 8);
+  auto net = xpipes.build_simulation(spec);
+  for (std::size_t s = 0; s < net->num_switches(); ++s) {
+    EXPECT_EQ(net->switch_at(s).config().output_fifo_depth, depths[s])
+        << "switch " << s;
+  }
+}
+
+TEST(BufferSizing, SavesAreaVersusUniformMaxDepth) {
+  XpipesCompiler xpipes;
+  NocSpec uniform = mesh_spec(3, 3);
+  uniform.net.output_fifo_depth = 8;  // everyone sized for the worst case
+  NocSpec sized = mesh_spec(3, 3);
+  xpipes.optimize_buffer_sizes(sized, 2, 8);
+  const double uniform_area = xpipes.estimate(uniform, 800.0).total_area_mm2;
+  const double sized_area = xpipes.estimate(sized, 800.0).total_area_mm2;
+  EXPECT_LT(sized_area, uniform_area * 0.97);
+}
+
+TEST(BufferSizing, OptimizedNetworkStillCorrect) {
+  NocSpec spec = mesh_spec(2, 2);
+  XpipesCompiler xpipes;
+  xpipes.optimize_buffer_sizes(spec, 1, 4);
+  auto net = xpipes.build_simulation(spec);
+  net->slave(2).poke(0x10, 0xBEEF);
+  ocp::Transaction txn;
+  txn.cmd = ocp::Cmd::kRead;
+  txn.addr = net->target_base(2) + 0x10;
+  txn.burst_len = 1;
+  net->master(1).push_transaction(txn);
+  net->run_until_quiescent(10000);
+  ASSERT_EQ(net->master(1).completed().size(), 1u);
+  EXPECT_EQ(net->master(1).completed()[0].data.at(0), 0xBEEFu);
+}
+
+TEST(BufferSizing, PerLinkWindowsSmallerThanWorstCase) {
+  // A network with one long pipelined link: only the ports on that link
+  // pay for a deep retransmission window; a worst-case-uniform sizing
+  // would charge every port. Compare the two switch netlists directly.
+  topology::Topology topo;
+  const auto a = topo.add_switch("a");
+  const auto b = topo.add_switch("b");
+  const auto c = topo.add_switch("c");
+  topo.add_duplex(a, b, /*stages=*/6);  // long wire
+  topo.add_duplex(b, c, /*stages=*/0);  // short wire
+  topo.attach_initiator(a);
+  topo.attach_target(c);
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kShortestPath;
+  cfg.target_window = 1 << 12;
+  noc::Network net(topo, cfg);
+
+  // Switch b has one long-link port pair and one short pair.
+  const auto& sized = net.switch_at(b).config();
+  switchlib::SwitchConfig uniform = sized;
+  uniform.input_protocols.clear();
+  uniform.output_protocols.clear();  // falls back to worst-case protocol
+  const auto n_sized = synth::build_switch_netlist(sized);
+  const auto n_uniform = synth::build_switch_netlist(uniform);
+  EXPECT_LT(n_sized.flops, n_uniform.flops);
+
+  // And the network still works end to end across the long link.
+  net.slave(0).poke(0, 0x31);
+  ocp::Transaction txn;
+  txn.cmd = ocp::Cmd::kRead;
+  txn.addr = net.target_base(0);
+  txn.burst_len = 1;
+  net.master(0).push_transaction(txn);
+  net.run_until_quiescent(10000);
+  ASSERT_EQ(net.master(0).completed().size(), 1u);
+  EXPECT_EQ(net.master(0).completed()[0].data.at(0), 0x31u);
+}
+
+TEST(BufferSizing, RejectsBadBounds) {
+  NocSpec spec = mesh_spec(2, 2);
+  XpipesCompiler xpipes;
+  EXPECT_THROW(xpipes.optimize_buffer_sizes(spec, 0, 4), Error);
+  EXPECT_THROW(xpipes.optimize_buffer_sizes(spec, 5, 4), Error);
+}
+
+}  // namespace
+}  // namespace xpl::compiler

@@ -1,0 +1,106 @@
+// Channel-dependency-graph deadlock analysis.
+#include "src/topology/deadlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/generators.hpp"
+
+namespace xpl::topology {
+namespace {
+
+TEST(Deadlock, XyOnMeshIsFree) {
+  for (std::size_t w = 2; w <= 4; ++w) {
+    for (std::size_t h = 2; h <= 4; ++h) {
+      const auto t = make_mesh(w, h, NiPlan::uniform(w * h, 1, 1));
+      const auto tables = compute_all_routes(t, RoutingAlgorithm::kXY);
+      const auto report = check_deadlock(t, tables);
+      EXPECT_TRUE(report.deadlock_free) << w << "x" << h;
+    }
+  }
+}
+
+TEST(Deadlock, ShortestPathOnMeshIsFree) {
+  // BFS with deterministic tie-break on a mesh yields minimal routes;
+  // with links enumerated row-major these happen to be dimension-ordered,
+  // hence deadlock-free. This documents (and pins) that property.
+  const auto t = make_mesh(3, 3, NiPlan::uniform(9, 1, 1));
+  const auto tables =
+      compute_all_routes(t, RoutingAlgorithm::kShortestPath);
+  EXPECT_TRUE(check_deadlock(t, tables).deadlock_free);
+}
+
+// A unidirectional ring forces every route around the loop: the channel
+// dependency graph is exactly the ring -> guaranteed cycle.
+Topology unidirectional_ring(std::size_t n) {
+  Topology t;
+  for (std::size_t i = 0; i < n; ++i) t.add_switch();
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add_link(static_cast<std::uint32_t>(i),
+               static_cast<std::uint32_t>((i + 1) % n));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    t.attach_initiator(static_cast<std::uint32_t>(i));
+    t.attach_target(static_cast<std::uint32_t>(i));
+  }
+  return t;
+}
+
+TEST(Deadlock, UnidirectionalRingCycles) {
+  const auto t = unidirectional_ring(4);
+  const auto tables =
+      compute_all_routes(t, RoutingAlgorithm::kShortestPath);
+  const auto report = check_deadlock(t, tables);
+  EXPECT_FALSE(report.deadlock_free);
+  EXPECT_GE(report.cycle.size(), 2u);
+  EXPECT_NE(report.to_string(t).find("cycle"), std::string::npos);
+}
+
+TEST(Deadlock, TorusShortestPathReport) {
+  // On a small torus, BFS with deterministic tie-breaks may or may not
+  // produce cyclic dependencies; the checker must at least terminate and
+  // the up*/down* alternative must always be clean.
+  const auto t = make_torus(3, 3, NiPlan::uniform(9, 1, 1));
+  const auto sp = compute_all_routes(t, RoutingAlgorithm::kShortestPath);
+  (void)check_deadlock(t, sp);
+  const auto ud = compute_all_routes(t, RoutingAlgorithm::kUpDown);
+  EXPECT_TRUE(check_deadlock(t, ud).deadlock_free);
+}
+
+TEST(Deadlock, UpDownIsFreeEverywhere) {
+  std::vector<Topology> topologies;
+  topologies.push_back(make_ring(8, NiPlan::uniform(8, 1, 1)));
+  topologies.push_back(make_spidergon(8, NiPlan::uniform(8, 1, 1)));
+  topologies.push_back(make_torus(3, 3, NiPlan::uniform(9, 1, 1)));
+  topologies.push_back(make_binary_tree(4, NiPlan::uniform(15, 1, 1)));
+  topologies.push_back(make_star(6, NiPlan::uniform(7, 1, 1)));
+  for (const auto& t : topologies) {
+    const auto tables = compute_all_routes(t, RoutingAlgorithm::kUpDown);
+    EXPECT_TRUE(check_deadlock(t, tables).deadlock_free);
+  }
+}
+
+TEST(Deadlock, BidirectionalRingShortestPathCycles) {
+  // Minimal routing on a bidirectional ring still wraps in both
+  // directions, so the dependency graph carries both ring cycles.
+  const auto t = make_ring(6, NiPlan::uniform(6, 1, 1));
+  const auto tables =
+      compute_all_routes(t, RoutingAlgorithm::kShortestPath);
+  const auto report = check_deadlock(t, tables);
+  EXPECT_FALSE(report.deadlock_free);
+}
+
+TEST(Deadlock, ReportPrintsFreeForCleanTables) {
+  const auto t = make_mesh(2, 2, NiPlan::uniform(4, 1, 1));
+  const auto tables = compute_all_routes(t, RoutingAlgorithm::kXY);
+  const auto report = check_deadlock(t, tables);
+  EXPECT_EQ(report.to_string(t), "deadlock-free");
+}
+
+TEST(Deadlock, EmptyTablesAreFree) {
+  const auto t = make_mesh(2, 2, NiPlan::uniform(4, 1, 1));
+  RoutingTables tables;
+  EXPECT_TRUE(check_deadlock(t, tables).deadlock_free);
+}
+
+}  // namespace
+}  // namespace xpl::topology

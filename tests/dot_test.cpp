@@ -1,0 +1,79 @@
+// Graphviz export.
+#include "src/topology/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/topology/generators.hpp"
+
+namespace xpl::topology {
+namespace {
+
+TEST(Dot, ContainsAllSwitchesAndNis) {
+  const auto topo = make_mesh(2, 2, NiPlan::uniform(4, 1, 1));
+  const std::string dot = to_dot(topo);
+  EXPECT_EQ(dot.substr(0, 12), "digraph noc ");
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    EXPECT_NE(dot.find("sw" + std::to_string(s) + " [label=\"" +
+                       topo.switch_node(s).name + "\""),
+              std::string::npos);
+  }
+  for (std::uint32_t n = 0; n < topo.num_nis(); ++n) {
+    EXPECT_NE(dot.find("ni" + std::to_string(n)), std::string::npos);
+  }
+}
+
+TEST(Dot, DuplexPairsCollapse) {
+  const auto topo = make_ring(4, NiPlan::uniform(4, 1, 0));
+  const std::string dot = to_dot(topo);
+  // 8 directed links collapse to 4 double-headed edges.
+  std::size_t edges = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find("dir=both]", pos)) != std::string::npos) {
+    ++edges;
+    ++pos;
+  }
+  EXPECT_EQ(edges, 4u);
+}
+
+TEST(Dot, NoCollapseKeepsEveryLink) {
+  const auto topo = make_ring(4, NiPlan::uniform(4, 1, 0));
+  DotOptions options;
+  options.collapse_duplex = false;
+  options.show_nis = false;
+  const std::string dot = to_dot(topo, options);
+  std::size_t edges = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find(" -> sw", pos)) != std::string::npos) {
+    ++edges;
+    ++pos;
+  }
+  EXPECT_EQ(edges, topo.num_links());
+  EXPECT_EQ(dot.find("ni0"), std::string::npos);
+}
+
+TEST(Dot, StagesLabelled) {
+  Topology topo;
+  const auto a = topo.add_switch("a");
+  const auto b = topo.add_switch("b");
+  topo.add_duplex(a, b, /*stages=*/3);
+  topo.attach_initiator(a);
+  topo.attach_target(b);
+  const std::string dot = to_dot(topo);
+  EXPECT_NE(dot.find("label=\"3\""), std::string::npos);
+}
+
+TEST(Dot, SaveWritesFile) {
+  const auto topo = make_mesh(2, 2, NiPlan::uniform(4, 1, 0));
+  const std::string path = ::testing::TempDir() + "/xpl_topo.dot";
+  save_dot(topo, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "digraph noc {");
+}
+
+}  // namespace
+}  // namespace xpl::topology

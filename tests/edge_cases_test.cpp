@@ -1,0 +1,231 @@
+// Edge cases across the stack: id wraparound, forced response reordering,
+// per-hop latency regularity, alternate arbiter/CRC configurations.
+#include <gtest/gtest.h>
+
+#include "src/noc/network.hpp"
+#include "src/ocp/monitor.hpp"
+#include "src/topology/generators.hpp"
+
+namespace xpl {
+namespace {
+
+noc::NetworkConfig base_config() {
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  return cfg;
+}
+
+TEST(EdgeCases, TransactionIdWraparound) {
+  // txn ids are a small modulo counter (txn_bits). Issuing far more
+  // transactions than the id space exercises wraparound and the
+  // no-collision gating.
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)),
+      base_config());
+  const std::size_t total = 100;  // >> 2^txn_bits
+  for (std::size_t k = 0; k < total; ++k) {
+    net.slave(k % 4).poke(8 * k, 0x4000 + k);
+    ocp::Transaction txn;
+    txn.cmd = ocp::Cmd::kRead;
+    txn.addr = net.target_base(k % 4) + 8 * k;
+    txn.burst_len = 1;
+    net.master(0).push_transaction(txn);
+  }
+  net.run_until_quiescent(200000);
+  const auto& completed = net.master(0).completed();
+  ASSERT_EQ(completed.size(), total);
+  for (std::size_t k = 0; k < total; ++k) {
+    ASSERT_EQ(completed[k].data.size(), 1u) << "txn " << k;
+    EXPECT_EQ(completed[k].data[0], 0x4000 + k) << "txn " << k;
+  }
+}
+
+TEST(EdgeCases, ResponsesReorderedToIssueOrder) {
+  // Force out-of-order network completion: first read goes to a slow
+  // faraway target, second to the co-located one. Same OCP thread, so the
+  // NI's reorder stage must deliver them in issue order.
+  noc::NetworkConfig cfg = base_config();
+  cfg.slave_latency = 30;  // uniform but distance still dominates order
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  net.slave(3).poke(0, 0xFA);  // far: 2 grid hops from master 0
+  net.slave(0).poke(0, 0xEE);  // near: same switch as master 0
+
+  ocp::Transaction far;
+  far.cmd = ocp::Cmd::kRead;
+  far.addr = net.target_base(3);
+  far.burst_len = 1;
+  net.master(0).push_transaction(far);
+  ocp::Transaction near;
+  near.cmd = ocp::Cmd::kRead;
+  near.addr = net.target_base(0);
+  near.burst_len = 1;
+  net.master(0).push_transaction(near);
+
+  net.run_until_quiescent(10000);
+  const auto& completed = net.master(0).completed();
+  ASSERT_EQ(completed.size(), 2u);
+  // Issue order preserved even though the near response returned first.
+  EXPECT_EQ(completed[0].data.at(0), 0xFAu);
+  EXPECT_EQ(completed[1].data.at(0), 0xEEu);
+  // Both completed at the same cycle is fine; the far one cannot
+  // complete later than the near one's delivery.
+  EXPECT_LE(completed[0].complete_cycle, completed[1].complete_cycle);
+}
+
+TEST(EdgeCases, PerHopLatencyDeltaIsConstant) {
+  // Zero-load latency must grow by exactly the same amount per extra
+  // switch on the path (2 switch stages + 1 link register, both ways).
+  noc::Network net(
+      topology::make_mesh(4, 1, topology::NiPlan::uniform(4, 1, 1)),
+      base_config());
+  std::vector<std::uint64_t> latency;
+  for (std::size_t t = 0; t < 4; ++t) {
+    ocp::Transaction txn;
+    txn.cmd = ocp::Cmd::kRead;
+    txn.addr = net.target_base(t);
+    txn.burst_len = 1;
+    net.master(0).push_transaction(txn);
+    net.run_until_quiescent(10000);
+    const auto& result = net.master(0).completed().back();
+    latency.push_back(result.complete_cycle - result.issue_cycle);
+  }
+  const std::uint64_t delta = latency[1] - latency[0];
+  EXPECT_GT(delta, 0u);
+  EXPECT_EQ(latency[2] - latency[1], delta);
+  EXPECT_EQ(latency[3] - latency[2], delta);
+}
+
+TEST(EdgeCases, FixedPriorityArbiterEndToEnd) {
+  noc::NetworkConfig cfg = base_config();
+  cfg.arbiter = switchlib::ArbiterKind::kFixedPriority;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      ocp::Transaction txn;
+      txn.cmd = ocp::Cmd::kWriteNp;
+      txn.addr = net.target_base((i + 1) % 4) + 8 * k;
+      txn.burst_len = 1;
+      txn.data = {static_cast<std::uint64_t>(10 * i + k)};
+      net.master(i).push_transaction(txn);
+    }
+  }
+  net.run_until_quiescent(100000);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(net.master(i).completed().size(), 5u) << "master " << i;
+  }
+}
+
+TEST(EdgeCases, ParityCheckingEndToEnd) {
+  noc::NetworkConfig cfg = base_config();
+  cfg.crc = CrcKind::kParity;
+  cfg.bit_error_rate = 5e-5;  // sparse single-bit flips: parity catches
+  cfg.seed = 21;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1),
+                          /*link_stages=*/1),
+      cfg);
+  for (int k = 0; k < 30; ++k) {
+    ocp::Transaction txn;
+    txn.cmd = ocp::Cmd::kWriteNp;
+    txn.addr = net.target_base((k + 1) % 4) + 8 * k;
+    txn.burst_len = 2;
+    txn.data = {1ull * k, 2ull * k};
+    net.master(k % 4).push_transaction(txn);
+  }
+  net.run_until_quiescent(200000);
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    completed += net.master(i).completed().size();
+  }
+  EXPECT_EQ(completed, 30u);
+}
+
+TEST(EdgeCases, NoCrcReliableLinksStillFlowControl) {
+  noc::NetworkConfig cfg = base_config();
+  cfg.crc = CrcKind::kNone;  // reliable links: nACK is pure flow control
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  for (int k = 0; k < 20; ++k) {
+    ocp::Transaction txn;
+    txn.cmd = ocp::Cmd::kRead;
+    txn.addr = net.target_base(0);  // hotspot: forces backpressure
+    txn.burst_len = 8;
+    net.master(k % 4).push_transaction(txn);
+  }
+  net.run_until_quiescent(200000);
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    completed += net.master(i).completed().size();
+  }
+  EXPECT_EQ(completed, 20u);
+}
+
+TEST(EdgeCases, MaxBurstBoundary) {
+  noc::NetworkConfig cfg = base_config();
+  cfg.max_burst = 16;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  ocp::Transaction wr;
+  wr.cmd = ocp::Cmd::kWrite;
+  wr.addr = net.target_base(2);
+  wr.burst_len = 16;  // exactly the maximum
+  for (std::uint64_t b = 0; b < 16; ++b) wr.data.push_back(b * b);
+  net.master(1).push_transaction(wr);
+  ocp::Transaction rd;
+  rd.cmd = ocp::Cmd::kRead;
+  rd.addr = net.target_base(2);
+  rd.burst_len = 16;
+  net.master(1).push_transaction(rd);
+  net.run_until_quiescent(50000);
+  ASSERT_EQ(net.master(1).completed().size(), 2u);
+  const auto& result = net.master(1).completed()[1];
+  ASSERT_EQ(result.data.size(), 16u);
+  for (std::uint64_t b = 0; b < 16; ++b) EXPECT_EQ(result.data[b], b * b);
+}
+
+TEST(EdgeCases, SingleSwitchNetwork) {
+  // Degenerate topology: one switch, everything local.
+  topology::Topology topo;
+  const auto sw = topo.add_switch("only");
+  topo.attach_initiator(sw);
+  topo.attach_initiator(sw);
+  topo.attach_target(sw);
+  noc::NetworkConfig cfg = base_config();
+  cfg.routing = topology::RoutingAlgorithm::kShortestPath;
+  noc::Network net(std::move(topo), cfg);
+  net.slave(0).poke(0, 0x99);
+  for (std::size_t i = 0; i < 2; ++i) {
+    ocp::Transaction txn;
+    txn.cmd = ocp::Cmd::kRead;
+    txn.addr = net.target_base(0);
+    txn.burst_len = 1;
+    net.master(i).push_transaction(txn);
+  }
+  net.run_until_quiescent(5000);
+  EXPECT_EQ(net.master(0).completed().at(0).data.at(0), 0x99u);
+  EXPECT_EQ(net.master(1).completed().at(0).data.at(0), 0x99u);
+}
+
+TEST(EdgeCases, WideFlitNarrowHeaderPacksSingleFlit) {
+  // 128-bit flits: header and each beat fit one flit; reads are 1-flit
+  // request packets + (1+burst)-flit responses.
+  noc::NetworkConfig cfg = base_config();
+  cfg.flit_width = 128;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  EXPECT_EQ(net.format().header_flits(), 1u);
+  ocp::Transaction txn;
+  txn.cmd = ocp::Cmd::kRead;
+  txn.addr = net.target_base(3);
+  txn.burst_len = 1;
+  net.master(0).push_transaction(txn);
+  net.run_until_quiescent(10000);
+  // Request: 1 flit x 3 switch-hops worth of links; response: 2 flits.
+  EXPECT_EQ(net.master(0).completed().size(), 1u);
+}
+
+}  // namespace
+}  // namespace xpl

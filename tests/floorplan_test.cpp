@@ -1,0 +1,158 @@
+// Floorplanner: placement quality, link-stage derivation, integration.
+#include "src/appgraph/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/appgraph/explore.hpp"
+#include "src/noc/network.hpp"
+#include "src/topology/generators.hpp"
+
+namespace xpl::appgraph {
+namespace {
+
+TEST(Floorplan, MeshPlacedByCoordinates) {
+  const auto topo =
+      topology::make_mesh(3, 4, topology::NiPlan::uniform(12, 1, 0));
+  Rng rng(1);
+  const Floorplan plan = make_floorplan(topo, FloorplanOptions{}, rng);
+  EXPECT_EQ(plan.grid_width, 3u);
+  EXPECT_EQ(plan.grid_height, 4u);
+  // Every grid link is one tile long.
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    EXPECT_DOUBLE_EQ(plan.link_length_mm(topo, l), plan.tile_mm);
+  }
+  EXPECT_DOUBLE_EQ(plan.total_wire_mm(topo),
+                   plan.tile_mm * double(topo.num_links()));
+}
+
+TEST(Floorplan, OneSwitchPerTile) {
+  const auto topo = topology::make_ring(7, topology::NiPlan::uniform(7, 1, 0));
+  Rng rng(2);
+  const Floorplan plan = make_floorplan(topo, FloorplanOptions{}, rng);
+  std::set<std::pair<std::size_t, std::size_t>> tiles;
+  for (const auto& pos : plan.position) {
+    EXPECT_LT(pos.first, plan.grid_width);
+    EXPECT_LT(pos.second, plan.grid_height);
+    EXPECT_TRUE(tiles.insert(pos).second) << "tile reused";
+  }
+}
+
+TEST(Floorplan, AnnealBeatsPathologicalInitialForRing) {
+  // For an 8-ring on a 3x3 grid a good placement keeps neighbours
+  // adjacent: total wire close to the number of directed links.
+  const auto topo = topology::make_ring(8, topology::NiPlan::uniform(8, 1, 0));
+  Rng rng(3);
+  FloorplanOptions options;
+  options.anneal_iterations = 30000;
+  const Floorplan plan = make_floorplan(topo, options, rng);
+  // 16 directed links, ideal total 16 tiles; allow slack but far below the
+  // random-placement expectation (~2 tiles average per link).
+  EXPECT_LE(plan.total_wire_mm(topo), 24.0);
+}
+
+TEST(Floorplan, ApplyLinkStagesFollowsDistance) {
+  auto topo = topology::make_star(4, topology::NiPlan::uniform(5, 1, 0));
+  Rng rng(4);
+  FloorplanOptions options;
+  options.tile_mm = 3.0;       // spread things out
+  options.mm_per_cycle = 2.0;  // 3 mm hop -> 2 cycles -> 1 relay stage
+  const Floorplan plan = make_floorplan(topo, options, rng);
+  apply_link_stages(topo, plan, options.mm_per_cycle);
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    const double mm = plan.link_length_mm(topo, l);
+    const auto expected = static_cast<std::size_t>(
+        std::ceil(mm / options.mm_per_cycle));
+    EXPECT_EQ(topo.link(l).stages, expected > 0 ? expected - 1 : 0);
+  }
+}
+
+TEST(Floorplan, ShortWiresNeedNoStages) {
+  auto topo = topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 0));
+  Rng rng(5);
+  FloorplanOptions options;
+  options.tile_mm = 1.0;
+  options.mm_per_cycle = 2.0;  // every 1 mm hop fits one cycle
+  const Floorplan plan = make_floorplan(topo, options, rng);
+  apply_link_stages(topo, plan, options.mm_per_cycle);
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    EXPECT_EQ(topo.link(l).stages, 0u);
+  }
+}
+
+TEST(Floorplan, PipelinedNetworkStillDelivers) {
+  // Floorplan with a coarse clock reach -> multi-stage links -> the
+  // network must still carry transactions (go-back-N covers the depth).
+  auto topo = topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1));
+  Rng rng(6);
+  FloorplanOptions options;
+  options.tile_mm = 5.0;
+  options.mm_per_cycle = 2.0;  // 5 mm -> 3 cycles -> 2 relay stages
+  const Floorplan plan = make_floorplan(topo, options, rng);
+  apply_link_stages(topo, plan, options.mm_per_cycle);
+
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  noc::Network net(topo, cfg);
+  net.slave(3).poke(0, 0x77);
+  ocp::Transaction txn;
+  txn.cmd = ocp::Cmd::kRead;
+  txn.addr = net.target_base(3);
+  txn.burst_len = 1;
+  net.master(0).push_transaction(txn);
+  net.run_until_quiescent(10000);
+  ASSERT_EQ(net.master(0).completed().size(), 1u);
+  EXPECT_EQ(net.master(0).completed()[0].data.at(0), 0x77u);
+}
+
+TEST(Floorplan, LongerWiresLongerLatency) {
+  auto latency_for_tile = [](double tile_mm) {
+    auto topo =
+        topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1));
+    Rng rng(7);
+    FloorplanOptions options;
+    options.tile_mm = tile_mm;
+    options.mm_per_cycle = 2.0;
+    const Floorplan plan = make_floorplan(topo, options, rng);
+    apply_link_stages(topo, plan, options.mm_per_cycle);
+    noc::NetworkConfig cfg;
+    cfg.routing = topology::RoutingAlgorithm::kXY;
+    cfg.target_window = 1 << 12;
+    noc::Network net(topo, cfg);
+    ocp::Transaction txn;
+    txn.cmd = ocp::Cmd::kRead;
+    txn.addr = net.target_base(3);
+    txn.burst_len = 1;
+    net.master(0).push_transaction(txn);
+    net.run_until_quiescent(10000);
+    const auto& r = net.master(0).completed().at(0);
+    return r.complete_cycle - r.issue_cycle;
+  };
+  EXPECT_GT(latency_for_tile(8.0), latency_for_tile(1.0));
+}
+
+TEST(Floorplan, ExploreIntegration) {
+  const auto graph = mwd();
+  ExploreOptions options;
+  options.anneal_iterations = 2000;
+  options.sim_cycles = 2000;
+  options.net.target_window = 1 << 12;
+  options.floorplan_aware = true;
+  options.floorplan.tile_mm = 2.5;
+  options.floorplan.mm_per_cycle = 2.0;
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {"mesh_4x3",
+       topology::make_mesh(4, 3, topology::NiPlan::uniform(12, 0, 0))});
+  const auto results = explore(graph, candidates, options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].wire_mm, 0.0);
+  EXPECT_GE(results[0].max_link_stages, 1u);
+  EXPECT_GT(results[0].avg_latency_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace xpl::appgraph

@@ -1,0 +1,187 @@
+// Header packing, the ~50-bit claim, and route consumption.
+#include "src/packet/header.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace xpl {
+namespace {
+
+HeaderFormat small_format() {
+  HeaderFormat f;
+  f.port_bits = 3;
+  f.max_hops = 6;
+  f.node_bits = 5;
+  f.txn_bits = 4;
+  f.thread_bits = 2;
+  f.burst_bits = 5;
+  f.addr_bits = 16;
+  return f;
+}
+
+TEST(HeaderFormat, WidthIsSumOfFields) {
+  const HeaderFormat f = small_format();
+  EXPECT_EQ(f.route_bits(), 18u);
+  EXPECT_EQ(f.width(), 18u + 2 + 10 + 4 + 2 + 5 + 2 + 2 + 2 + 16);
+}
+
+TEST(HeaderFormat, PaperConfigIsAboutFiftyBits) {
+  // A typical paper configuration: 3x4 mesh, 19 NIs, 6-hop routes,
+  // 16-bit offsets — the header register the paper calls "about 50 bits".
+  const HeaderFormat f =
+      HeaderFormat::for_network(/*max_radix=*/6, /*num_nodes=*/19,
+                                /*diameter=*/6, /*addr_bits=*/16,
+                                /*max_burst=*/16, /*num_threads=*/4);
+  EXPECT_GE(f.width(), 45u);
+  EXPECT_LE(f.width(), 70u);
+}
+
+TEST(HeaderFormat, ForNetworkSizesFields) {
+  const HeaderFormat f = HeaderFormat::for_network(6, 19, 6, 16, 16, 4);
+  EXPECT_EQ(f.port_bits, 3u);   // 6 ports -> 3 bits
+  EXPECT_EQ(f.node_bits, 5u);   // 19 nodes -> 5 bits
+  EXPECT_EQ(f.max_hops, 6u);
+  EXPECT_EQ(f.burst_bits, 5u);  // lengths 0..16
+  EXPECT_EQ(f.thread_bits, 2u);
+}
+
+TEST(Header, PackUnpackRoundTrip) {
+  const HeaderFormat f = small_format();
+  Header h;
+  h.route = {1, 4, 2, 7};
+  h.cmd = PacketCmd::kRead;
+  h.src = 9;
+  h.dst = 23;
+  h.txn_id = 13;
+  h.thread_id = 3;
+  h.burst_len = 17;
+  h.sideband = true;
+  h.interrupt = false;
+  h.resp = 2;
+  h.addr = 0xBEEF;
+
+  const BitVector bits = pack_header(h, f);
+  EXPECT_EQ(bits.width(), f.width());
+  const Header back = unpack_header(bits, f);
+  EXPECT_EQ(back.cmd, h.cmd);
+  EXPECT_EQ(back.src, h.src);
+  EXPECT_EQ(back.dst, h.dst);
+  EXPECT_EQ(back.txn_id, h.txn_id);
+  EXPECT_EQ(back.thread_id, h.thread_id);
+  EXPECT_EQ(back.burst_len, h.burst_len);
+  EXPECT_EQ(back.sideband, h.sideband);
+  EXPECT_EQ(back.interrupt, h.interrupt);
+  EXPECT_EQ(back.resp, h.resp);
+  EXPECT_EQ(back.addr, h.addr);
+  // Unpacked route is padded to max_hops.
+  ASSERT_EQ(back.route.size(), f.max_hops);
+  for (std::size_t i = 0; i < h.route.size(); ++i) {
+    EXPECT_EQ(back.route[i], h.route[i]);
+  }
+}
+
+TEST(Header, RandomRoundTripSweep) {
+  const HeaderFormat f = small_format();
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    Header h;
+    const std::size_t hops = 1 + rng.next_below(f.max_hops);
+    for (std::size_t i = 0; i < hops; ++i) {
+      h.route.push_back(static_cast<std::uint8_t>(rng.next_below(8)));
+    }
+    h.cmd = static_cast<PacketCmd>(rng.next_below(4));
+    h.src = static_cast<std::uint32_t>(rng.next_below(32));
+    h.dst = static_cast<std::uint32_t>(rng.next_below(32));
+    h.txn_id = static_cast<std::uint32_t>(rng.next_below(16));
+    h.thread_id = static_cast<std::uint32_t>(rng.next_below(4));
+    h.burst_len = static_cast<std::uint32_t>(rng.next_below(32));
+    h.sideband = rng.chance(0.5);
+    h.interrupt = rng.chance(0.5);
+    h.resp = static_cast<std::uint8_t>(rng.next_below(4));
+    h.addr = rng.next_below(1u << 16);
+    const Header back = unpack_header(pack_header(h, f), f);
+    EXPECT_EQ(back.cmd, h.cmd);
+    EXPECT_EQ(back.addr, h.addr);
+    EXPECT_EQ(back.burst_len, h.burst_len);
+    for (std::size_t i = 0; i < hops; ++i) {
+      ASSERT_EQ(back.route[i], h.route[i]);
+    }
+  }
+}
+
+TEST(Header, FieldOverflowThrows) {
+  const HeaderFormat f = small_format();
+  Header h;
+  h.route = {1};
+  h.src = 32;  // node_bits = 5 -> max 31
+  EXPECT_THROW(pack_header(h, f), Error);
+  h.src = 0;
+  h.burst_len = 32;  // burst_bits = 5
+  EXPECT_THROW(pack_header(h, f), Error);
+  h.burst_len = 1;
+  h.route.assign(7, 0);  // max_hops = 6
+  EXPECT_THROW(pack_header(h, f), Error);
+}
+
+TEST(Header, RouteIsInLowBits) {
+  const HeaderFormat f = small_format();
+  Header h;
+  h.route = {5, 3};
+  const BitVector bits = pack_header(h, f);
+  EXPECT_EQ(bits.slice(0, 3), 5u);
+  EXPECT_EQ(bits.slice(3, 3), 3u);
+}
+
+TEST(Header, PeekAndConsumeRoute) {
+  const HeaderFormat f = small_format();
+  Header h;
+  h.route = {5, 3, 6, 1};
+  h.addr = 0xABCD;
+  BitVector flit0 = pack_header(h, f);  // fits in one "flit" here
+
+  EXPECT_EQ(peek_route_port(flit0, f.port_bits), 5u);
+  flit0 = consume_route_port(flit0, f.port_bits, f.route_bits());
+  EXPECT_EQ(peek_route_port(flit0, f.port_bits), 3u);
+  flit0 = consume_route_port(flit0, f.port_bits, f.route_bits());
+  EXPECT_EQ(peek_route_port(flit0, f.port_bits), 6u);
+  flit0 = consume_route_port(flit0, f.port_bits, f.route_bits());
+  EXPECT_EQ(peek_route_port(flit0, f.port_bits), 1u);
+  flit0 = consume_route_port(flit0, f.port_bits, f.route_bits());
+
+  // Non-route fields survive all shifts intact.
+  const Header back = unpack_header(flit0, f);
+  EXPECT_EQ(back.addr, 0xABCDu);
+  // Fully consumed route decodes as all zeros.
+  for (const auto p : back.route) EXPECT_EQ(p, 0);
+}
+
+TEST(Header, ConsumeOnlyTouchesRouteField) {
+  const HeaderFormat f = small_format();
+  Header h;
+  h.route = {7, 7, 7, 7, 7, 7};
+  h.cmd = PacketCmd::kWriteNp;
+  h.src = 21;
+  h.dst = 17;
+  h.addr = 0x1234;
+  BitVector bits = pack_header(h, f);
+  for (int i = 0; i < 6; ++i) {
+    bits = consume_route_port(bits, f.port_bits, f.route_bits());
+    const Header back = unpack_header(bits, f);
+    EXPECT_EQ(back.cmd, h.cmd);
+    EXPECT_EQ(back.src, h.src);
+    EXPECT_EQ(back.dst, h.dst);
+    EXPECT_EQ(back.addr, h.addr);
+  }
+}
+
+TEST(PacketCmdNames, AllDistinct) {
+  EXPECT_STREQ(packet_cmd_name(PacketCmd::kWrite), "WRITE");
+  EXPECT_STREQ(packet_cmd_name(PacketCmd::kRead), "READ");
+  EXPECT_STREQ(packet_cmd_name(PacketCmd::kWriteNp), "WRITE_NP");
+  EXPECT_STREQ(packet_cmd_name(PacketCmd::kResponse), "RESPONSE");
+}
+
+}  // namespace
+}  // namespace xpl

@@ -1,0 +1,97 @@
+// NI route look-up tables.
+#include "src/ni/lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace xpl::ni {
+namespace {
+
+TEST(RouteLut, LookupHitReturnsOffsetAndRoute) {
+  RouteLut lut;
+  lut.add_range({0x1000, 0x100, 5});
+  lut.set_route(5, Route{1, 2, 3});
+  const auto hit = lut.lookup(0x1042);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->dst, 5u);
+  EXPECT_EQ(hit->offset, 0x42u);
+  ASSERT_NE(hit->route, nullptr);
+  EXPECT_EQ(*hit->route, (Route{1, 2, 3}));
+}
+
+TEST(RouteLut, MissReturnsNullopt) {
+  RouteLut lut;
+  lut.add_range({0x1000, 0x100, 5});
+  lut.set_route(5, Route{1});
+  EXPECT_FALSE(lut.lookup(0x0FFF).has_value());
+  EXPECT_FALSE(lut.lookup(0x1100).has_value());
+}
+
+TEST(RouteLut, BoundariesAreInclusiveExclusive) {
+  RouteLut lut;
+  lut.add_range({0x100, 0x10, 1});
+  lut.set_route(1, Route{0});
+  EXPECT_TRUE(lut.lookup(0x100).has_value());
+  EXPECT_TRUE(lut.lookup(0x10F).has_value());
+  EXPECT_FALSE(lut.lookup(0x110).has_value());
+}
+
+TEST(RouteLut, OverlappingRangesRejected) {
+  RouteLut lut;
+  lut.add_range({0x0, 0x100, 0});
+  EXPECT_THROW(lut.add_range({0x80, 0x100, 1}), Error);
+  EXPECT_THROW(lut.add_range({0x0, 0x10, 2}), Error);
+  // Adjacent is fine.
+  lut.add_range({0x100, 0x100, 1});
+}
+
+TEST(RouteLut, EmptyRangeRejected) {
+  RouteLut lut;
+  EXPECT_THROW(lut.add_range({0x0, 0, 0}), Error);
+}
+
+TEST(RouteLut, RangeWithoutRouteFailsLookup) {
+  RouteLut lut;
+  lut.add_range({0x0, 0x100, 3});
+  EXPECT_THROW(lut.lookup(0x10), Error);
+}
+
+TEST(RouteLut, MultipleWindows) {
+  RouteLut lut;
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    lut.add_range({t * 0x1000ull, 0x1000, t});
+    lut.set_route(t, Route{static_cast<std::uint8_t>(t % 4)});
+  }
+  EXPECT_EQ(lut.num_ranges(), 8u);
+  EXPECT_EQ(lut.num_routes(), 8u);
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    const auto hit = lut.lookup(t * 0x1000ull + 0x123);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->dst, t);
+    EXPECT_EQ(hit->offset, 0x123u);
+  }
+}
+
+TEST(ResponseLut, RoutesPerSource) {
+  ResponseLut lut;
+  lut.set_route(2, Route{3, 1});
+  lut.set_route(7, Route{0});
+  ASSERT_NE(lut.route_to(2), nullptr);
+  EXPECT_EQ(*lut.route_to(2), (Route{3, 1}));
+  ASSERT_NE(lut.route_to(7), nullptr);
+  EXPECT_EQ(lut.route_to(3), nullptr);
+  EXPECT_EQ(lut.route_to(100), nullptr);
+  EXPECT_EQ(lut.num_routes(), 2u);
+}
+
+TEST(ResponseLut, RouteOverwrite) {
+  ResponseLut lut;
+  lut.set_route(1, Route{1});
+  lut.set_route(1, Route{2, 2});
+  EXPECT_EQ(*lut.route_to(1), (Route{2, 2}));
+  EXPECT_EQ(lut.num_routes(), 1u);
+}
+
+}  // namespace
+}  // namespace xpl::ni

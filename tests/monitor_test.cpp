@@ -1,0 +1,159 @@
+// OCP protocol monitor: clean traffic passes, violations are caught.
+#include "src/ocp/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ocp/agents.hpp"
+
+namespace xpl::ocp {
+namespace {
+
+struct Harness {
+  sim::Kernel kernel;
+  OcpWires wires;
+  MasterCore master;
+  SlaveCore slave;
+  Monitor monitor;
+
+  Harness()
+      : wires(OcpWires::make(kernel)),
+        master("master", wires, master_config()),
+        slave("slave", wires, {}),
+        monitor("monitor", wires) {
+    kernel.add_module(master);
+    kernel.add_module(slave);
+    kernel.add_module(monitor);
+  }
+
+  static MasterCore::Config master_config() {
+    MasterCore::Config c;
+    c.req_credits = SlaveCore::Config{}.req_fifo_depth;
+    return c;
+  }
+
+  void run() {
+    kernel.run_until([&] { return master.quiescent(); }, 5000);
+    kernel.run(20);
+  }
+};
+
+TEST(Monitor, CleanOnWellBehavedAgents) {
+  Harness h;
+  for (int k = 0; k < 10; ++k) {
+    Transaction txn;
+    txn.cmd = (k % 3 == 0) ? Cmd::kRead
+                           : (k % 3 == 1 ? Cmd::kWrite : Cmd::kWriteNp);
+    txn.burst_len = 1 + static_cast<std::uint32_t>(k % 4);
+    txn.addr = 0x100 * k;
+    txn.thread_id = static_cast<std::uint32_t>(k % 2);
+    if (txn.cmd != Cmd::kRead) {
+      txn.data.assign(txn.burst_len, 0xD0 + k);
+    }
+    h.master.push_transaction(txn);
+  }
+  h.run();
+  EXPECT_TRUE(h.monitor.clean())
+      << (h.monitor.violations().empty() ? ""
+                                         : h.monitor.violations().front());
+  EXPECT_EQ(h.monitor.transactions(), 10u);
+  EXPECT_GT(h.monitor.req_beats(), 0u);
+  EXPECT_GT(h.monitor.resp_beats(), 0u);
+}
+
+// Drives raw beats straight onto the wires to provoke violations.
+class RawDriver : public sim::Module {
+ public:
+  RawDriver(const OcpWires& wires, std::vector<ReqBeat> beats)
+      : sim::Module("raw"), wire_(wires.req.data), beats_(std::move(beats)) {}
+
+  void tick(sim::Kernel&) override {
+    if (next_ < beats_.size()) {
+      wire_->write(sim::Beat<ReqBeat>{true, beats_[next_++]});
+    } else {
+      wire_->write(sim::Beat<ReqBeat>{});
+    }
+  }
+
+ private:
+  sim::Signal<sim::Beat<ReqBeat>>* wire_;
+  std::vector<ReqBeat> beats_;
+  std::size_t next_ = 0;
+};
+
+ReqBeat beat(Cmd cmd, std::uint32_t burst, std::uint32_t index,
+             std::uint32_t thread = 0) {
+  ReqBeat b;
+  b.valid = true;
+  b.cmd = cmd;
+  b.burst_len = burst;
+  b.beat_index = index;
+  b.thread_id = thread;
+  return b;
+}
+
+struct RawHarness {
+  sim::Kernel kernel;
+  OcpWires wires;
+
+  RawHarness() : wires(OcpWires::make(kernel)) {}
+
+  std::vector<std::string> run(std::vector<ReqBeat> beats) {
+    RawDriver driver(wires, std::move(beats));
+    Monitor monitor("monitor", wires);
+    kernel.add_module(driver);
+    kernel.add_module(monitor);
+    kernel.run(20);
+    return monitor.violations();
+  }
+};
+
+TEST(Monitor, CatchesBadFirstBeatIndex) {
+  RawHarness h;
+  const auto violations = h.run({beat(Cmd::kWrite, 2, 1)});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("beat_index"), std::string::npos);
+}
+
+TEST(Monitor, CatchesBurstLenChange) {
+  RawHarness h;
+  auto b0 = beat(Cmd::kWrite, 3, 0);
+  auto b1 = beat(Cmd::kWrite, 4, 1);  // burst_len changed
+  const auto violations = h.run({b0, b1});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("burst_len changed"), std::string::npos);
+}
+
+TEST(Monitor, CatchesThreadInterleaving) {
+  RawHarness h;
+  auto b0 = beat(Cmd::kWrite, 2, 0, /*thread=*/0);
+  auto b1 = beat(Cmd::kWrite, 2, 1, /*thread=*/1);  // wrong thread
+  const auto violations = h.run({b0, b1});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("thread changed"), std::string::npos);
+}
+
+TEST(Monitor, CatchesIdleCmdBeat) {
+  RawHarness h;
+  const auto violations = h.run({beat(Cmd::kIdle, 1, 0)});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("IDLE"), std::string::npos);
+}
+
+TEST(Monitor, CatchesOrphanResponse) {
+  sim::Kernel kernel;
+  const auto wires = OcpWires::make(kernel);
+  Monitor monitor("monitor", wires);
+  kernel.add_module(monitor);
+  RespBeat resp;
+  resp.valid = true;
+  resp.resp = Resp::kDva;
+  resp.last = true;
+  wires.resp.data->write(sim::Beat<RespBeat>{true, resp});
+  kernel.run(2);
+  ASSERT_FALSE(monitor.violations().empty());
+  EXPECT_NE(monitor.violations()[0].find("nothing outstanding"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpl::ocp

@@ -1,0 +1,211 @@
+// OCP master/slave agents wired back to back (no network in between).
+#include "src/ocp/agents.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace xpl::ocp {
+namespace {
+
+struct Harness {
+  sim::Kernel kernel;
+  OcpWires wires;
+  MasterCore master;
+  SlaveCore slave;
+
+  explicit Harness(MasterCore::Config mcfg = {}, SlaveCore::Config scfg = {})
+      : wires(OcpWires::make(kernel)),
+        master("master", wires, align(mcfg, scfg)),
+        slave("slave", wires, scfg) {
+    kernel.add_module(master);
+    kernel.add_module(slave);
+  }
+
+  // Credits must mirror the peer's FIFO depths.
+  static MasterCore::Config align(MasterCore::Config mcfg,
+                                  const SlaveCore::Config& scfg) {
+    mcfg.req_credits = scfg.req_fifo_depth;
+    return mcfg;
+  }
+
+  void run_to_quiescent(std::size_t max_cycles = 2000) {
+    kernel.run_until([&] { return master.quiescent(); }, max_cycles);
+  }
+};
+
+TEST(OcpAgents, SingleReadReturnsWrittenData) {
+  Harness h;
+  h.slave.poke(0x100, 0xDEADBEEFCAFEF00Dull);
+
+  Transaction txn;
+  txn.cmd = Cmd::kRead;
+  txn.addr = 0x100;
+  txn.burst_len = 1;
+  h.master.push_transaction(txn);
+  h.run_to_quiescent();
+
+  ASSERT_EQ(h.master.completed().size(), 1u);
+  const auto& result = h.master.completed()[0];
+  EXPECT_EQ(result.resp, Resp::kDva);
+  ASSERT_EQ(result.data.size(), 1u);
+  EXPECT_EQ(result.data[0], 0xDEADBEEFCAFEF00Dull);
+  EXPECT_GT(result.complete_cycle, result.issue_cycle);
+}
+
+TEST(OcpAgents, PostedWriteLandsInMemory) {
+  Harness h;
+  Transaction txn;
+  txn.cmd = Cmd::kWrite;
+  txn.addr = 0x80;
+  txn.burst_len = 1;
+  txn.data = {0x1122334455667788ull};
+  h.master.push_transaction(txn);
+  h.run_to_quiescent();
+  h.kernel.run(50);  // posted: master quiesces before the slave commits
+  EXPECT_EQ(h.slave.peek(0x80), 0x1122334455667788ull);
+}
+
+TEST(OcpAgents, WriteBurstThenReadBurst) {
+  Harness h;
+  Transaction wr;
+  wr.cmd = Cmd::kWrite;
+  wr.addr = 0x200;
+  wr.burst_len = 4;
+  wr.data = {1, 2, 3, 4};
+  h.master.push_transaction(wr);
+
+  Transaction rd;
+  rd.cmd = Cmd::kRead;
+  rd.addr = 0x200;
+  rd.burst_len = 4;
+  h.master.push_transaction(rd);
+  h.run_to_quiescent();
+
+  ASSERT_EQ(h.master.completed().size(), 2u);
+  const auto& result = h.master.completed()[1];
+  ASSERT_EQ(result.data.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.data[i], i + 1);
+  }
+}
+
+TEST(OcpAgents, NonPostedWriteGetsCompletion) {
+  Harness h;
+  Transaction txn;
+  txn.cmd = Cmd::kWriteNp;
+  txn.addr = 0x40;
+  txn.burst_len = 2;
+  txn.data = {7, 8};
+  h.master.push_transaction(txn);
+  h.run_to_quiescent();
+  ASSERT_EQ(h.master.completed().size(), 1u);
+  EXPECT_EQ(h.master.completed()[0].resp, Resp::kDva);
+  EXPECT_EQ(h.slave.peek(0x40), 7u);
+  EXPECT_EQ(h.slave.peek(0x48), 8u);
+}
+
+TEST(OcpAgents, OutOfRangeAccessErrs) {
+  SlaveCore::Config scfg;
+  scfg.size_bytes = 0x100;
+  Harness h({}, scfg);
+  Transaction txn;
+  txn.cmd = Cmd::kRead;
+  txn.addr = 0x1000;
+  txn.burst_len = 1;
+  h.master.push_transaction(txn);
+  h.run_to_quiescent();
+  ASSERT_EQ(h.master.completed().size(), 1u);
+  EXPECT_EQ(h.master.completed()[0].resp, Resp::kErr);
+}
+
+TEST(OcpAgents, SidebandFlagLoopsBackAsInterrupt) {
+  Harness h;
+  Transaction txn;
+  txn.cmd = Cmd::kWriteNp;
+  txn.addr = 0x10;
+  txn.burst_len = 1;
+  txn.data = {42};
+  txn.sideband_flag = true;
+  h.master.push_transaction(txn);
+  h.run_to_quiescent();
+  ASSERT_EQ(h.master.completed().size(), 1u);
+}
+
+TEST(OcpAgents, ManyTransactionsAllComplete) {
+  Harness h;
+  h.slave.poke(0, 123);
+  for (int i = 0; i < 32; ++i) {
+    Transaction txn;
+    if (i % 3 == 0) {
+      txn.cmd = Cmd::kWrite;
+      txn.data = {static_cast<std::uint64_t>(i)};
+    } else {
+      txn.cmd = Cmd::kRead;
+    }
+    txn.addr = static_cast<std::uint64_t>(i) * 8;
+    txn.burst_len = 1;
+    h.master.push_transaction(txn);
+  }
+  h.run_to_quiescent(5000);
+  EXPECT_TRUE(h.master.quiescent());
+  EXPECT_EQ(h.master.completed().size(), 32u);
+}
+
+TEST(OcpAgents, ThreadsInterleaveIndependently) {
+  Harness h;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    Transaction txn;
+    txn.cmd = Cmd::kRead;
+    txn.addr = 0x300 + 8 * t;
+    txn.burst_len = 1;
+    txn.thread_id = t;
+    h.slave.poke(txn.addr, 0x1000 + t);
+    h.master.push_transaction(txn);
+  }
+  h.run_to_quiescent();
+  ASSERT_EQ(h.master.completed().size(), 4u);
+  for (const auto& result : h.master.completed()) {
+    ASSERT_EQ(result.data.size(), 1u);
+    EXPECT_EQ(result.data[0], 0x1000u + result.thread_id);
+  }
+}
+
+TEST(OcpAgents, WriteBurstLengthMismatchRejected) {
+  Harness h;
+  Transaction txn;
+  txn.cmd = Cmd::kWrite;
+  txn.burst_len = 3;
+  txn.data = {1, 2};  // mismatch
+  EXPECT_THROW(h.master.push_transaction(txn), Error);
+}
+
+TEST(OcpAgents, SlaveLatencyDelaysResponse) {
+  SlaveCore::Config fast;
+  fast.latency = 0;
+  SlaveCore::Config slow;
+  slow.latency = 40;
+
+  auto measure = [](SlaveCore::Config scfg) {
+    Harness h({}, scfg);
+    Transaction txn;
+    txn.cmd = Cmd::kRead;
+    txn.addr = 0;
+    txn.burst_len = 1;
+    h.master.push_transaction(txn);
+    h.run_to_quiescent();
+    const auto& result = h.master.completed().at(0);
+    return result.complete_cycle - result.issue_cycle;
+  };
+  EXPECT_GE(measure(slow), measure(fast) + 35);
+}
+
+TEST(OcpAgents, CmdAndRespNames) {
+  EXPECT_STREQ(cmd_name(Cmd::kRead), "READ");
+  EXPECT_STREQ(cmd_name(Cmd::kWrite), "WRITE");
+  EXPECT_STREQ(resp_name(Resp::kDva), "DVA");
+  EXPECT_STREQ(resp_name(Resp::kErr), "ERR");
+}
+
+}  // namespace
+}  // namespace xpl::ocp

@@ -1,0 +1,187 @@
+// Packetization round trips at every paper flit width.
+#include "src/packet/packetizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace xpl {
+namespace {
+
+PacketFormat format_for(std::size_t flit_width, std::size_t beat_width = 32) {
+  PacketFormat f;
+  f.header.port_bits = 3;
+  f.header.max_hops = 4;  // 12 route bits: fits even 16-bit flits
+  f.header.node_bits = 5;
+  f.header.txn_bits = 4;
+  f.header.thread_bits = 2;
+  f.header.burst_bits = 5;
+  f.header.addr_bits = 16;
+  f.flit_width = flit_width;
+  f.beat_width = beat_width;
+  return f;
+}
+
+Packet sample_packet(Rng& rng, const PacketFormat& f, std::size_t beats) {
+  Packet p;
+  p.header.route = {1, 2, 3};
+  p.header.cmd = beats ? PacketCmd::kWrite : PacketCmd::kRead;
+  p.header.src = 4;
+  p.header.dst = 11;
+  p.header.txn_id = 7;
+  p.header.burst_len = static_cast<std::uint32_t>(beats ? beats : 4);
+  p.header.addr = 0x5678;
+  for (std::size_t b = 0; b < beats; ++b) {
+    BitVector beat(f.beat_width);
+    for (std::size_t i = 0; i < f.beat_width; ++i) {
+      beat.set(i, rng.chance(0.5));
+    }
+    p.beats.push_back(std::move(beat));
+  }
+  return p;
+}
+
+TEST(PacketFormat, FlitCountsMatchCeilingDivision) {
+  const PacketFormat f = format_for(16);
+  EXPECT_EQ(f.header_flits(), ceil_div(f.header.width(), 16));
+  EXPECT_EQ(f.flits_per_beat(), 2u);  // 32-bit beats over 16-bit flits
+  EXPECT_EQ(f.packet_flits(3), f.header_flits() + 6);
+}
+
+TEST(PacketFormat, RouteMustFitFirstFlit) {
+  PacketFormat f = format_for(16);
+  f.header.max_hops = 8;  // 24 route bits > 16-bit flit
+  EXPECT_THROW(f.validate(), Error);
+}
+
+TEST(Packetize, HeadAndTailMarks) {
+  Rng rng(1);
+  const PacketFormat f = format_for(32);
+  const Packet p = sample_packet(rng, f, 2);
+  const auto flits = packetize(p, f);
+  ASSERT_EQ(flits.size(), f.packet_flits(2));
+  EXPECT_TRUE(flits.front().head);
+  EXPECT_TRUE(flits.back().tail);
+  for (std::size_t i = 1; i < flits.size(); ++i) {
+    EXPECT_FALSE(flits[i].head);
+  }
+  for (std::size_t i = 0; i + 1 < flits.size(); ++i) {
+    EXPECT_FALSE(flits[i].tail);
+  }
+}
+
+TEST(Packetize, HeaderOnlyPacketIsSingleFlitWhenWide) {
+  Rng rng(2);
+  const PacketFormat f = format_for(64);
+  const Packet p = sample_packet(rng, f, 0);
+  const auto flits = packetize(p, f);
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_TRUE(flits[0].head);
+  EXPECT_TRUE(flits[0].tail);
+}
+
+TEST(Packetize, BeatWidthMismatchThrows) {
+  Rng rng(3);
+  const PacketFormat f = format_for(32);
+  Packet p = sample_packet(rng, f, 1);
+  p.beats[0] = BitVector(16);
+  EXPECT_THROW(packetize(p, f), Error);
+}
+
+// Round-trip across the paper's flit-width sweep and several burst sizes.
+class RoundTripSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(RoundTripSweep, PacketSurvives) {
+  const auto [flit_width, beats] = GetParam();
+  Rng rng(flit_width * 100 + beats);
+  const PacketFormat f = format_for(flit_width);
+  const Packet p = sample_packet(rng, f, beats);
+  const auto flits = packetize(p, f);
+
+  Depacketizer depack(f);
+  std::optional<Packet> out;
+  for (std::size_t i = 0; i < flits.size(); ++i) {
+    ASSERT_FALSE(out.has_value());
+    out = depack.push(flits[i]);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(depack.idle());
+
+  EXPECT_EQ(out->header.cmd, p.header.cmd);
+  EXPECT_EQ(out->header.src, p.header.src);
+  EXPECT_EQ(out->header.dst, p.header.dst);
+  EXPECT_EQ(out->header.txn_id, p.header.txn_id);
+  EXPECT_EQ(out->header.burst_len, p.header.burst_len);
+  EXPECT_EQ(out->header.addr, p.header.addr);
+  ASSERT_EQ(out->beats.size(), p.beats.size());
+  for (std::size_t b = 0; b < beats; ++b) {
+    EXPECT_EQ(out->beats[b], p.beats[b]) << "beat " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperWidths, RoundTripSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(16, 32, 64, 128),
+                       ::testing::Values<std::size_t>(0, 1, 3, 8)));
+
+TEST(Depacketizer, BackToBackPackets) {
+  Rng rng(9);
+  const PacketFormat f = format_for(32);
+  Depacketizer depack(f);
+  for (int round = 0; round < 5; ++round) {
+    const Packet p = sample_packet(rng, f, round % 3);
+    std::optional<Packet> out;
+    for (const Flit& flit : packetize(p, f)) {
+      out = depack.push(flit);
+    }
+    ASSERT_TRUE(out.has_value()) << "round " << round;
+    EXPECT_EQ(out->beats.size(), p.beats.size());
+  }
+}
+
+TEST(Depacketizer, RejectsBodyFirst) {
+  const PacketFormat f = format_for(32);
+  Depacketizer depack(f);
+  Flit body(BitVector(32), /*head=*/false, /*tail=*/false);
+  EXPECT_THROW(depack.push(body), Error);
+}
+
+TEST(Depacketizer, RejectsHeadMidPacket) {
+  Rng rng(10);
+  const PacketFormat f = format_for(16);  // header spans several flits
+  Depacketizer depack(f);
+  const Packet p = sample_packet(rng, f, 1);
+  const auto flits = packetize(p, f);
+  ASSERT_GE(flits.size(), 2u);
+  depack.push(flits[0]);
+  Flit bad = flits[1];
+  bad.head = true;
+  EXPECT_THROW(depack.push(bad), Error);
+}
+
+TEST(Depacketizer, RejectsWrongWidthFlit) {
+  const PacketFormat f = format_for(32);
+  Depacketizer depack(f);
+  Flit flit(BitVector(16), true, true);
+  EXPECT_THROW(depack.push(flit), Error);
+}
+
+TEST(Depacketizer, FlitCounterTracksProgress) {
+  Rng rng(11);
+  const PacketFormat f = format_for(16);
+  Depacketizer depack(f);
+  const Packet p = sample_packet(rng, f, 2);
+  const auto flits = packetize(p, f);
+  for (std::size_t i = 0; i + 1 < flits.size(); ++i) {
+    depack.push(flits[i]);
+    EXPECT_EQ(depack.flits_so_far(), i + 1);
+  }
+  depack.push(flits.back());
+  EXPECT_EQ(depack.flits_so_far(), 0u);  // reset after completion
+}
+
+}  // namespace
+}  // namespace xpl

@@ -1,0 +1,66 @@
+// Pareto-front selection over exploration results.
+#include <gtest/gtest.h>
+
+#include "src/appgraph/explore.hpp"
+
+namespace xpl::appgraph {
+namespace {
+
+ExplorationResult point(const char* name, double area, double power,
+                        double latency) {
+  ExplorationResult r;
+  r.name = name;
+  r.area_mm2 = area;
+  r.power_mw = power;
+  r.avg_latency_cycles = latency;
+  return r;
+}
+
+TEST(Pareto, SinglePointIsFront) {
+  const std::vector<ExplorationResult> results{point("a", 1, 1, 1)};
+  EXPECT_EQ(pareto_front(results), (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, DominatedPointRemoved) {
+  const std::vector<ExplorationResult> results{
+      point("good", 1.0, 10.0, 50.0),
+      point("bad", 1.5, 12.0, 60.0),  // worse everywhere
+  };
+  EXPECT_EQ(pareto_front(results), (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, TradeoffsAllSurvive) {
+  const std::vector<ExplorationResult> results{
+      point("small_slow", 1.0, 10.0, 80.0),
+      point("big_fast", 2.0, 20.0, 40.0),
+      point("mid", 1.5, 15.0, 60.0),
+  };
+  EXPECT_EQ(pareto_front(results), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Pareto, MixedSet) {
+  const std::vector<ExplorationResult> results{
+      point("a", 1.0, 10.0, 80.0),   // front (smallest)
+      point("b", 2.0, 20.0, 40.0),   // front (fastest)
+      point("c", 2.1, 21.0, 41.0),   // dominated by b
+      point("d", 1.0, 10.0, 90.0),   // dominated by a
+      point("e", 1.2, 9.0, 85.0),    // front (least power)
+  };
+  EXPECT_EQ(pareto_front(results), (std::vector<std::size_t>{0, 1, 4}));
+}
+
+TEST(Pareto, DuplicatesBothSurvive) {
+  // Equal points do not dominate each other (no strict improvement).
+  const std::vector<ExplorationResult> results{
+      point("x", 1.0, 10.0, 50.0),
+      point("y", 1.0, 10.0, 50.0),
+  };
+  EXPECT_EQ(pareto_front(results), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+}  // namespace
+}  // namespace xpl::appgraph

@@ -1,0 +1,99 @@
+// Statistical sanity tests for the simulation RNG.
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xpl {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(77);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(77);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(21);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(33);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(55);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BitBalance) {
+  Rng rng(67);
+  std::size_t ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(rng.next_u64()));
+  }
+  const double frac = static_cast<double>(ones) / (64.0 * n);
+  EXPECT_NEAR(frac, 0.5, 0.005);
+}
+
+}  // namespace
+}  // namespace xpl

@@ -1,0 +1,136 @@
+// NoC specification parsing, writing, and round-tripping.
+#include "src/compiler/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/topology/generators.hpp"
+
+namespace xpl::compiler {
+namespace {
+
+const char kSample[] = R"(# a small custom NoC
+noc sample
+flit_width 64
+beat_width 32
+max_burst 8
+threads 2
+target_window 8192
+routing updown
+arbiter fixed
+crc crc16
+
+switch hub
+switch leaf_a coord 0 1
+switch leaf_b coord 1 1
+link hub leaf_a stages 2
+link leaf_a hub stages 2
+link hub leaf_b
+link leaf_b hub
+initiator cpu0 at leaf_a
+initiator cpu1 at leaf_b
+target mem0 at hub
+)";
+
+TEST(SpecIo, ParsesEveryDirective) {
+  const NocSpec spec = parse_spec(kSample);
+  EXPECT_EQ(spec.name, "sample");
+  EXPECT_EQ(spec.net.flit_width, 64u);
+  EXPECT_EQ(spec.net.beat_width, 32u);
+  EXPECT_EQ(spec.net.max_burst, 8u);
+  EXPECT_EQ(spec.net.num_threads, 2u);
+  EXPECT_EQ(spec.net.target_window, 8192u);
+  EXPECT_EQ(spec.net.routing, topology::RoutingAlgorithm::kUpDown);
+  EXPECT_EQ(spec.net.arbiter, switchlib::ArbiterKind::kFixedPriority);
+  EXPECT_EQ(spec.net.crc, CrcKind::kCrc16);
+
+  EXPECT_EQ(spec.topo.num_switches(), 3u);
+  EXPECT_EQ(spec.topo.num_links(), 4u);
+  EXPECT_EQ(spec.topo.num_nis(), 3u);
+  EXPECT_EQ(spec.topo.switch_node(0).name, "hub");
+  EXPECT_EQ(spec.topo.switch_node(1).x, 0);
+  EXPECT_EQ(spec.topo.switch_node(1).y, 1);
+  EXPECT_EQ(spec.topo.link(0).stages, 2u);
+  EXPECT_EQ(spec.topo.link(2).stages, 0u);
+  EXPECT_EQ(spec.topo.ni(0).name, "cpu0");
+  EXPECT_TRUE(spec.topo.ni(0).initiator);
+  EXPECT_FALSE(spec.topo.ni(2).initiator);
+}
+
+TEST(SpecIo, ParsedSpecCompilesAndSimulates) {
+  const NocSpec spec = parse_spec(kSample);
+  XpipesCompiler xpipes;
+  auto net = xpipes.build_simulation(spec);
+  net->slave(0).poke(0x8, 0x1234);
+  ocp::Transaction txn;
+  txn.cmd = ocp::Cmd::kRead;
+  txn.addr = net->target_base(0) + 0x8;
+  txn.burst_len = 1;
+  net->master(0).push_transaction(txn);
+  net->run_until_quiescent(10000);
+  ASSERT_EQ(net->master(0).completed().size(), 1u);
+  EXPECT_EQ(net->master(0).completed()[0].data.at(0), 0x1234u);
+}
+
+TEST(SpecIo, RoundTripIsStable) {
+  const NocSpec spec = parse_spec(kSample);
+  const std::string once = write_spec(spec);
+  const std::string twice = write_spec(parse_spec(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SpecIo, GeneratedTopologyRoundTrips) {
+  NocSpec spec;
+  spec.name = "mesh";
+  spec.topo = topology::make_mesh(
+      3, 2, topology::NiPlan::uniform(6, 1, 1), /*link_stages=*/1);
+  spec.net.routing = topology::RoutingAlgorithm::kXY;
+  const NocSpec back = parse_spec(write_spec(spec));
+  EXPECT_EQ(back.topo.num_switches(), spec.topo.num_switches());
+  EXPECT_EQ(back.topo.num_links(), spec.topo.num_links());
+  EXPECT_EQ(back.topo.num_nis(), spec.topo.num_nis());
+  for (std::uint32_t l = 0; l < spec.topo.num_links(); ++l) {
+    EXPECT_EQ(back.topo.link(l).from, spec.topo.link(l).from);
+    EXPECT_EQ(back.topo.link(l).to, spec.topo.link(l).to);
+    EXPECT_EQ(back.topo.link(l).stages, spec.topo.link(l).stages);
+  }
+  // Coordinates survive, so XY routing still works.
+  EXPECT_EQ(back.topo.switch_node(4).x, spec.topo.switch_node(4).x);
+}
+
+TEST(SpecIo, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/xpl_spec.noc";
+  save_spec(parse_spec(kSample), path);
+  const NocSpec spec = load_spec(path);
+  EXPECT_EQ(spec.name, "sample");
+  EXPECT_EQ(spec.topo.num_switches(), 3u);
+}
+
+TEST(SpecIo, ErrorsCarryLineNumbers) {
+  try {
+    parse_spec("noc x\nbogus_directive 3\n");
+    FAIL() << "expected xpl::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SpecIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_spec("flit_width\n"), Error);
+  EXPECT_THROW(parse_spec("flit_width abc\n"), Error);
+  EXPECT_THROW(parse_spec("link a b\n"), Error);  // unknown switches
+  EXPECT_THROW(parse_spec("switch a\nswitch a\n"), Error);  // duplicate
+  EXPECT_THROW(parse_spec("routing diagonal\n"), Error);
+  EXPECT_THROW(parse_spec("switch a\ninitiator x on a\n"), Error);
+}
+
+TEST(SpecIo, CommentsAndBlanksIgnored) {
+  const NocSpec spec = parse_spec(
+      "# comment\n\nnoc c   # trailing comment\n\nswitch s0\nswitch s1\n"
+      "link s0 s1\nlink s1 s0\ninitiator i at s0\ntarget t at s1\n");
+  EXPECT_EQ(spec.name, "c");
+  EXPECT_EQ(spec.topo.num_links(), 2u);
+}
+
+}  // namespace
+}  // namespace xpl::compiler

@@ -1,0 +1,112 @@
+// Extended statistics: histograms, link loads, CSV export.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/common/error.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/stats.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace xpl::traffic {
+namespace {
+
+std::unique_ptr<noc::Network> loaded_net(double rate = 0.06) {
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  auto net = std::make_unique<noc::Network>(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  TrafficConfig tcfg;
+  tcfg.injection_rate = rate;
+  tcfg.read_fraction = 1.0;
+  tcfg.seed = 8;
+  TrafficDriver driver(*net, tcfg);
+  driver.run(3000);
+  net->run_until_quiescent(50000);
+  return net;
+}
+
+TEST(Histogram, CountsMatchLatencyStats) {
+  auto net = loaded_net();
+  const auto lat = collect_latency(*net);
+  const auto hist = collect_histogram(*net, 5);
+  EXPECT_EQ(hist.total, lat.count);
+  std::uint64_t sum = 0;
+  for (const auto b : hist.bins) sum += b;
+  EXPECT_EQ(sum, hist.total);
+  // The bin containing the minimum is the first nonempty one.
+  const std::size_t first_bin = lat.min / 5;
+  for (std::size_t i = 0; i < first_bin; ++i) {
+    EXPECT_EQ(hist.bins[i], 0u);
+  }
+  EXPECT_GT(hist.bins[first_bin], 0u);
+}
+
+TEST(Histogram, CdfMonotoneAndBounded) {
+  auto net = loaded_net();
+  const auto hist = collect_histogram(*net, 10);
+  double prev = 0.0;
+  for (std::uint64_t l = 0; l < 500; l += 10) {
+    const double c = hist.cdf(l);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(hist.cdf(100000), 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsZeroBinWidth) {
+  auto net = loaded_net(0.01);
+  EXPECT_THROW(collect_histogram(*net, 0), Error);
+}
+
+TEST(Histogram, ToStringListsNonEmptyBins) {
+  auto net = loaded_net();
+  const auto hist = collect_histogram(*net, 10);
+  const std::string s = hist.to_string();
+  EXPECT_FALSE(s.empty());
+  EXPECT_NE(s.find("["), std::string::npos);
+}
+
+TEST(LinkLoads, SortedAndConsistent) {
+  auto net = loaded_net();
+  const auto loads = collect_link_loads(*net, 3000);
+  ASSERT_EQ(loads.size(), net->links().size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(loads[i].flits, loads[i - 1].flits);
+    }
+    EXPECT_FALSE(loads[i].name.empty());
+    EXPECT_EQ(loads[i].corrupted, 0u);  // no error injection here
+    total += loads[i].flits;
+  }
+  EXPECT_EQ(total, net->total_link_flits());
+}
+
+TEST(LatencyCsv, WritesOneRowPerTransaction) {
+  auto net = loaded_net();
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < net->num_initiators(); ++i) {
+    completed += net->master(i).completed().size();
+  }
+  const std::string path = ::testing::TempDir() + "/xpl_lat.csv";
+  const std::size_t rows = write_latency_csv(*net, path);
+  EXPECT_EQ(rows, completed);
+
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "initiator,thread,issue_cycle,complete_cycle,latency,beats");
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, rows);
+}
+
+}  // namespace
+}  // namespace xpl::traffic

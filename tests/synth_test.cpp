@@ -1,0 +1,222 @@
+// Synthesis model: structural scaling laws and calibration anchors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/synth/component_models.hpp"
+#include "src/synth/estimator.hpp"
+
+namespace xpl::synth {
+namespace {
+
+switchlib::SwitchConfig switch_config(std::size_t n_in, std::size_t n_out,
+                                      std::size_t flit_width) {
+  switchlib::SwitchConfig cfg;
+  cfg.num_inputs = n_in;
+  cfg.num_outputs = n_out;
+  cfg.flit_width = flit_width;
+  cfg.port_bits = 3;
+  cfg.route_bits = std::min<std::size_t>(24, flit_width);
+  cfg.protocol = link::ProtocolConfig::for_link(0);
+  return cfg;
+}
+
+ni::InitiatorConfig ini_config(std::size_t flit_width) {
+  ni::InitiatorConfig cfg;
+  cfg.format.flit_width = flit_width;
+  cfg.format.beat_width = 32;
+  cfg.format.header.max_hops = std::min<std::size_t>(8, flit_width / 3);
+  cfg.protocol = link::ProtocolConfig::for_link(0);
+  return cfg;
+}
+
+ni::TargetConfig tgt_config(std::size_t flit_width) {
+  ni::TargetConfig cfg;
+  cfg.format.flit_width = flit_width;
+  cfg.format.beat_width = 32;
+  cfg.format.header.max_hops = std::min<std::size_t>(8, flit_width / 3);
+  cfg.protocol = link::ProtocolConfig::for_link(0);
+  return cfg;
+}
+
+TEST(Netlist, PrimitivesArePositiveAndMonotone) {
+  EXPECT_GT(fifo(4, 32).flops, fifo(2, 32).flops);
+  EXPECT_GT(fifo(4, 64).flops, fifo(4, 32).flops);
+  EXPECT_GT(mux(32, 6).combinational, mux(32, 4).combinational);
+  EXPECT_GT(crc_logic(64, 8).combinational, crc_logic(32, 8).combinational);
+  EXPECT_GT(rr_arbiter(8).combinational, rr_arbiter(4).combinational);
+  EXPECT_GT(lut_rom(16, 30).combinational, lut_rom(4, 30).combinational);
+  EXPECT_EQ(mux(32, 1).combinational, 0.0);
+  EXPECT_EQ(crc_logic(32, 0).combinational, 0.0);
+}
+
+TEST(SwitchNetlist, GrowsWithFlitWidth) {
+  double prev = 0;
+  for (const std::size_t w : {16u, 32u, 64u, 128u}) {
+    const auto n = build_switch_netlist(switch_config(4, 4, w));
+    const double gates = n.combinational + n.flops * 5.2;
+    EXPECT_GT(gates, prev) << "width " << w;
+    prev = gates;
+  }
+}
+
+TEST(SwitchNetlist, BuffersDominate) {
+  // The paper's switch is buffer-heavy (output queued + retransmission);
+  // flops must dominate the gate count at 32 bits.
+  const auto n = build_switch_netlist(switch_config(4, 4, 32));
+  EXPECT_GT(n.flops * 5.2, n.combinational);
+}
+
+TEST(SwitchNetlist, GrowsWithRadix) {
+  const auto a = build_switch_netlist(switch_config(4, 4, 32));
+  const auto b = build_switch_netlist(switch_config(6, 4, 32));
+  const auto c = build_switch_netlist(switch_config(8, 8, 32));
+  EXPECT_GT(b.flops + b.combinational, a.flops + a.combinational);
+  EXPECT_GT(c.flops + c.combinational, b.flops + b.combinational);
+}
+
+TEST(SwitchNetlist, ExtraPipelineCostsFlops) {
+  auto cfg2 = switch_config(4, 4, 32);
+  auto cfg7 = switch_config(4, 4, 32);
+  cfg7.extra_pipeline = 5;
+  EXPECT_GT(build_switch_netlist(cfg7).flops,
+            build_switch_netlist(cfg2).flops);
+}
+
+TEST(NiNetlists, GrowWithFlitWidth) {
+  double prev_i = 0;
+  double prev_t = 0;
+  for (const std::size_t w : {16u, 32u, 64u, 128u}) {
+    const auto i = build_initiator_ni_netlist(ini_config(w), 8);
+    const auto t = build_target_ni_netlist(tgt_config(w), 8);
+    const double gi = i.combinational + i.flops * 5.2;
+    const double gt = t.combinational + t.flops * 5.2;
+    EXPECT_GT(gi, prev_i);
+    EXPECT_GT(gt, prev_t);
+    prev_i = gi;
+    prev_t = gt;
+  }
+}
+
+TEST(NiNetlists, LutScalesWithPeers) {
+  const auto few = build_initiator_ni_netlist(ini_config(32), 2);
+  const auto many = build_initiator_ni_netlist(ini_config(32), 32);
+  EXPECT_GT(many.combinational, few.combinational);
+}
+
+TEST(Estimator, NominalBelowMaxFmax) {
+  Estimator est;
+  for (double levels : {10.0, 15.0, 20.0}) {
+    EXPECT_LT(est.nominal_fmax_mhz(levels), est.max_fmax_mhz(levels));
+    EXPECT_GT(est.nominal_fmax_mhz(levels), 0.0);
+  }
+}
+
+TEST(Estimator, EffortMultiplierShape) {
+  Estimator est;
+  const double levels = 18.0;
+  const double nominal = est.nominal_fmax_mhz(levels);
+  const double fmax = est.max_fmax_mhz(levels);
+  // Relaxed timing: multiplier 1.
+  EXPECT_DOUBLE_EQ(est.effort_multiplier(levels, nominal * 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(est.effort_multiplier(levels, nominal), 1.0);
+  // Tightening: monotone growth up to 1 + penalty at fmax.
+  double prev = 1.0;
+  for (double f = nominal * 1.05; f < fmax; f += (fmax - nominal) / 8) {
+    const double m = est.effort_multiplier(levels, f);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+  EXPECT_LE(prev, 1.0 + est.tech().effort_area_penalty + 1e-9);
+  // Beyond fmax: infeasible.
+  EXPECT_FALSE(std::isfinite(est.effort_multiplier(levels, fmax * 1.05)));
+}
+
+TEST(Estimator, PowerScalesWithFrequency) {
+  Estimator est;
+  const auto n = build_switch_netlist(switch_config(4, 4, 32));
+  const double levels = switch_logic_levels(switch_config(4, 4, 32));
+  const auto e500 = est.estimate(n, levels, 500.0);
+  const auto e900 = est.estimate(n, levels, 900.0);
+  EXPECT_GT(e900.power_mw, 1.6 * e500.power_mw);
+}
+
+TEST(Estimator, InfeasibleTargetFlagged) {
+  Estimator est;
+  const auto n = build_switch_netlist(switch_config(4, 4, 32));
+  const auto e = est.estimate(n, 18.0, 10000.0);
+  EXPECT_FALSE(e.feasible);
+}
+
+// ---- Calibration anchors from the paper (DESIGN.md §5). These pin the
+// model to the published numbers; loosen only with a documented
+// recalibration.
+
+TEST(Calibration, Switch4x4At32BitNearPaper) {
+  Estimator est;
+  const auto cfg = switch_config(4, 4, 32);
+  const auto e = est.estimate(build_switch_netlist(cfg),
+                              switch_logic_levels(cfg), 1000.0);
+  EXPECT_TRUE(e.feasible) << "4x4 32-bit must close 1 GHz";
+  EXPECT_GT(e.area_mm2, 0.08);
+  EXPECT_LT(e.area_mm2, 0.22);
+}
+
+TEST(Calibration, Switch6x4SlowerThan4x4) {
+  Estimator est;
+  const auto cfg44 = switch_config(4, 4, 32);
+  const auto cfg64 = switch_config(6, 4, 32);
+  const double f44 = est.max_fmax_mhz(switch_logic_levels(cfg44));
+  const double f64 = est.max_fmax_mhz(switch_logic_levels(cfg64));
+  EXPECT_GT(f44, f64);
+  // Paper: 6x4 switches close 875-980 MHz.
+  EXPECT_GT(f64, 875.0);
+}
+
+TEST(Calibration, FreqAreaTradeoffSpansPaperRange) {
+  // 32-bit 5x5 switch (figure F6): ~0.10 mm2 relaxed, rising steeply as
+  // the clock target approaches the ceiling; the synthesized (macro)
+  // flow tops out around 1 GHz, full custom reaches ~1.5 GHz.
+  Estimator est;
+  const auto cfg = switch_config(5, 5, 32);
+  const auto n = build_switch_netlist(cfg);
+  const double levels = switch_logic_levels(cfg);
+  const auto relaxed = est.estimate(n, levels, 200.0);
+  const double fmax = est.max_fmax_mhz(levels);
+  const auto tight = est.estimate(n, levels, fmax * 0.999);
+  EXPECT_GT(relaxed.area_mm2, 0.06);
+  EXPECT_LT(relaxed.area_mm2, 0.16);
+  EXPECT_GT(tight.area_mm2 / relaxed.area_mm2, 1.4);
+  EXPECT_LT(tight.area_mm2 / relaxed.area_mm2, 1.9);
+  EXPECT_GT(fmax, 900.0);
+  EXPECT_LT(fmax, 1150.0);
+  const double fc = est.full_custom_fmax_mhz(levels);
+  EXPECT_GT(fc, 1300.0);
+  EXPECT_LT(fc, 1750.0);
+  // Full custom packs denser at the same relaxed target.
+  const auto fc_relaxed = est.estimate_full_custom(n, levels, 200.0);
+  EXPECT_LT(fc_relaxed.area_mm2, relaxed.area_mm2);
+}
+
+TEST(Calibration, InitiatorNiNearPaper) {
+  Estimator est;
+  const auto cfg = ini_config(32);
+  const auto e = est.estimate(build_initiator_ni_netlist(cfg, 11),
+                              initiator_ni_logic_levels(cfg), 1000.0);
+  EXPECT_TRUE(e.feasible) << "NI must close 1 GHz";
+  EXPECT_GT(e.area_mm2, 0.02);
+  EXPECT_LT(e.area_mm2, 0.12);
+}
+
+TEST(Calibration, PowerPlausibleAtGigahertz) {
+  Estimator est;
+  const auto cfg = switch_config(4, 4, 32);
+  const auto e = est.estimate(build_switch_netlist(cfg),
+                              switch_logic_levels(cfg), 1000.0);
+  // 130 nm NoC switch at 1 GHz: tens of mW.
+  EXPECT_GT(e.power_mw, 3.0);
+  EXPECT_LT(e.power_mw, 80.0);
+}
+
+}  // namespace
+}  // namespace xpl::synth

@@ -1,0 +1,172 @@
+// Topology structure, port numbering, generators.
+#include "src/topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/topology/generators.hpp"
+
+namespace xpl::topology {
+namespace {
+
+TEST(Topology, BuildSmall) {
+  Topology t;
+  const auto a = t.add_switch("a");
+  const auto b = t.add_switch("b");
+  t.add_duplex(a, b);
+  const auto ini = t.attach_initiator(a);
+  const auto tgt = t.attach_target(b);
+  EXPECT_EQ(t.num_switches(), 2u);
+  EXPECT_EQ(t.num_links(), 2u);
+  EXPECT_EQ(t.num_nis(), 2u);
+  EXPECT_TRUE(t.ni(ini).initiator);
+  EXPECT_FALSE(t.ni(tgt).initiator);
+  t.validate();
+}
+
+TEST(Topology, PortNumberingLinksBeforeNis) {
+  Topology t;
+  const auto a = t.add_switch();
+  const auto b = t.add_switch();
+  const auto c = t.add_switch();
+  t.add_duplex(a, b);  // links 0 (a->b), 1 (b->a)
+  t.add_duplex(b, c);  // links 2 (b->c), 3 (c->b)
+  const auto ni = t.attach_initiator(b);
+
+  const auto outs = t.output_ports(b);
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_EQ(outs[0], (PortRef{PortRef::Kind::kLink, 1}));  // b->a
+  EXPECT_EQ(outs[1], (PortRef{PortRef::Kind::kLink, 2}));  // b->c
+  EXPECT_EQ(outs[2], (PortRef{PortRef::Kind::kNi, ni}));
+
+  const auto ins = t.input_ports(b);
+  ASSERT_EQ(ins.size(), 3u);
+  EXPECT_EQ(ins[0], (PortRef{PortRef::Kind::kLink, 0}));  // a->b
+  EXPECT_EQ(ins[1], (PortRef{PortRef::Kind::kLink, 3}));  // c->b
+  EXPECT_EQ(ins[2], (PortRef{PortRef::Kind::kNi, ni}));
+}
+
+TEST(Topology, PortIndexLookup) {
+  Topology t;
+  const auto a = t.add_switch();
+  const auto b = t.add_switch();
+  t.add_duplex(a, b);
+  const auto ni = t.attach_target(a);
+  EXPECT_EQ(t.output_index(a, {PortRef::Kind::kNi, ni}), 1u);
+  EXPECT_EQ(t.output_index(a, {PortRef::Kind::kLink, 0}), 0u);
+  EXPECT_EQ(t.output_index(a, {PortRef::Kind::kLink, 99}), Topology::npos);
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology t;
+  const auto a = t.add_switch();
+  EXPECT_THROW(t.add_link(a, a), Error);
+}
+
+TEST(Topology, ValidateCatchesDisconnected) {
+  Topology t;
+  const auto a = t.add_switch();
+  const auto b = t.add_switch();
+  const auto c = t.add_switch();
+  t.add_duplex(a, b);
+  t.attach_initiator(a);
+  t.attach_target(c);  // c has no links
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, InitiatorAndTargetLists) {
+  Topology t;
+  const auto a = t.add_switch();
+  const auto b = t.add_switch();
+  t.add_duplex(a, b);
+  t.attach_initiator(a);
+  t.attach_target(a);
+  t.attach_initiator(b);
+  t.attach_target(b);
+  EXPECT_EQ(t.initiator_ids(), (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(t.target_ids(), (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(Generators, MeshShape) {
+  const auto t = make_mesh(3, 4, NiPlan::uniform(12, 1, 1));
+  EXPECT_EQ(t.num_switches(), 12u);
+  // Grid links: 2*(2*4 + 3*3) = 34 directed.
+  EXPECT_EQ(t.num_links(), 34u);
+  EXPECT_EQ(t.num_nis(), 24u);
+  t.validate();
+  // Coordinates for XY routing.
+  EXPECT_EQ(t.switch_node(0).x, 0);
+  EXPECT_EQ(t.switch_node(0).y, 0);
+  EXPECT_EQ(t.switch_node(5).x, 2);
+  EXPECT_EQ(t.switch_node(5).y, 1);
+}
+
+TEST(Generators, MeshCornerAndCenterRadix) {
+  const auto t = make_mesh(3, 3, NiPlan::uniform(9, 1, 0));
+  // Corner: 2 links + 1 NI = 3; center: 4 links + 1 NI = 5.
+  EXPECT_EQ(t.output_ports(0).size(), 3u);
+  EXPECT_EQ(t.output_ports(4).size(), 5u);
+  EXPECT_EQ(t.max_radix_out(), 5u);
+}
+
+TEST(Generators, TorusAddsWrapLinks) {
+  const auto t = make_torus(3, 3, NiPlan::uniform(9, 1, 0));
+  EXPECT_EQ(t.num_switches(), 9u);
+  // Every switch has degree 4 in a torus: 9*4 = 36 directed links.
+  EXPECT_EQ(t.num_links(), 36u);
+  t.validate();
+}
+
+TEST(Generators, Ring) {
+  const auto t = make_ring(5, NiPlan::uniform(5, 1, 1));
+  EXPECT_EQ(t.num_switches(), 5u);
+  EXPECT_EQ(t.num_links(), 10u);
+  t.validate();
+}
+
+TEST(Generators, StarHubRadix) {
+  const auto t = make_star(4, NiPlan::uniform(5, 1, 0));
+  EXPECT_EQ(t.num_switches(), 5u);
+  // Hub: 4 links out + 1 NI.
+  EXPECT_EQ(t.output_ports(0).size(), 5u);
+  t.validate();
+}
+
+TEST(Generators, Spidergon) {
+  const auto t = make_spidergon(6, NiPlan::uniform(6, 1, 0));
+  EXPECT_EQ(t.num_switches(), 6u);
+  // Ring 12 + cross 6 directed links.
+  EXPECT_EQ(t.num_links(), 18u);
+  t.validate();
+  EXPECT_THROW(make_spidergon(5, NiPlan::uniform(5, 1, 0)), Error);
+}
+
+TEST(Generators, BinaryTree) {
+  const auto t = make_binary_tree(3, NiPlan::uniform(7, 1, 0));
+  EXPECT_EQ(t.num_switches(), 7u);
+  EXPECT_EQ(t.num_links(), 12u);
+  t.validate();
+}
+
+TEST(Generators, PaperCaseStudyInventory) {
+  const auto t = make_paper_case_study();
+  EXPECT_EQ(t.num_switches(), 12u);
+  // The paper: 8 processors, 11 slaves on a 3x4 mesh.
+  EXPECT_EQ(t.initiator_ids().size(), 8u);
+  EXPECT_EQ(t.target_ids().size(), 11u);
+  t.validate();
+  // The two switch shapes the paper reports: 4x4 and 6x4.
+  std::size_t max_in = t.max_radix_in();
+  std::size_t max_out = t.max_radix_out();
+  EXPECT_EQ(max_in, 6u);
+  EXPECT_EQ(max_out, 6u);
+}
+
+TEST(Generators, DegenerateDimensionsRejected) {
+  EXPECT_THROW(make_mesh(0, 3, NiPlan{}), Error);
+  EXPECT_THROW(make_ring(2, NiPlan{}), Error);
+  EXPECT_THROW(make_torus(2, 3, NiPlan{}), Error);
+}
+
+}  // namespace
+}  // namespace xpl::topology

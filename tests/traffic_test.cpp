@@ -1,0 +1,178 @@
+// Traffic generation patterns and statistics collection.
+#include "src/traffic/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/stats.hpp"
+
+namespace xpl::traffic {
+namespace {
+
+noc::NetworkConfig net_config() {
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  return cfg;
+}
+
+std::unique_ptr<noc::Network> make_net() {
+  return std::make_unique<noc::Network>(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)),
+      net_config());
+}
+
+TEST(Traffic, UniformDrivesAllMasters) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.pattern = Pattern::kUniformRandom;
+  cfg.injection_rate = 0.1;
+  TrafficDriver driver(*net, cfg);
+  driver.run(2000);
+  net->run_until_quiescent(50000);
+  EXPECT_GT(driver.injected(), 0u);
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < net->num_initiators(); ++i) {
+    done += net->master(i).completed().size();
+  }
+  EXPECT_EQ(done, driver.injected());
+}
+
+TEST(Traffic, InjectionRateRoughlyHonored) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.injection_rate = 0.05;
+  cfg.seed = 3;
+  TrafficDriver driver(*net, cfg);
+  const std::size_t cycles = 4000;
+  driver.run(cycles);
+  const double expected =
+      cfg.injection_rate * static_cast<double>(cycles) * 4;
+  EXPECT_NEAR(static_cast<double>(driver.injected()), expected,
+              expected * 0.2);
+}
+
+TEST(Traffic, HotspotConcentratesOnTarget) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hotspot_target = 2;
+  cfg.hotspot_fraction = 0.9;
+  cfg.injection_rate = 0.05;
+  cfg.read_fraction = 0.0;  // writes: counted by the slave
+  TrafficDriver driver(*net, cfg);
+  driver.run(3000);
+  net->run_until_quiescent(50000);
+  std::size_t hot = net->slave(2).requests_served();
+  std::size_t cold = 0;
+  for (std::size_t t = 0; t < 4; ++t) {
+    if (t != 2) cold += net->slave(t).requests_served();
+  }
+  EXPECT_GT(hot, 2 * cold);
+}
+
+TEST(Traffic, PermutationPairsFixed) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.pattern = Pattern::kPermutation;
+  cfg.injection_rate = 0.05;
+  cfg.read_fraction = 0.0;
+  TrafficDriver driver(*net, cfg);
+  driver.run(2000);
+  net->run_until_quiescent(50000);
+  // Initiator i -> target i: every slave serves only its partner's load.
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_GT(net->slave(t).requests_served(), 0u) << "target " << t;
+  }
+}
+
+TEST(Traffic, WeightedRespectsZeroRows) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.pattern = Pattern::kWeighted;
+  cfg.injection_rate = 0.2;
+  cfg.read_fraction = 0.0;
+  cfg.weights.assign(4, std::vector<double>(4, 0.0));
+  cfg.weights[0][1] = 10.0;  // only flow: initiator 0 -> target 1
+  TrafficDriver driver(*net, cfg);
+  driver.run(2000);
+  net->run_until_quiescent(50000);
+  EXPECT_GT(net->slave(1).requests_served(), 0u);
+  EXPECT_EQ(net->slave(0).requests_served(), 0u);
+  EXPECT_EQ(net->slave(2).requests_served(), 0u);
+  EXPECT_EQ(net->slave(3).requests_served(), 0u);
+}
+
+TEST(Traffic, WeightedValidatesShape) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.pattern = Pattern::kWeighted;
+  cfg.weights.assign(2, std::vector<double>(4, 1.0));  // wrong rows
+  EXPECT_THROW(TrafficDriver(*net, cfg), Error);
+}
+
+TEST(Traffic, BurstRangeValidated) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.min_burst = 4;
+  cfg.max_burst = 2;
+  EXPECT_THROW(TrafficDriver(*net, cfg), Error);
+  cfg.min_burst = 1;
+  cfg.max_burst = 200;  // above network max_burst
+  EXPECT_THROW(TrafficDriver(*net, cfg), Error);
+}
+
+TEST(Stats, LatencyPercentilesOrdered) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.injection_rate = 0.08;
+  cfg.read_fraction = 1.0;  // all reads -> all carry latency
+  TrafficDriver driver(*net, cfg);
+  driver.run(3000);
+  net->run_until_quiescent(50000);
+  const auto lat = collect_latency(*net);
+  ASSERT_GT(lat.count, 0u);
+  EXPECT_LE(static_cast<double>(lat.min), lat.p50);
+  EXPECT_LE(lat.p50, lat.p95);
+  EXPECT_LE(lat.p95, static_cast<double>(lat.max));
+  EXPECT_GE(lat.mean, static_cast<double>(lat.min));
+  EXPECT_LE(lat.mean, static_cast<double>(lat.max));
+  // A 2x2 mesh read takes at least ~10 cycles end to end.
+  EXPECT_GE(lat.min, 10u);
+}
+
+TEST(Stats, RunStatsAggregates) {
+  auto net = make_net();
+  TrafficConfig cfg;
+  cfg.injection_rate = 0.05;
+  TrafficDriver driver(*net, cfg);
+  driver.run(2000);
+  net->run_until_quiescent(50000);
+  const auto stats = collect_run(*net, 2000);
+  EXPECT_GT(stats.transactions, 0u);
+  EXPECT_GT(stats.throughput, 0.0);
+  EXPECT_GT(stats.link_flits, 0u);
+  EXPECT_GT(stats.avg_link_utilization, 0.0);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(Stats, HigherLoadHigherLatency) {
+  auto measure = [](double rate) {
+    auto net = make_net();
+    TrafficConfig cfg;
+    cfg.injection_rate = rate;
+    cfg.read_fraction = 1.0;
+    cfg.seed = 11;
+    TrafficDriver driver(*net, cfg);
+    driver.run(4000);
+    net->run_until_quiescent(100000);
+    return collect_latency(*net).mean;
+  };
+  const double light = measure(0.01);
+  const double heavy = measure(0.20);
+  EXPECT_GT(heavy, light);
+}
+
+}  // namespace
+}  // namespace xpl::traffic
