@@ -5,47 +5,38 @@
 // chart mean/p95 read latency and accepted throughput up to saturation.
 // Run for both the lite 2-stage switch and the old 7-stage switch to show
 // where the pipeline redesign moves the curve.
+//
+// The sweep itself runs on the src/sweep/ campaign engine: each
+// (rate, switch-depth) cell is one independent SweepPoint executed on the
+// work-stealing pool, results keyed by point index so the table is
+// identical for any worker count.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "src/noc/network.hpp"
-#include "src/topology/generators.hpp"
-#include "src/traffic/stats.hpp"
-#include "src/traffic/traffic.hpp"
+#include "src/sweep/runner.hpp"
+#include "src/sweep/spec.hpp"
 
 namespace {
 
-struct Point {
-  double offered = 0.0;
-  double accepted = 0.0;
-  double mean = 0.0;
-  double p95 = 0.0;
-};
-
-Point run_point(double rate, std::size_t extra_pipeline) {
-  using namespace xpl;
-  noc::NetworkConfig cfg;
-  cfg.routing = topology::RoutingAlgorithm::kXY;
-  cfg.target_window = 1 << 12;
-  cfg.extra_switch_pipeline = extra_pipeline;
-  noc::Network net(
-      topology::make_mesh(4, 4, topology::NiPlan::uniform(16, 1, 1)), cfg);
-  traffic::TrafficConfig tcfg;
-  tcfg.injection_rate = rate;
-  tcfg.read_fraction = 1.0;
-  tcfg.max_burst = 2;
-  tcfg.seed = 33;
-  traffic::TrafficDriver driver(net, tcfg);
-  const std::size_t cycles = 6000;
-  driver.run(cycles);
-  net.run_until_quiescent(80000);
-
-  Point p;
-  p.offered = rate;
-  const auto stats = traffic::collect_run(net, cycles);
-  p.accepted = stats.throughput / 16.0;  // per initiator
-  p.mean = stats.latency.mean;
-  p.p95 = stats.latency.p95;
+/// One (rate, pipeline-depth) cell as a sweep job on the 4x4 mesh.
+xpl::sweep::SweepPoint make_point(std::size_t index, double rate,
+                                  std::size_t extra_pipeline) {
+  xpl::sweep::SweepPoint p;
+  p.index = index;
+  p.topology = "mesh";
+  p.width = 4;
+  p.height = 4;
+  p.sim_cycles = 6000;
+  p.drain_cycles = 80000;
+  p.estimate = false;  // F11 only charts simulation metrics
+  p.net.routing = xpl::topology::RoutingAlgorithm::kXY;
+  p.net.target_window = 1 << 12;
+  p.net.extra_switch_pipeline = extra_pipeline;
+  p.traffic.injection_rate = rate;
+  p.traffic.read_fraction = 1.0;
+  p.traffic.max_burst = 2;
+  p.traffic.seed = 33;
   return p;
 }
 
@@ -55,16 +46,40 @@ int main() {
   using namespace xpl;
   bench::banner("F11", "latency vs offered load, 4x4 mesh, uniform random");
 
+  const std::vector<double> rates{0.005, 0.01, 0.02, 0.04,
+                                  0.08,  0.12, 0.16, 0.20};
+  // Points 2i = lite 2-stage, 2i+1 = old 7-stage at rates[i].
+  std::vector<sweep::SweepPoint> points;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    points.push_back(make_point(2 * i, rates[i], 0));
+    points.push_back(make_point(2 * i + 1, rates[i], 5));
+  }
+
+  const sweep::SweepRunner runner;  // hardware concurrency
+  sweep::ResultTable table(points.size());
+  runner.run_indexed(points.size(), [&](std::size_t i) {
+    table.set(sweep::SweepRunner::run_point(points[i]));
+  });
+
+  for (const auto& r : table.rows()) {
+    if (!r.ok) {
+      std::fprintf(stderr, "F11: point %s failed: %s\n",
+                   r.point.label().c_str(), r.error.c_str());
+      return 1;
+    }
+  }
+
   std::printf("%-10s | %-24s | %-24s\n", "", "lite 2-stage", "old 7-stage");
   std::printf("%-10s | %-8s %-7s %-7s | %-8s %-7s %-7s\n", "offered",
               "accepted", "mean", "p95", "accepted", "mean", "p95");
-  for (const double rate :
-       {0.005, 0.01, 0.02, 0.04, 0.08, 0.12, 0.16, 0.20}) {
-    const Point lite = run_point(rate, 0);
-    const Point old7 = run_point(rate, 5);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& lite = table.row(2 * i);
+    const auto& old7 = table.row(2 * i + 1);
     std::printf("%-10.3f | %-8.4f %-7.1f %-7.0f | %-8.4f %-7.1f %-7.0f\n",
-                rate, lite.accepted, lite.mean, lite.p95, old7.accepted,
-                old7.mean, old7.p95);
+                rates[i], lite.throughput_tpc / 16.0,
+                lite.avg_latency_cycles, lite.p95_latency_cycles,
+                old7.throughput_tpc / 16.0, old7.avg_latency_cycles,
+                old7.p95_latency_cycles);
   }
   std::printf(
       "\nexpected shape: flat latency at low load, knee near saturation;\n"

@@ -9,6 +9,7 @@
 // We run the full SunMap-style loop on the MPEG-4 decoder graph: map onto
 // each candidate, estimate area/power/clock ceiling via the synthesis
 // model, and measure latency/throughput with weighted traffic simulation.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -43,15 +44,23 @@ int main() {
   candidates.push_back(
       {"ring_6", topology::make_ring(6, topology::NiPlan::uniform(6, 0, 0))});
 
+  // Candidates are independent jobs: run them on the sweep subsystem's
+  // work-stealing pool (results identical for any job count).
+  options.jobs = 0;  // hardware concurrency
   const auto results = explore(graph, candidates, options);
+  const auto front = appgraph::pareto_front(results);
 
-  std::printf("%-14s %-10s %-10s %-10s %-12s %-12s %-12s\n", "topology",
+  std::printf("%-14s %-10s %-10s %-10s %-12s %-12s %-12s %s\n", "topology",
               "area_mm2", "power_mW", "fmax_MHz", "map_cost",
-              "lat_cycles", "thru_t/cy");
-  for (const auto& r : results) {
-    std::printf("%-14s %-10.3f %-10.1f %-10.0f %-12.0f %-12.1f %-12.4f\n",
-                r.name.c_str(), r.area_mm2, r.power_mw, r.fmax_mhz,
-                r.mapping_cost, r.avg_latency_cycles, r.throughput_tpc);
+              "lat_cycles", "thru_t/cy", "pareto");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const bool on_front =
+        std::find(front.begin(), front.end(), i) != front.end();
+    std::printf(
+        "%-14s %-10.3f %-10.1f %-10.0f %-12.0f %-12.1f %-12.4f %s\n",
+        r.name.c_str(), r.area_mm2, r.power_mw, r.fmax_mhz, r.mapping_cost,
+        r.avg_latency_cycles, r.throughput_tpc, on_front ? "*" : "");
   }
   std::printf(
       "\npaper: candidates trade clock for area for hop count — e.g.\n"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sweep/pareto.hpp"
+#include "src/sweep/runner.hpp"
 #include "src/topology/generators.hpp"
 #include "src/traffic/traffic.hpp"
 
@@ -10,10 +12,15 @@ namespace xpl::appgraph {
 std::vector<ExplorationResult> explore(
     const CoreGraph& graph, const std::vector<Candidate>& candidates,
     const ExploreOptions& options) {
-  std::vector<ExplorationResult> results;
-  compiler::XpipesCompiler xpipes;
+  std::vector<ExplorationResult> results(candidates.size());
 
-  for (const Candidate& candidate : candidates) {
+  // Each candidate is mapped, estimated and simulated from its own Rng
+  // and its own Network, so the loop runs on the sweep subsystem's
+  // work-stealing pool; slot `i` makes results independent of schedule.
+  const sweep::SweepRunner runner(options.jobs);
+  runner.run_indexed(candidates.size(), [&](std::size_t index) {
+    const Candidate& candidate = candidates[index];
+    const compiler::XpipesCompiler xpipes;
     Rng rng(options.seed);
     const auto dist = switch_distances(candidate.topo);
     Mapping mapping = greedy_map(graph, candidate.topo);
@@ -67,35 +74,19 @@ std::vector<ExplorationResult> explore(
     result.avg_latency_cycles = stats.latency.mean;
     result.throughput_tpc = stats.throughput;
 
-    results.push_back(std::move(result));
-  }
+    results[index] = std::move(result);
+  });
   return results;
 }
 
 std::vector<std::size_t> pareto_front(
     const std::vector<ExplorationResult>& results) {
-  auto dominates = [](const ExplorationResult& a,
-                      const ExplorationResult& b) {
-    const bool no_worse = a.area_mm2 <= b.area_mm2 &&
-                          a.power_mw <= b.power_mw &&
-                          a.avg_latency_cycles <= b.avg_latency_cycles;
-    const bool better = a.area_mm2 < b.area_mm2 ||
-                        a.power_mw < b.power_mw ||
-                        a.avg_latency_cycles < b.avg_latency_cycles;
-    return no_worse && better;
-  };
-  std::vector<std::size_t> front;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < results.size(); ++j) {
-      if (j != i && dominates(results[j], results[i])) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) front.push_back(i);
+  std::vector<std::vector<double>> objectives;
+  objectives.reserve(results.size());
+  for (const auto& r : results) {
+    objectives.push_back({r.area_mm2, r.power_mw, r.avg_latency_cycles});
   }
-  return front;
+  return sweep::pareto_front_min(objectives);
 }
 
 std::vector<Candidate> default_candidates(std::size_t num_cores) {

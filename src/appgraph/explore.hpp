@@ -44,6 +44,10 @@ struct ExploreOptions {
   std::size_t sim_cycles = 20000;
   double injection_rate = 0.03;
   std::uint64_t seed = 7;
+  /// Worker threads for the candidate loop (0 = hardware concurrency).
+  /// Every candidate is mapped/simulated from its own seed, so results
+  /// are identical for any job count.
+  std::size_t jobs = 0;
   noc::NetworkConfig net{};         ///< widths, buffers, routing
   /// Run the floorplanner and derive link pipeline stages from physical
   /// wire lengths before simulating (the paper flow's floorplanner box).

@@ -6,8 +6,10 @@ void Kernel::step() {
   for (Module* m : modules_) {
     m->tick(*this);
   }
+  // Commit only written signals; the flag test is non-virtual so idle
+  // signals cost one predictable branch, not a dispatch (see SignalBase).
   for (auto& s : signals_) {
-    s->commit();
+    if (s->written()) s->commit();
   }
   ++cycle_;
   for (auto& p : probes_) {

@@ -1,0 +1,20 @@
+// Canonical numeric rendering for sweep specs and result exports.
+//
+// One formatter backs both the spec's canonical form and the CSV/JSON
+// exporters, so "byte-identical output" and "round-trips exactly" are the
+// same guarantee: enough digits to round-trip the values people write in
+// specs, short for the common ones ("0.05", "800").
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace xpl::sweep {
+
+inline std::string fmt_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  return buf;
+}
+
+}  // namespace xpl::sweep

@@ -1,0 +1,42 @@
+// Generic Pareto-front extraction under joint minimization.
+//
+// Shared by the sweep ResultTable (latency/throughput vs. area/power) and
+// the appgraph exploration loop (area/power/latency): a point is dominated
+// when another point is no worse on every objective and strictly better on
+// at least one. Callers negate any objective they want maximized.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xpl::sweep {
+
+/// Indices of the Pareto-efficient rows of `objectives` (each row is one
+/// candidate's objective vector; all objectives minimized). Rows must all
+/// have the same length. Returned in input order.
+inline std::vector<std::size_t> pareto_front_min(
+    const std::vector<std::vector<double>>& objectives) {
+  auto dominates = [](const std::vector<double>& a,
+                      const std::vector<double>& b) {
+    bool better = false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a[k] > b[k]) return false;
+      if (a[k] < b[k]) better = true;
+    }
+    return better;
+  };
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < objectives.size(); ++j) {
+      if (j != i && dominates(objectives[j], objectives[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace xpl::sweep

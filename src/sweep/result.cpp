@@ -1,0 +1,190 @@
+#include "src/sweep/result.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/sweep/format.hpp"
+#include "src/sweep/pareto.hpp"
+
+namespace xpl::sweep {
+
+namespace {
+
+
+/// JSON string escaping (error messages are free-form exception text).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// RFC-4180 quoting for free-form CSV fields (error messages may carry
+/// commas, quotes or newlines); plain fields pass through unquoted.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void ResultTable::set(SweepResult result) {
+  const std::size_t i = result.point.index;
+  require(i < rows_.size(), "ResultTable: point index out of range");
+  rows_[i] = std::move(result);
+}
+
+std::size_t ResultTable::num_ok() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.ok ? 1 : 0;
+  return n;
+}
+
+std::vector<std::size_t> ResultTable::pareto_front() const {
+  std::vector<std::size_t> ok_rows;
+  std::vector<std::vector<double>> objectives;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!rows_[i].ok) continue;
+    ok_rows.push_back(i);
+    objectives.push_back({rows_[i].avg_latency_cycles,
+                          -rows_[i].throughput_tpc, rows_[i].area_mm2,
+                          rows_[i].power_mw});
+  }
+  std::vector<std::size_t> front;
+  for (const std::size_t k : pareto_front_min(objectives)) {
+    front.push_back(ok_rows[k]);
+  }
+  return front;
+}
+
+std::string ResultTable::to_csv() const {
+  std::ostringstream os;
+  os << "index,label,topology,width,height,switches,flit_width,fifo_depth,"
+        "pattern,injection_rate,cycles,ok,transactions,avg_latency_cycles,"
+        "p95_latency_cycles,throughput_tpc,link_flits,retransmissions,"
+        "avg_link_utilization,area_mm2,power_mw,fmax_mhz,error\n";
+  for (const auto& r : rows_) {
+    const auto& p = r.point;
+    os << p.index << "," << p.label() << "," << p.topology << "," << p.width
+       << "," << p.height << "," << p.num_switches() << ","
+       << p.net.flit_width << "," << p.net.output_fifo_depth << ","
+       << traffic::pattern_name(p.traffic.pattern) << ","
+       << fmt_double(p.traffic.injection_rate) << "," << p.sim_cycles << ","
+       << (r.ok ? 1 : 0) << "," << r.transactions << ","
+       << fmt_double(r.avg_latency_cycles) << "," << fmt_double(r.p95_latency_cycles)
+       << "," << fmt_double(r.throughput_tpc) << "," << r.link_flits << ","
+       << r.retransmissions << "," << fmt_double(r.avg_link_utilization) << ","
+       << fmt_double(r.area_mm2) << "," << fmt_double(r.power_mw) << "," << fmt_double(r.fmax_mhz)
+       << "," << csv_field(r.error) << "\n";
+  }
+  return os.str();
+}
+
+std::string ResultTable::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    const auto& p = r.point;
+    os << "  {\"index\": " << p.index << ", \"label\": \""
+       << json_escape(p.label()) << "\", \"topology\": \"" << p.topology
+       << "\", \"width\": " << p.width << ", \"height\": " << p.height
+       << ", \"switches\": " << p.num_switches()
+       << ", \"flit_width\": " << p.net.flit_width
+       << ", \"fifo_depth\": " << p.net.output_fifo_depth
+       << ", \"pattern\": \"" << traffic::pattern_name(p.traffic.pattern)
+       << "\", \"injection_rate\": " << fmt_double(p.traffic.injection_rate)
+       << ", \"cycles\": " << p.sim_cycles
+       << ", \"ok\": " << (r.ok ? "true" : "false")
+       << ", \"transactions\": " << r.transactions
+       << ", \"avg_latency_cycles\": " << fmt_double(r.avg_latency_cycles)
+       << ", \"p95_latency_cycles\": " << fmt_double(r.p95_latency_cycles)
+       << ", \"throughput_tpc\": " << fmt_double(r.throughput_tpc)
+       << ", \"link_flits\": " << r.link_flits
+       << ", \"retransmissions\": " << r.retransmissions
+       << ", \"avg_link_utilization\": " << fmt_double(r.avg_link_utilization)
+       << ", \"area_mm2\": " << fmt_double(r.area_mm2) << ", \"power_mw\": "
+       << fmt_double(r.power_mw) << ", \"fmax_mhz\": " << fmt_double(r.fmax_mhz)
+       << ", \"error\": \"" << json_escape(r.error) << "\"}"
+       << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void ResultTable::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "save_csv: cannot open " + path);
+  out << to_csv();
+}
+
+void ResultTable::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "save_json: cannot open " + path);
+  out << to_json();
+}
+
+std::string ResultTable::summary(bool front_only) const {
+  std::vector<std::size_t> selected;
+  if (front_only) {
+    selected = pareto_front();
+  } else {
+    for (std::size_t i = 0; i < rows_.size(); ++i) selected.push_back(i);
+  }
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-28s %-10s %-10s %-10s %-10s %-10s\n", "point",
+                "lat_cyc", "p95", "thru_t/cy", "area_mm2", "power_mW");
+  os << line;
+  for (const std::size_t i : selected) {
+    const auto& r = rows_[i];
+    if (!r.ok) {
+      std::snprintf(line, sizeof(line), "%-28s FAILED: %s\n",
+                    r.point.label().c_str(), r.error.c_str());
+      os << line;
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-28s %-10.1f %-10.0f %-10.4f %-10.3f %-10.1f\n",
+                  r.point.label().c_str(), r.avg_latency_cycles,
+                  r.p95_latency_cycles, r.throughput_tpc, r.area_mm2,
+                  r.power_mw);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace xpl::sweep

@@ -1,0 +1,81 @@
+// Campaign result aggregation, Pareto selection and export.
+//
+// One SweepResult per campaign point, held in campaign order so exports
+// are byte-identical no matter how many worker threads produced them.
+// The exporters are the tool-facing contract: CSV for spreadsheets and
+// plotting, JSON for the BENCH_*.json perf-trajectory tracking described
+// in README.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sweep/spec.hpp"
+
+namespace xpl::sweep {
+
+/// Everything measured for one campaign point. `ok == false` records a
+/// point that failed to build or run (e.g. a flit width too narrow for
+/// the topology's route field) — the campaign keeps going.
+struct SweepResult {
+  SweepPoint point;
+  bool ok = false;
+  std::string error;
+
+  // Simulation view.
+  std::uint64_t transactions = 0;
+  double avg_latency_cycles = 0.0;
+  double p95_latency_cycles = 0.0;
+  double throughput_tpc = 0.0;  ///< completed transactions per cycle
+  std::uint64_t link_flits = 0;
+  std::uint64_t retransmissions = 0;
+  double avg_link_utilization = 0.0;
+
+  // Synthesis view (src/synth/estimator at point.target_mhz).
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  double fmax_mhz = 0.0;
+};
+
+/// Fixed-size table indexed by campaign point; workers fill disjoint
+/// slots, readers see campaign order.
+class ResultTable {
+ public:
+  ResultTable() = default;
+  explicit ResultTable(std::size_t num_points) : rows_(num_points) {}
+
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<SweepResult>& rows() const { return rows_; }
+  const SweepResult& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Stores `result` at its point's campaign index.
+  void set(SweepResult result);
+
+  std::size_t num_ok() const;
+
+  /// Indices of the Pareto-efficient successful rows under minimize
+  /// latency, maximize throughput, minimize area, minimize power —
+  /// the paper's "find the per-SoC optimal instance" selection step.
+  std::vector<std::size_t> pareto_front() const;
+
+  /// CSV with a fixed header row; stable formatting (%.*g), one row per
+  /// point in campaign order. Failed points keep their parameters and
+  /// carry the error string.
+  std::string to_csv() const;
+
+  /// JSON array of row objects, same fields and formatting guarantees.
+  std::string to_json() const;
+
+  void save_csv(const std::string& path) const;
+  void save_json(const std::string& path) const;
+
+  /// Human-readable aligned table for terminal reports; `front_only`
+  /// restricts to the Pareto front.
+  std::string summary(bool front_only = false) const;
+
+ private:
+  std::vector<SweepResult> rows_;
+};
+
+}  // namespace xpl::sweep

@@ -1,0 +1,157 @@
+#include "src/sweep/runner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/compiler/compiler.hpp"
+#include "src/traffic/stats.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace xpl::sweep {
+
+SweepRunner::SweepRunner(std::size_t jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+}
+
+void SweepRunner::run_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  const std::size_t workers = std::min(jobs_, n);
+  if (workers <= 1) {
+    // Same contract as the parallel path: every index runs, the first
+    // exception is rethrown after the loop drains.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  // One deque per worker, jobs dealt round-robin. A worker drains its own
+  // deque from the front and, when empty, steals from the back of the
+  // busiest victim — classic work stealing, coarse (mutex per deque)
+  // because jobs are whole simulations, not microtasks.
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+  };
+  std::vector<Queue> queues(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues[i % workers].jobs.push_back(i);
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&](std::size_t self) {
+    for (;;) {
+      std::size_t job = 0;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(queues[self].mutex);
+        if (!queues[self].jobs.empty()) {
+          job = queues[self].jobs.front();
+          queues[self].jobs.pop_front();
+          found = true;
+        }
+      }
+      if (!found) {
+        // Steal from the victim with the most queued work.
+        std::size_t victim = workers;
+        std::size_t best = 0;
+        for (std::size_t v = 0; v < workers; ++v) {
+          if (v == self) continue;
+          std::lock_guard<std::mutex> lock(queues[v].mutex);
+          if (queues[v].jobs.size() > best) {
+            best = queues[v].jobs.size();
+            victim = v;
+          }
+        }
+        if (victim == workers) return;  // everything drained
+        std::lock_guard<std::mutex> lock(queues[victim].mutex);
+        if (queues[victim].jobs.empty()) continue;  // raced; rescan
+        job = queues[victim].jobs.back();
+        queues[victim].jobs.pop_back();
+      }
+      try {
+        fn(job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker, w);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+SweepResult SweepRunner::run_point(const SweepPoint& point) {
+  SweepResult result;
+  result.point = point;
+  try {
+    compiler::NocSpec spec;
+    spec.name = point.label();
+    spec.topo = point.build_topology();
+    spec.net = point.net;
+
+    const compiler::XpipesCompiler xpipes;
+    auto network = xpipes.build_simulation(spec);
+
+    traffic::TrafficDriver driver(*network, point.traffic);
+    driver.run(point.sim_cycles);
+    network->run_until_quiescent(point.drain_cycles);
+
+    const auto stats = traffic::collect_run(*network, point.sim_cycles);
+    result.transactions = stats.transactions;
+    result.avg_latency_cycles = stats.latency.mean;
+    result.p95_latency_cycles = stats.latency.p95;
+    result.throughput_tpc = stats.throughput;
+    result.link_flits = stats.link_flits;
+    result.retransmissions = stats.retransmissions;
+    result.avg_link_utilization = stats.avg_link_utilization;
+
+    if (point.estimate) {
+      const auto report = xpipes.estimate(spec, point.target_mhz);
+      result.area_mm2 = report.total_area_mm2;
+      result.power_mw = report.total_power_mw;
+      result.fmax_mhz = report.min_fmax_mhz;
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+ResultTable SweepRunner::run(const SweepSpec& spec) const {
+  spec.validate();
+  const auto points = spec.points();
+  ResultTable table(points.size());
+
+  std::mutex table_mutex;
+  run_indexed(points.size(), [&](std::size_t i) {
+    SweepResult result = run_point(points[i]);
+    std::lock_guard<std::mutex> lock(table_mutex);
+    if (on_result) on_result(result);
+    table.set(std::move(result));
+  });
+  return table;
+}
+
+}  // namespace xpl::sweep

@@ -1,0 +1,52 @@
+// Parallel campaign execution: a work-stealing thread pool over fully
+// independent simulation jobs.
+//
+// Each campaign point builds its own Network on its own sim::Kernel, so
+// jobs share no mutable state and the pool needs no locking around the
+// simulations themselves. Determinism contract: every job's RNG seeds are
+// derived from the spec seed and the point's grid index (spec.hpp), and
+// results land in a pre-sized ResultTable slot addressed by point index —
+// so a campaign's output is bit-identical for any --jobs value, which the
+// tests assert byte-for-byte on the CSV/JSON exports.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/sweep/result.hpp"
+#include "src/sweep/spec.hpp"
+
+namespace xpl::sweep {
+
+class SweepRunner {
+ public:
+  /// jobs = 0 picks std::thread::hardware_concurrency().
+  explicit SweepRunner(std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Optional progress hook, invoked (serialized) as each job finishes.
+  /// Completion order depends on scheduling; results do not.
+  std::function<void(const SweepResult&)> on_result;
+
+  /// Runs every point of `spec` and returns the filled table.
+  ResultTable run(const SweepSpec& spec) const;
+
+  /// Builds, simulates and estimates one point — the unit of work the
+  /// pool executes; exposed so tests and custom drivers can run single
+  /// points. Never throws: failures come back as ok == false.
+  static SweepResult run_point(const SweepPoint& point);
+
+  /// Generic work-stealing parallel loop: calls fn(i) exactly once for
+  /// each i in [0, n). fn must tolerate concurrent calls on distinct i.
+  /// Used by the campaign runner and by appgraph::explore's candidate
+  /// loop. Exceptions from fn are captured and the first one rethrown
+  /// after all workers drain.
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace xpl::sweep

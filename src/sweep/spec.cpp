@@ -1,0 +1,376 @@
+#include "src/sweep/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/sweep/format.hpp"
+#include "src/topology/generators.hpp"
+
+namespace xpl::sweep {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw Error("sweep line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::uint64_t parse_u64(const std::string& token, std::size_t line) {
+  // stoull silently wraps negatives; reject anything but plain digits.
+  if (token.empty() || token.find_first_not_of("0123456789") !=
+                           std::string::npos) {
+    fail(line, "bad number '" + token + "'");
+  }
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    if (used != token.size()) fail(line, "bad number '" + token + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + token + "'");
+  }
+}
+
+double parse_f64(const std::string& token, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) fail(line, "bad number '" + token + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + token + "'");
+  }
+}
+
+
+/// line 0 = not parsing a file (validating an in-memory spec).
+traffic::Pattern parse_pattern(const std::string& name, std::size_t line) {
+  if (name == "uniform") return traffic::Pattern::kUniformRandom;
+  if (name == "hotspot") return traffic::Pattern::kHotspot;
+  if (name == "permutation") return traffic::Pattern::kPermutation;
+  if (line == 0) throw Error("sweep: unknown pattern '" + name + "'");
+  fail(line, "unknown pattern '" + name + "'");
+}
+
+const std::set<std::string>& known_topologies() {
+  static const std::set<std::string> kinds{"mesh", "torus", "ring", "star",
+                                           "spidergon"};
+  return kinds;
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t spec_seed, std::uint64_t salt) {
+  // splitmix64 finalizer over the combined words — the same mixing the
+  // Rng uses to expand a seed, so nearby (seed, salt) pairs decorrelate.
+  std::uint64_t z = spec_seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::size_t SweepPoint::num_switches() const {
+  if (topology == "mesh" || topology == "torus") return width * height;
+  if (topology == "star") return width + 1;  // hub + leaves
+  if (topology == "spidergon") return width + (width % 2);  // even count
+  return width;                                             // ring
+}
+
+topology::Topology SweepPoint::build_topology() const {
+  // Fail fast on absurd sizes instead of grinding through a multi-GB
+  // allocation: 4096 switches is far beyond any single-SoC NoC.
+  const std::size_t n = num_switches();
+  require(n >= 1, "sweep point " + label() + ": empty topology");
+  require(n <= 4096, "sweep point " + label() + ": " + std::to_string(n) +
+                         " switches exceeds the 4096-switch cap");
+  const auto plan = topology::NiPlan::uniform(n, 1, 1);
+  if (topology == "mesh") return topology::make_mesh(width, height, plan);
+  if (topology == "torus") return topology::make_torus(width, height, plan);
+  if (topology == "ring") return topology::make_ring(width, plan);
+  if (topology == "star") return topology::make_star(width, plan);
+  if (topology == "spidergon") {
+    return topology::make_spidergon(width + (width % 2), plan);
+  }
+  throw Error("sweep point: unknown topology '" + topology + "'");
+}
+
+std::string SweepPoint::label() const {
+  std::ostringstream os;
+  os << topology << "_" << width;
+  if (topology == "mesh" || topology == "torus") os << "x" << height;
+  os << "_f" << net.flit_width << "_q" << net.output_fifo_depth << "_"
+     << traffic::pattern_name(traffic.pattern) << "_r"
+     << fmt_double(traffic.injection_rate);
+  return os.str();
+}
+
+std::size_t SweepSpec::grid_size() const {
+  return topologies.size() * widths.size() * heights.size() *
+         flit_widths.size() * fifo_depths.size() * patterns.size() *
+         injection_rates.size();
+}
+
+std::size_t SweepSpec::num_points() const {
+  const std::size_t grid = grid_size();
+  return (samples != 0 && samples < grid) ? samples : grid;
+}
+
+void SweepSpec::validate() const {
+  auto non_empty = [](const char* axis, std::size_t n) {
+    require(n != 0, std::string("sweep: axis '") + axis + "' is empty");
+  };
+  non_empty("topology", topologies.size());
+  non_empty("width", widths.size());
+  non_empty("height", heights.size());
+  non_empty("flit_width", flit_widths.size());
+  non_empty("fifo_depth", fifo_depths.size());
+  non_empty("pattern", patterns.size());
+  non_empty("injection_rate", injection_rates.size());
+  for (const auto& t : topologies) {
+    require(known_topologies().count(t) != 0,
+            "sweep: unknown topology '" + t + "'");
+  }
+  require(sim_cycles > 0, "sweep: cycles must be > 0");
+}
+
+std::vector<std::size_t> SweepSpec::campaign_grid_indices() const {
+  // Campaign index -> grid index. A sampled campaign draws a deterministic
+  // sorted subset of distinct grid cells via Floyd's algorithm, so a
+  // point's identity (and therefore its seeds) depends only on the spec,
+  // never on how many points run or in what order.
+  const std::size_t grid = grid_size();
+  if (samples == 0 || samples >= grid) {
+    std::vector<std::size_t> all(grid);
+    for (std::size_t i = 0; i < grid; ++i) all[i] = i;
+    return all;
+  }
+  Rng rng(derive_seed(seed, 0x5A5A5A5Aull));
+  std::set<std::size_t> chosen;
+  for (std::size_t j = grid - samples; j < grid; ++j) {
+    const std::size_t t = rng.next_below(j + 1);
+    chosen.insert(chosen.count(t) ? j : t);
+  }
+  return std::vector<std::size_t>(chosen.begin(), chosen.end());
+}
+
+SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
+                                         std::size_t campaign_index) const {
+  // Decode mixed-radix: injection rate innermost, topology outermost.
+  std::size_t rest = grid_index;
+  auto take = [&rest](std::size_t radix) {
+    const std::size_t digit = rest % radix;
+    rest /= radix;
+    return digit;
+  };
+  const std::size_t rate_i = take(injection_rates.size());
+  const std::size_t pattern_i = take(patterns.size());
+  const std::size_t fifo_i = take(fifo_depths.size());
+  const std::size_t flit_i = take(flit_widths.size());
+  const std::size_t height_i = take(heights.size());
+  const std::size_t width_i = take(widths.size());
+  const std::size_t topo_i = take(topologies.size());
+
+  SweepPoint p;
+  p.index = campaign_index;
+  p.topology = topologies[topo_i];
+  p.width = widths[width_i];
+  p.height = heights[height_i];
+  p.sim_cycles = sim_cycles;
+  p.drain_cycles = drain_cycles;
+  p.target_mhz = target_mhz;
+
+  p.net.flit_width = flit_widths[flit_i];
+  p.net.output_fifo_depth = fifo_depths[fifo_i];
+  p.net.input_fifo_depth = 2;
+  p.net.max_burst = std::max<std::size_t>(p.net.max_burst, max_burst);
+  p.net.target_window = 1 << 12;
+  p.net.routing = p.topology == "mesh" ? topology::RoutingAlgorithm::kXY
+                                       : topology::RoutingAlgorithm::kUpDown;
+  // Seeds derive from the *grid* cell, never from scheduling order:
+  // bit-identical results for any --jobs value.
+  p.net.seed = derive_seed(seed, grid_index * 2 + 0);
+
+  p.traffic.pattern = parse_pattern(patterns[pattern_i], 0);
+  p.traffic.injection_rate = injection_rates[rate_i];
+  p.traffic.read_fraction = read_fraction;
+  p.traffic.min_burst = 1;
+  p.traffic.max_burst = max_burst;
+  p.traffic.seed = derive_seed(seed, grid_index * 2 + 1);
+  return p;
+}
+
+SweepPoint SweepSpec::point(std::size_t i) const {
+  validate();
+  require(i < num_points(), "sweep: point index out of range");
+  return resolve_grid_point(campaign_grid_indices()[i], i);
+}
+
+std::vector<SweepPoint> SweepSpec::points() const {
+  validate();
+  const auto grid_indices = campaign_grid_indices();
+  std::vector<SweepPoint> out;
+  out.reserve(grid_indices.size());
+  for (std::size_t i = 0; i < grid_indices.size(); ++i) {
+    out.push_back(resolve_grid_point(grid_indices[i], i));
+  }
+  return out;
+}
+
+SweepSpec parse_sweep(const std::string& text) {
+  SweepSpec spec;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Axis directives replace the default on first sight so a parsed spec
+  // holds exactly the listed values.
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+
+    auto need = [&](std::size_t n) {
+      if (tokens.size() != n) {
+        fail(lineno, "'" + key + "' expects " + std::to_string(n - 1) +
+                         " argument(s)");
+      }
+    };
+    auto need_values = [&]() {
+      if (tokens.size() < 2) fail(lineno, "'" + key + "' expects values");
+    };
+    auto u64_list = [&]() {
+      std::vector<std::size_t> values;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        values.push_back(parse_u64(tokens[t], lineno));
+      }
+      return values;
+    };
+    auto f64_list = [&]() {
+      std::vector<double> values;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        values.push_back(parse_f64(tokens[t], lineno));
+      }
+      return values;
+    };
+
+    if (key == "sweep") {
+      need(2);
+      spec.name = tokens[1];
+    } else if (key == "seed") {
+      need(2);
+      spec.seed = parse_u64(tokens[1], lineno);
+    } else if (key == "cycles") {
+      need(2);
+      spec.sim_cycles = parse_u64(tokens[1], lineno);
+    } else if (key == "drain") {
+      need(2);
+      spec.drain_cycles = parse_u64(tokens[1], lineno);
+    } else if (key == "samples") {
+      need(2);
+      spec.samples = parse_u64(tokens[1], lineno);
+    } else if (key == "target_mhz") {
+      need(2);
+      spec.target_mhz = parse_f64(tokens[1], lineno);
+    } else if (key == "read_fraction") {
+      need(2);
+      spec.read_fraction = parse_f64(tokens[1], lineno);
+    } else if (key == "max_burst") {
+      need(2);
+      spec.max_burst =
+          static_cast<std::uint32_t>(parse_u64(tokens[1], lineno));
+    } else if (key == "topology") {
+      need_values();
+      spec.topologies.assign(tokens.begin() + 1, tokens.end());
+      for (const auto& t : spec.topologies) {
+        if (!known_topologies().count(t)) {
+          fail(lineno, "unknown topology '" + t + "'");
+        }
+      }
+    } else if (key == "width") {
+      need_values();
+      spec.widths = u64_list();
+    } else if (key == "height") {
+      need_values();
+      spec.heights = u64_list();
+    } else if (key == "flit_width") {
+      need_values();
+      spec.flit_widths = u64_list();
+    } else if (key == "fifo_depth") {
+      need_values();
+      spec.fifo_depths = u64_list();
+    } else if (key == "pattern") {
+      need_values();
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        parse_pattern(tokens[t], lineno);  // validates
+      }
+      spec.patterns.assign(tokens.begin() + 1, tokens.end());
+    } else if (key == "injection_rate") {
+      need_values();
+      spec.injection_rates = f64_list();
+    } else {
+      fail(lineno, "unknown directive '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+SweepSpec load_sweep(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_sweep: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_sweep(text.str());
+}
+
+std::string write_sweep(const SweepSpec& spec) {
+  std::ostringstream os;
+  os << "# xsweep campaign specification\n";
+  os << "sweep " << spec.name << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "cycles " << spec.sim_cycles << "\n";
+  os << "drain " << spec.drain_cycles << "\n";
+  os << "samples " << spec.samples << "\n";
+  os << "target_mhz " << fmt_double(spec.target_mhz) << "\n";
+  os << "read_fraction " << fmt_double(spec.read_fraction) << "\n";
+  os << "max_burst " << spec.max_burst << "\n";
+  auto write_list = [&os](const char* key, const auto& values) {
+    os << key;
+    for (const auto& v : values) os << " " << v;
+    os << "\n";
+  };
+  write_list("topology", spec.topologies);
+  write_list("width", spec.widths);
+  write_list("height", spec.heights);
+  write_list("flit_width", spec.flit_widths);
+  write_list("fifo_depth", spec.fifo_depths);
+  write_list("pattern", spec.patterns);
+  os << "injection_rate";
+  for (const double r : spec.injection_rates) os << " " << fmt_double(r);
+  os << "\n";
+  return os.str();
+}
+
+void save_sweep(const SweepSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "save_sweep: cannot open " + path);
+  out << write_sweep(spec);
+}
+
+}  // namespace xpl::sweep

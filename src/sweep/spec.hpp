@@ -1,0 +1,135 @@
+// Declarative design-space sweep specification.
+//
+// The paper's argument is that a synthesis-oriented NoC library lets
+// designers *sweep* flit widths, buffer depths, topologies and traffic
+// patterns to find per-SoC optimal instances. A SweepSpec declares that
+// campaign: a set of axes (each a list of values) whose cross product is
+// the candidate grid, optionally subsampled at random. Every grid point
+// resolves to one fully independent simulation job (a SweepPoint), so
+// campaigns parallelize trivially — see runner.hpp.
+//
+// The file format is line-oriented and comment-friendly like the NoC
+// specification format (src/compiler/spec_io.hpp), and round-trips
+// exactly: write_sweep(parse_sweep(text)) is canonical.
+//
+//   # xsweep campaign specification
+//   sweep mesh_scan
+//   seed 1
+//   cycles 5000            # driven simulation cycles per point
+//   drain 40000            # extra cycles allowed for draining
+//   samples 0              # 0 = full grid, N = random subset of N points
+//   target_mhz 800         # synthesis target for area/power estimates
+//   read_fraction 0.5
+//   max_burst 2
+//   topology mesh          # axis: mesh | torus | ring | star | spidergon
+//   width 4 6 8            # axis: mesh/torus width (node count otherwise)
+//   height 4               # axis: mesh/torus height (ignored otherwise)
+//   flit_width 32 64       # axis
+//   fifo_depth 4           # axis: switch output queue depth
+//   injection_rate 0.01 0.05  # axis
+//   pattern uniform        # axis: uniform | hotspot | permutation
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/noc/network.hpp"
+#include "src/topology/topology.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace xpl::sweep {
+
+/// One fully resolved simulation job: everything a worker needs to build
+/// and run one independent Network. RNG seeds are derived from the spec
+/// seed and the point's campaign index — never from scheduling order — so
+/// results are bit-identical regardless of thread count.
+struct SweepPoint {
+  std::size_t index = 0;     ///< position in the campaign (export order)
+  std::string topology = "mesh";
+  std::size_t width = 4;     ///< mesh/torus width; node count otherwise
+  std::size_t height = 4;    ///< mesh/torus height; ignored otherwise
+  std::size_t sim_cycles = 5000;
+  std::size_t drain_cycles = 40000;
+  double target_mhz = 800.0;
+  /// Run the synthesis model for area/power/fmax. Costs a second network
+  /// elaboration per point (the estimator walks every instance); drivers
+  /// that only need simulation metrics turn it off.
+  bool estimate = true;
+  noc::NetworkConfig net;
+  traffic::TrafficConfig traffic;
+
+  /// Number of switches this point's topology instantiates.
+  std::size_t num_switches() const;
+
+  /// Builds the topology (one initiator and one target NI per switch).
+  topology::Topology build_topology() const;
+
+  /// Compact human identifier, e.g. "mesh_4x4_f32_q4_uniform_r0.02".
+  std::string label() const;
+};
+
+/// The campaign declaration: axes plus campaign-wide scalars.
+struct SweepSpec {
+  std::string name = "sweep";
+  std::uint64_t seed = 1;
+  std::size_t sim_cycles = 5000;
+  std::size_t drain_cycles = 40000;
+  /// 0 = run the full grid; otherwise run a deterministic random subset
+  /// of this many distinct grid points (drawn from `seed`).
+  std::size_t samples = 0;
+  double target_mhz = 800.0;
+  double read_fraction = 0.5;
+  std::uint32_t max_burst = 2;
+
+  // Axes. The grid is the cross product in this (fixed) order, topology
+  // outermost, injection rate innermost.
+  std::vector<std::string> topologies = {"mesh"};
+  std::vector<std::size_t> widths = {4};
+  std::vector<std::size_t> heights = {4};
+  std::vector<std::size_t> flit_widths = {32};
+  std::vector<std::size_t> fifo_depths = {4};
+  std::vector<std::string> patterns = {"uniform"};
+  std::vector<double> injection_rates = {0.05};
+
+  /// Full cross-product size.
+  std::size_t grid_size() const;
+  /// Points the campaign actually runs (= grid_size() unless sampled).
+  std::size_t num_points() const;
+
+  /// Resolves campaign point `i` (0 <= i < num_points()), including its
+  /// derived RNG seeds.
+  SweepPoint point(std::size_t i) const;
+  /// All campaign points in export order.
+  std::vector<SweepPoint> points() const;
+
+  /// Throws xpl::Error when an axis is empty or holds an unknown value.
+  void validate() const;
+
+ private:
+  /// Grid cell of every campaign point, in campaign order (identity for a
+  /// full grid; the sorted Floyd sample otherwise).
+  std::vector<std::size_t> campaign_grid_indices() const;
+  /// Resolves one grid cell to a point carrying `campaign_index`.
+  SweepPoint resolve_grid_point(std::size_t grid_index,
+                                std::size_t campaign_index) const;
+};
+
+/// Deterministic per-job seed: splitmix64 of the spec seed and the point's
+/// campaign index. Exposed for tests.
+std::uint64_t derive_seed(std::uint64_t spec_seed, std::uint64_t salt);
+
+/// Parses a sweep specification; throws xpl::Error with a line number on
+/// malformed input.
+SweepSpec parse_sweep(const std::string& text);
+
+/// Reads and parses a sweep specification file.
+SweepSpec load_sweep(const std::string& path);
+
+/// Renders `spec` in canonical form (stable ordering, one key per line).
+std::string write_sweep(const SweepSpec& spec);
+
+/// Writes the canonical form to `path`.
+void save_sweep(const SweepSpec& spec, const std::string& path);
+
+}  // namespace xpl::sweep

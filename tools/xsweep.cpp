@@ -1,0 +1,159 @@
+// xsweep — parallel design-space exploration campaigns.
+//
+// Reads a sweep specification (src/sweep/spec.hpp format), runs every
+// campaign point on a work-stealing thread pool, and reports the result
+// table plus its Pareto front. Results are bit-identical for any --jobs
+// value. Usage:
+//
+//   xsweep <campaign.sweep> [options]
+//     --jobs N             worker threads (default: hardware concurrency)
+//     --csv <path>         write the result table as CSV
+//     --json <path>        write the result table as JSON
+//     --bench-json <path>  write a BENCH_*.json campaign summary
+//                          (wall clock, points/s) for perf tracking
+//     --pareto             print only the Pareto front
+//     --print-spec         echo the canonical specification and exit
+//     --quiet              suppress per-point progress lines
+//
+// Example:
+//   xsweep examples/mesh_scan.sweep --jobs 8 --csv out.csv --pareto
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/sweep/runner.hpp"
+#include "src/sweep/spec.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <campaign.sweep> [--jobs N] [--csv <path>]\n"
+               "          [--json <path>] [--bench-json <path>] [--pareto]\n"
+               "          [--print-spec] [--quiet]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xpl;
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::string spec_path;
+  std::string csv_path;
+  std::string json_path;
+  std::string bench_json_path;
+  std::size_t jobs = 0;
+  bool pareto_only = false;
+  bool print_spec = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--bench-json") {
+      bench_json_path = next();
+    } else if (arg == "--pareto") {
+      pareto_only = true;
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (spec_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const sweep::SweepSpec spec = sweep::load_sweep(spec_path);
+    if (print_spec) {
+      std::fputs(sweep::write_sweep(spec).c_str(), stdout);
+      return 0;
+    }
+
+    sweep::SweepRunner runner(jobs);
+    std::printf("campaign '%s': %zu points (grid %zu), %zu worker(s)\n",
+                spec.name.c_str(), spec.num_points(), spec.grid_size(),
+                runner.jobs());
+
+    std::size_t done = 0;
+    if (!quiet) {
+      runner.on_result = [&](const sweep::SweepResult& r) {
+        ++done;
+        const std::string status = r.ok ? "ok" : "FAILED: " + r.error;
+        std::printf("[%zu/%zu] %-28s %s\n", done, spec.num_points(),
+                    r.point.label().c_str(), status.c_str());
+      };
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const sweep::ResultTable table = runner.run(spec);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::printf("\n%zu/%zu points ok, %.2f s wall (%.2f points/s)\n\n",
+                table.num_ok(), table.size(), wall_s,
+                wall_s > 0 ? table.size() / wall_s : 0.0);
+    std::fputs(table.summary(pareto_only).c_str(), stdout);
+    if (pareto_only) {
+      std::printf("\n(%zu of %zu ok points on the Pareto front)\n",
+                  table.pareto_front().size(), table.num_ok());
+    }
+
+    if (!csv_path.empty()) table.save_csv(csv_path);
+    if (!json_path.empty()) table.save_json(json_path);
+    if (!bench_json_path.empty()) {
+      std::ofstream out(bench_json_path);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot open %s\n", bench_json_path.c_str());
+        return 1;
+      }
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"bench\": \"xsweep\", \"campaign\": \"%s\", "
+                    "\"points\": %zu, \"ok\": %zu, \"jobs\": %zu, "
+                    "\"wall_s\": %.3f, \"points_per_s\": %.3f}\n",
+                    spec.name.c_str(), table.size(), table.num_ok(),
+                    runner.jobs(), wall_s,
+                    wall_s > 0 ? table.size() / wall_s : 0.0);
+      out << buf;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xsweep: %s\n", e.what());
+    return 1;
+  }
+}
