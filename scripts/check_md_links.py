@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fails when an intra-repo markdown link points at a missing file.
+
+Scans every tracked *.md file for inline links/images `[text](target)`
+and reference definitions `[label]: target`, resolves repo-relative and
+document-relative targets, and reports targets that do not exist.
+External links (http/https/mailto) and pure in-page anchors (#...) are
+skipped; a `path#anchor` target only checks `path`. Run from anywhere:
+
+    python3 scripts/check_md_links.py
+"""
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Inline [text](target) — target ends at the first unescaped ')' or
+# space (titles like [t](x "y") carry a space before the quote).
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definition: [label]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files():
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"], capture_output=True,
+        text=True, check=True, cwd=REPO)
+    return [f for f in out.stdout.splitlines() if f]
+
+
+def check_file(md):
+    text = open(os.path.join(REPO, md), encoding="utf-8").read()
+    # Fenced code blocks show literal link syntax; don't lint those.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    broken = []
+    for target in INLINE.findall(text) + REFDEF.findall(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if path.startswith("/"):  # repo-absolute
+            resolved = os.path.join(REPO, path.lstrip("/"))
+        else:  # relative to the linking document
+            resolved = os.path.join(REPO, os.path.dirname(md), path)
+        if not os.path.exists(resolved):
+            broken.append(target)
+    return broken
+
+
+def main():
+    bad = 0
+    for md in md_files():
+        for target in check_file(md):
+            print(f"{md}: broken link -> {target}", file=sys.stderr)
+            bad += 1
+    if bad:
+        print(f"{bad} broken intra-repo markdown link(s)", file=sys.stderr)
+        return 1
+    print(f"markdown links ok across {len(md_files())} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ void MasterCore::push_transaction(Transaction txn) {
             "MasterCore: write burst_len must match data beats");
   }
   require(txn.burst_len >= 1, "MasterCore: burst_len must be >= 1");
+  if (on_push) on_push(txn);
   queue_.push_back(std::move(txn));
 }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,11 @@ class MasterCore : public sim::Module {
 
   /// Enqueues a transaction for issue (testbench API, call between steps).
   void push_transaction(Transaction txn);
+
+  /// Passive tap invoked on every accepted push_transaction, after
+  /// validation and before queueing. workload::TraceRecorder installs
+  /// these to capture replayable traces; null (the default) is free.
+  std::function<void(const Transaction&)> on_push;
 
   /// True when nothing is queued, in flight, or awaiting response.
   bool quiescent() const;

@@ -92,16 +92,19 @@ std::vector<std::size_t> ResultTable::pareto_front() const {
 std::string ResultTable::to_csv() const {
   std::ostringstream os;
   os << "index,label,topology,width,height,switches,flit_width,fifo_depth,"
-        "pattern,injection_rate,cycles,ok,transactions,avg_latency_cycles,"
-        "p95_latency_cycles,throughput_tpc,link_flits,retransmissions,"
-        "avg_link_utilization,area_mm2,power_mw,fmax_mhz,error\n";
+        "pattern,injection_rate,burstiness,warmup,cycles,ok,transactions,"
+        "avg_latency_cycles,p95_latency_cycles,throughput_tpc,link_flits,"
+        "retransmissions,avg_link_utilization,area_mm2,power_mw,fmax_mhz,"
+        "error\n";
   for (const auto& r : rows_) {
     const auto& p = r.point;
     os << p.index << "," << p.label() << "," << p.topology << "," << p.width
        << "," << p.height << "," << p.num_switches() << ","
        << p.net.flit_width << "," << p.net.output_fifo_depth << ","
-       << traffic::pattern_name(p.traffic.pattern) << ","
-       << fmt_double(p.traffic.injection_rate) << "," << p.sim_cycles << ","
+       << p.pattern_label() << ","
+       << fmt_double(p.traffic.injection_rate) << ","
+       << fmt_double(p.traffic.burstiness) << "," << p.warmup << ","
+       << p.sim_cycles << ","
        << (r.ok ? 1 : 0) << "," << r.transactions << ","
        << fmt_double(r.avg_latency_cycles) << "," << fmt_double(r.p95_latency_cycles)
        << "," << fmt_double(r.throughput_tpc) << "," << r.link_flits << ","
@@ -124,8 +127,10 @@ std::string ResultTable::to_json() const {
        << ", \"switches\": " << p.num_switches()
        << ", \"flit_width\": " << p.net.flit_width
        << ", \"fifo_depth\": " << p.net.output_fifo_depth
-       << ", \"pattern\": \"" << traffic::pattern_name(p.traffic.pattern)
+       << ", \"pattern\": \"" << p.pattern_label()
        << "\", \"injection_rate\": " << fmt_double(p.traffic.injection_rate)
+       << ", \"burstiness\": " << fmt_double(p.traffic.burstiness)
+       << ", \"warmup\": " << p.warmup
        << ", \"cycles\": " << p.sim_cycles
        << ", \"ok\": " << (r.ok ? "true" : "false")
        << ", \"transactions\": " << r.transactions

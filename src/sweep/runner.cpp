@@ -10,6 +10,7 @@
 #include "src/compiler/compiler.hpp"
 #include "src/traffic/stats.hpp"
 #include "src/traffic/traffic.hpp"
+#include "src/workload/benchmarks.hpp"
 
 namespace xpl::sweep {
 
@@ -112,11 +113,19 @@ SweepResult SweepRunner::run_point(const SweepPoint& point) {
     const compiler::XpipesCompiler xpipes;
     auto network = xpipes.build_simulation(spec);
 
-    traffic::TrafficDriver driver(*network, point.traffic);
+    traffic::TrafficConfig traffic_cfg = point.traffic;
+    if (!point.app.empty()) {
+      // Benchmark points: place the app's core graph on this topology
+      // (deterministic, no RNG) and drive its bandwidth matrix.
+      traffic_cfg.weights = workload::benchmark_weights(
+          workload::benchmark(point.app), spec.topo);
+    }
+    traffic::TrafficDriver driver(*network, traffic_cfg);
     driver.run(point.sim_cycles);
     network->run_until_quiescent(point.drain_cycles);
 
-    const auto stats = traffic::collect_run(*network, point.sim_cycles);
+    const auto stats =
+        traffic::collect_run(*network, point.sim_cycles, point.warmup);
     result.transactions = stats.transactions;
     result.avg_latency_cycles = stats.latency.mean;
     result.p95_latency_cycles = stats.latency.p95;

@@ -10,6 +10,7 @@
 #include "src/common/rng.hpp"
 #include "src/sweep/format.hpp"
 #include "src/topology/generators.hpp"
+#include "src/workload/benchmarks.hpp"
 
 namespace xpl::sweep {
 
@@ -67,6 +68,25 @@ traffic::Pattern parse_pattern(const std::string& name, std::size_t line) {
   fail(line, "unknown pattern '" + name + "'");
 }
 
+/// "app:mpeg4" -> "mpeg4"; empty string when `name` is not an app value.
+std::string app_benchmark_of(const std::string& name) {
+  if (name.rfind("app:", 0) == 0) return name.substr(4);
+  return {};
+}
+
+/// Accepts a pattern-axis token: a synthetic pattern name or
+/// "app:<embedded benchmark>". line 0 = validating an in-memory spec.
+void check_pattern_token(const std::string& name, std::size_t line) {
+  const std::string app = app_benchmark_of(name);
+  if (app.empty()) {
+    parse_pattern(name, line);  // throws on unknown synthetic pattern
+    return;
+  }
+  if (workload::is_benchmark(app)) return;
+  if (line == 0) throw Error("sweep: unknown app benchmark '" + app + "'");
+  fail(line, "unknown app benchmark '" + app + "'");
+}
+
 const std::set<std::string>& known_topologies() {
   static const std::set<std::string> kinds{"mesh", "torus", "ring", "star",
                                            "spidergon"};
@@ -109,20 +129,27 @@ topology::Topology SweepPoint::build_topology() const {
   throw Error("sweep point: unknown topology '" + topology + "'");
 }
 
+std::string SweepPoint::pattern_label() const {
+  if (!app.empty()) return "app:" + app;
+  return traffic::pattern_name(traffic.pattern);
+}
+
 std::string SweepPoint::label() const {
   std::ostringstream os;
   os << topology << "_" << width;
   if (topology == "mesh" || topology == "torus") os << "x" << height;
   os << "_f" << net.flit_width << "_q" << net.output_fifo_depth << "_"
-     << traffic::pattern_name(traffic.pattern) << "_r"
-     << fmt_double(traffic.injection_rate);
+     << (app.empty() ? traffic::pattern_name(traffic.pattern) : app.c_str())
+     << "_r" << fmt_double(traffic.injection_rate);
+  if (traffic.burstiness > 0) os << "_b" << fmt_double(traffic.burstiness);
+  if (warmup > 0) os << "_w" << warmup;
   return os.str();
 }
 
 std::size_t SweepSpec::grid_size() const {
   return topologies.size() * widths.size() * heights.size() *
          flit_widths.size() * fifo_depths.size() * patterns.size() *
-         injection_rates.size();
+         warmups.size() * burstinesses.size() * injection_rates.size();
 }
 
 std::size_t SweepSpec::num_points() const {
@@ -140,10 +167,20 @@ void SweepSpec::validate() const {
   non_empty("flit_width", flit_widths.size());
   non_empty("fifo_depth", fifo_depths.size());
   non_empty("pattern", patterns.size());
+  non_empty("warmup", warmups.size());
+  non_empty("burstiness", burstinesses.size());
   non_empty("injection_rate", injection_rates.size());
   for (const auto& t : topologies) {
     require(known_topologies().count(t) != 0,
             "sweep: unknown topology '" + t + "'");
+  }
+  for (const auto& p : patterns) check_pattern_token(p, 0);
+  for (const double b : burstinesses) {
+    require(b >= 0.0 && b < 1.0, "sweep: burstiness must be in [0, 1)");
+  }
+  for (const std::size_t w : warmups) {
+    require(w < sim_cycles,
+            "sweep: warmup must leave a non-empty measurement window");
   }
   require(sim_cycles > 0, "sweep: cycles must be > 0");
 }
@@ -178,6 +215,8 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
     return digit;
   };
   const std::size_t rate_i = take(injection_rates.size());
+  const std::size_t burst_i = take(burstinesses.size());
+  const std::size_t warmup_i = take(warmups.size());
   const std::size_t pattern_i = take(patterns.size());
   const std::size_t fifo_i = take(fifo_depths.size());
   const std::size_t flit_i = take(flit_widths.size());
@@ -205,7 +244,17 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
   // bit-identical results for any --jobs value.
   p.net.seed = derive_seed(seed, grid_index * 2 + 0);
 
-  p.traffic.pattern = parse_pattern(patterns[pattern_i], 0);
+  const std::string app = app_benchmark_of(patterns[pattern_i]);
+  if (app.empty()) {
+    p.traffic.pattern = parse_pattern(patterns[pattern_i], 0);
+  } else {
+    // Benchmark traffic: the weight matrix needs the built topology, so
+    // run_point derives it there (benchmark_weights is deterministic).
+    p.app = app;
+    p.traffic.pattern = traffic::Pattern::kWeighted;
+  }
+  p.warmup = warmups[warmup_i];
+  p.traffic.burstiness = burstinesses[burst_i];
   p.traffic.injection_rate = injection_rates[rate_i];
   p.traffic.read_fraction = read_fraction;
   p.traffic.min_burst = 1;
@@ -314,12 +363,20 @@ SweepSpec parse_sweep(const std::string& text) {
     } else if (key == "fifo_depth") {
       need_values();
       spec.fifo_depths = u64_list();
-    } else if (key == "pattern") {
+    } else if (key == "pattern" || key == "traffic") {
+      // `traffic` is an alias so campaign specs can read
+      // `traffic app:mpeg4`; the canonical form writes `pattern`.
       need_values();
       for (std::size_t t = 1; t < tokens.size(); ++t) {
-        parse_pattern(tokens[t], lineno);  // validates
+        check_pattern_token(tokens[t], lineno);  // validates
       }
       spec.patterns.assign(tokens.begin() + 1, tokens.end());
+    } else if (key == "warmup") {
+      need_values();
+      spec.warmups = u64_list();
+    } else if (key == "burstiness") {
+      need_values();
+      spec.burstinesses = f64_list();
     } else if (key == "injection_rate") {
       need_values();
       spec.injection_rates = f64_list();
@@ -361,9 +418,14 @@ std::string write_sweep(const SweepSpec& spec) {
   write_list("flit_width", spec.flit_widths);
   write_list("fifo_depth", spec.fifo_depths);
   write_list("pattern", spec.patterns);
-  os << "injection_rate";
-  for (const double r : spec.injection_rates) os << " " << fmt_double(r);
-  os << "\n";
+  write_list("warmup", spec.warmups);
+  auto write_f64_list = [&os](const char* key, const auto& values) {
+    os << key;
+    for (const double v : values) os << " " << fmt_double(v);
+    os << "\n";
+  };
+  write_f64_list("burstiness", spec.burstinesses);
+  write_f64_list("injection_rate", spec.injection_rates);
   return os.str();
 }
 

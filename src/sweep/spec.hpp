@@ -10,7 +10,17 @@
 //
 // The file format is line-oriented and comment-friendly like the NoC
 // specification format (src/compiler/spec_io.hpp), and round-trips
-// exactly: write_sweep(parse_sweep(text)) is canonical.
+// exactly: write_sweep(parse_sweep(text)) is canonical. docs/FORMATS.md
+// is the authoritative format reference.
+//
+// Directive grammar: one `<key> <value...>` per line; `#` comments to end
+// of line. Scalar directives (`sweep`, `seed`, `cycles`, `drain`,
+// `samples`, `target_mhz`, `read_fraction`, `max_burst`) take exactly one
+// value and apply campaign-wide. Axis directives take one or more values
+// and replace that axis's default on first sight; the campaign grid is
+// the cross product of all axes in the fixed order below (topology
+// outermost, injection rate innermost), regardless of the order the
+// directives appear in the file.
 //
 //   # xsweep campaign specification
 //   sweep mesh_scan
@@ -26,8 +36,16 @@
 //   height 4               # axis: mesh/torus height (ignored otherwise)
 //   flit_width 32 64       # axis
 //   fifo_depth 4           # axis: switch output queue depth
-//   injection_rate 0.01 0.05  # axis
 //   pattern uniform        # axis: uniform | hotspot | permutation
+//                          #       | app:mpeg4 | app:vopd | app:mwd
+//   warmup 0 500           # axis: cycles excluded from the stats window
+//   burstiness 0 0.6       # axis: on/off injection burstiness in [0, 1)
+//   injection_rate 0.01 0.05  # axis
+//
+// `traffic` is accepted as an alias for `pattern`. An `app:<name>` value
+// runs the named embedded SoC benchmark (src/workload/benchmarks.hpp):
+// the point's core graph is placed on its topology deterministically and
+// the resulting bandwidth matrix drives Pattern::kWeighted traffic.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +69,13 @@ struct SweepPoint {
   std::size_t height = 4;    ///< mesh/torus height; ignored otherwise
   std::size_t sim_cycles = 5000;
   std::size_t drain_cycles = 40000;
+  /// Cycles excluded from the front of the measurement window (stats
+  /// ignore transactions issued before this; see traffic::collect_run).
+  std::size_t warmup = 0;
+  /// Embedded app benchmark driving kWeighted traffic ("mpeg4", "vopd",
+  /// "mwd"); empty = synthetic pattern. The weight matrix is derived in
+  /// run_point by deterministic placement onto the built topology.
+  std::string app;
   double target_mhz = 800.0;
   /// Run the synthesis model for area/power/fmax. Costs a second network
   /// elaboration per point (the estimator walks every instance); drivers
@@ -65,7 +90,14 @@ struct SweepPoint {
   /// Builds the topology (one initiator and one target NI per switch).
   topology::Topology build_topology() const;
 
-  /// Compact human identifier, e.g. "mesh_4x4_f32_q4_uniform_r0.02".
+  /// The pattern axis value this point was resolved from: the synthetic
+  /// pattern name, or "app:<name>" for benchmark points. Used by label()
+  /// and the result exporters.
+  std::string pattern_label() const;
+
+  /// Compact human identifier, e.g. "mesh_4x4_f32_q4_uniform_r0.02";
+  /// app points read e.g. "mesh_4x3_f32_q4_mpeg4_r0.02", and non-default
+  /// burstiness / warmup append "_b<val>" / "_w<val>".
   std::string label() const;
 };
 
@@ -89,7 +121,10 @@ struct SweepSpec {
   std::vector<std::size_t> heights = {4};
   std::vector<std::size_t> flit_widths = {32};
   std::vector<std::size_t> fifo_depths = {4};
+  /// Synthetic pattern names and/or "app:<benchmark>" values.
   std::vector<std::string> patterns = {"uniform"};
+  std::vector<std::size_t> warmups = {0};
+  std::vector<double> burstinesses = {0.0};
   std::vector<double> injection_rates = {0.05};
 
   /// Full cross-product size.

@@ -15,10 +15,11 @@ std::string LatencyStats::to_string() const {
   return os.str();
 }
 
-LatencyStats collect_latency(noc::Network& network) {
+LatencyStats collect_latency(noc::Network& network, std::uint64_t warmup) {
   std::vector<std::uint64_t> samples;
   for (std::size_t i = 0; i < network.num_initiators(); ++i) {
     for (const auto& result : network.master(i).completed()) {
+      if (result.issue_cycle < warmup) continue;
       if (result.complete_cycle > result.issue_cycle &&
           !result.data.empty()) {
         samples.push_back(result.complete_cycle - result.issue_cycle);
@@ -50,23 +51,31 @@ LatencyStats collect_latency(noc::Network& network) {
 
 std::string RunStats::to_string() const {
   std::ostringstream os;
-  os << "txns=" << transactions << " cycles=" << cycles
-     << " thru=" << throughput << " txn/cy; latency{" << latency.to_string()
+  os << "txns=" << transactions << " cycles=" << cycles;
+  if (warmup > 0) os << " warmup=" << warmup;
+  os << " thru=" << throughput << " txn/cy; latency{" << latency.to_string()
      << "} link_flits=" << link_flits << " retx=" << retransmissions
      << " util=" << avg_link_utilization;
   return os.str();
 }
 
-RunStats collect_run(noc::Network& network, std::uint64_t cycles) {
+RunStats collect_run(noc::Network& network, std::uint64_t cycles,
+                     std::uint64_t warmup) {
+  require(cycles == 0 || warmup < cycles,
+          "collect_run: warmup must leave a non-empty measurement window");
   RunStats stats;
-  stats.latency = collect_latency(network);
+  stats.latency = collect_latency(network, warmup);
   for (std::size_t i = 0; i < network.num_initiators(); ++i) {
-    stats.transactions += network.master(i).completed().size();
+    for (const auto& result : network.master(i).completed()) {
+      if (result.issue_cycle >= warmup) ++stats.transactions;
+    }
   }
   stats.cycles = cycles;
+  stats.warmup = warmup;
+  const std::uint64_t window = cycles - warmup;
   stats.throughput = cycles == 0 ? 0.0
                                  : static_cast<double>(stats.transactions) /
-                                       static_cast<double>(cycles);
+                                       static_cast<double>(window);
   stats.link_flits = network.total_link_flits();
   stats.retransmissions = network.total_retransmissions();
   const std::size_t links = network.links().size();

@@ -24,15 +24,23 @@ struct LatencyStats {
 /// Gathers transaction latencies from every master core in `network`.
 /// Only response-carrying transactions (reads, non-posted writes) have
 /// meaningful end-to-end latency; posted writes complete at issue and are
-/// excluded.
-LatencyStats collect_latency(noc::Network& network);
+/// excluded. Transactions issued before cycle `warmup` are excluded from
+/// the distribution — the standard warmup-window discipline so cold-start
+/// transients (empty buffers, unsaturated links) don't skew steady-state
+/// measurements.
+LatencyStats collect_latency(noc::Network& network,
+                             std::uint64_t warmup = 0);
 
-/// Whole-run summary used by benches.
+/// Whole-run summary used by benches and the sweep engine.
 struct RunStats {
   LatencyStats latency;
-  std::uint64_t transactions = 0;    ///< completed (all kinds)
-  std::uint64_t cycles = 0;
-  double throughput = 0.0;           ///< transactions per cycle
+  std::uint64_t transactions = 0;    ///< completed, issued at/after warmup
+  std::uint64_t cycles = 0;          ///< driven cycles (whole run)
+  std::uint64_t warmup = 0;          ///< cycles excluded from the window
+  /// Measured-window throughput: transactions / (cycles - warmup).
+  double throughput = 0.0;
+  /// Whole-run link counters: the links count flits from cycle 0, so
+  /// these (and avg_link_utilization) are not warmup-windowed.
   std::uint64_t link_flits = 0;
   std::uint64_t retransmissions = 0;
   double avg_link_utilization = 0.0; ///< flits per link per cycle
@@ -40,7 +48,12 @@ struct RunStats {
   std::string to_string() const;
 };
 
-RunStats collect_run(noc::Network& network, std::uint64_t cycles);
+/// Collects the run summary over the measurement window [warmup, cycles):
+/// transaction counts, latency and throughput ignore transactions issued
+/// before `warmup` (0 = whole run, the default). Requires warmup < cycles
+/// when cycles > 0.
+RunStats collect_run(noc::Network& network, std::uint64_t cycles,
+                     std::uint64_t warmup = 0);
 
 /// Latency histogram with fixed-width bins, for distribution plots.
 struct LatencyHistogram {

@@ -1,5 +1,6 @@
 #include "src/traffic/traffic.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -21,6 +22,75 @@ const char* pattern_name(Pattern pattern) {
   return "?";
 }
 
+const char* trace_cmd_name(ocp::Cmd cmd) {
+  switch (cmd) {
+    case ocp::Cmd::kRead:
+      return "read";
+    case ocp::Cmd::kWrite:
+      return "write";
+    case ocp::Cmd::kWriteNp:
+      return "writenp";
+    case ocp::Cmd::kIdle:
+      break;
+  }
+  throw Error("trace_cmd_name: kIdle has no trace mnemonic");
+}
+
+bool parse_trace_line(const std::string& line, std::size_t lineno,
+                      TraceEntry& out) {
+  std::string body = line;
+  const auto hash = body.find('#');
+  if (hash != std::string::npos) body.resize(hash);
+  std::istringstream ls(body);
+  TraceEntry entry;
+  std::string cmd;
+  if (!(ls >> entry.cycle)) return false;  // blank / comment-only line
+  if (!(ls >> entry.initiator >> entry.target >> cmd >> entry.addr_offset >>
+        entry.burst)) {
+    throw Error("trace line " + std::to_string(lineno) +
+                ": expected <cycle> <ini> <tgt> <cmd> <offset> <burst>");
+  }
+  if (cmd == "read") {
+    entry.cmd = ocp::Cmd::kRead;
+  } else if (cmd == "write") {
+    entry.cmd = ocp::Cmd::kWrite;
+  } else if (cmd == "writenp") {
+    entry.cmd = ocp::Cmd::kWriteNp;
+  } else {
+    throw Error("trace line " + std::to_string(lineno) +
+                ": unknown command '" + cmd + "'");
+  }
+  require(entry.burst >= 1,
+          "trace line " + std::to_string(lineno) + ": burst must be >= 1");
+  // Optional trailing thread id (defaults to 0); anything else is an
+  // error rather than silently ignored — a typo here would change
+  // per-thread response matching and therefore replay timing.
+  std::string tail;
+  if (ls >> tail) {
+    if (tail.find_first_not_of("0123456789") != std::string::npos) {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": bad thread id '" + tail + "'");
+    }
+    unsigned long long thread = 0;
+    try {
+      thread = std::stoull(tail);
+    } catch (const std::out_of_range&) {
+      thread = 0xFFFFFFFFull + 1;  // force the range error below
+    }
+    require(thread <= 0xFFFFFFFFull, "trace line " +
+                                         std::to_string(lineno) +
+                                         ": thread id out of range");
+    entry.thread = static_cast<std::uint32_t>(thread);
+    std::string extra;
+    if (ls >> extra) {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": unexpected trailing token '" + extra + "'");
+    }
+  }
+  out = entry;
+  return true;
+}
+
 std::vector<TraceEntry> parse_trace(const std::string& text) {
   std::vector<TraceEntry> trace;
   std::istringstream is(text);
@@ -28,29 +98,8 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
     ++lineno;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
     TraceEntry entry;
-    std::string cmd;
-    if (!(ls >> entry.cycle)) continue;  // blank / comment-only line
-    if (!(ls >> entry.initiator >> entry.target >> cmd >>
-          entry.addr_offset >> entry.burst)) {
-      throw Error("trace line " + std::to_string(lineno) +
-                  ": expected <cycle> <ini> <tgt> <cmd> <offset> <burst>");
-    }
-    if (cmd == "read") {
-      entry.cmd = ocp::Cmd::kRead;
-    } else if (cmd == "write") {
-      entry.cmd = ocp::Cmd::kWrite;
-    } else if (cmd == "writenp") {
-      entry.cmd = ocp::Cmd::kWriteNp;
-    } else {
-      throw Error("trace line " + std::to_string(lineno) +
-                  ": unknown command '" + cmd + "'");
-    }
-    require(entry.burst >= 1, "trace line " + std::to_string(lineno) +
-                                  ": burst must be >= 1");
+    if (!parse_trace_line(line, lineno, entry)) continue;
     if (!trace.empty()) {
       require(entry.cycle >= trace.back().cycle,
               "trace line " + std::to_string(lineno) +
@@ -69,8 +118,12 @@ std::vector<TraceEntry> load_trace(const std::string& path) {
   return parse_trace(text.str());
 }
 
-TracePlayer::TracePlayer(noc::Network& network, std::vector<TraceEntry> trace)
-    : network_(network), trace_(std::move(trace)), rng_(0xFEED) {
+TracePlayer::TracePlayer(noc::Network& network, std::vector<TraceEntry> trace,
+                         PayloadFn payload)
+    : network_(network),
+      trace_(std::move(trace)),
+      payload_(std::move(payload)),
+      rng_(0xFEED) {
   for (const TraceEntry& entry : trace_) {
     require(entry.initiator < network.num_initiators(),
             "TracePlayer: initiator index out of range");
@@ -78,6 +131,8 @@ TracePlayer::TracePlayer(noc::Network& network, std::vector<TraceEntry> trace)
             "TracePlayer: target index out of range");
     require(entry.burst <= network.config().max_burst,
             "TracePlayer: burst exceeds network max_burst");
+    require(entry.thread < network.config().num_threads,
+            "TracePlayer: thread id exceeds network num_threads");
   }
 }
 
@@ -88,9 +143,11 @@ void TracePlayer::step() {
     txn.cmd = entry.cmd;
     txn.addr = network_.target_base(entry.target) + entry.addr_offset;
     txn.burst_len = entry.burst;
+    txn.thread_id = entry.thread;
     if (entry.cmd != ocp::Cmd::kRead) {
       for (std::uint32_t b = 0; b < entry.burst; ++b) {
-        txn.data.push_back(rng_.next_u64());
+        txn.data.push_back(payload_ ? payload_(next_, b)
+                                    : rng_.next_u64());
       }
     }
     network_.master(entry.initiator).push_transaction(std::move(txn));
@@ -133,6 +190,40 @@ TrafficDriver::TrafficDriver(noc::Network& network,
     require(config.hotspot_target < network.num_targets(),
             "TrafficDriver: hotspot target out of range");
   }
+  require(config.burstiness >= 0.0 && config.burstiness < 1.0,
+          "TrafficDriver: burstiness must be in [0, 1)");
+  if (config.burstiness > 0.0) {
+    require(config.avg_burst_cycles >= 1.0,
+            "TrafficDriver: avg_burst_cycles must be >= 1");
+    const double duty = 1.0 - config.burstiness;
+    p_on_to_off_ = 1.0 / config.avg_burst_cycles;
+    // Mean OFF dwell avg_burst_cycles * b/(1-b) puts the stationary ON
+    // fraction at `duty`. A per-cycle chain cannot dwell OFF for less
+    // than one expected cycle, so for very small b the exit probability
+    // clamps at 1; the peak rate below compensates from the *achieved*
+    // ON fraction, keeping the mean rate exact either way.
+    p_off_to_on_ =
+        std::min(1.0, duty / (config.burstiness * config.avg_burst_cycles));
+    const double on_fraction =
+        p_off_to_on_ / (p_off_to_on_ + p_on_to_off_);
+    peak_rate_ = std::min(1.0, config.injection_rate / on_fraction);
+    burst_on_.resize(network.num_initiators());
+    for (std::size_t i = 0; i < burst_on_.size(); ++i) {
+      burst_on_[i] = rng_.chance(on_fraction);  // stationary start
+    }
+  }
+}
+
+bool TrafficDriver::roll_injection(std::size_t initiator) {
+  if (config_.burstiness <= 0.0) {
+    return rng_.chance(config_.injection_rate);
+  }
+  // Dwell transition first, then the injection coin in the (possibly
+  // new) state, so even a one-cycle ON dwell can inject.
+  const bool on = burst_on_[initiator] ? !rng_.chance(p_on_to_off_)
+                                       : rng_.chance(p_off_to_on_);
+  burst_on_[initiator] = on;
+  return on && rng_.chance(peak_rate_);
 }
 
 std::size_t TrafficDriver::pick_target(std::size_t initiator) {
@@ -163,7 +254,7 @@ std::size_t TrafficDriver::pick_target(std::size_t initiator) {
 
 void TrafficDriver::step() {
   for (std::size_t i = 0; i < network_.num_initiators(); ++i) {
-    if (!rng_.chance(config_.injection_rate)) continue;
+    if (!roll_injection(i)) continue;
     const std::size_t target = pick_target(i);
     if (target >= network_.num_targets()) continue;  // silent row
 

@@ -4,10 +4,14 @@
 // evaluation implies: uniform random, hotspot (shared memory), fixed
 // permutation, and bandwidth-weighted application traffic (the task-graph
 // flows of the SunMap step, see appgraph/). A TrafficDriver is stepped
-// alongside the kernel and injects transactions at a configurable rate.
+// alongside the kernel and injects transactions at a configurable mean
+// rate, either memorylessly (Bernoulli) or in on/off bursts (two-state
+// Markov modulation — see TrafficConfig::burstiness). The workload layer
+// (src/workload/) builds app-benchmark and trace-replay scenarios on top.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,16 +31,38 @@ const char* pattern_name(Pattern pattern);
 
 struct TrafficConfig {
   Pattern pattern = Pattern::kUniformRandom;
-  /// Expected transactions per cycle per initiator (Bernoulli injection).
+  /// Mean offered load: expected transactions per cycle per initiator,
+  /// in [0, 1]. With burstiness == 0 this is a per-cycle Bernoulli coin;
+  /// with burstiness > 0 the same mean is delivered in on/off bursts.
   double injection_rate = 0.05;
-  double read_fraction = 0.5;      ///< reads vs posted writes
+  /// Probability in [0, 1] that an injected transaction is a read; the
+  /// rest are posted writes (no response, excluded from latency stats).
+  double read_fraction = 0.5;
+  /// Burst length is uniform in [min_burst, max_burst] beats (one beat =
+  /// one OCP data word). Must satisfy 1 <= min <= max <= the network's
+  /// max_burst.
   std::uint32_t min_burst = 1;
-  std::uint32_t max_burst = 4;     ///< uniform burst length in beats
+  std::uint32_t max_burst = 4;
+  /// kHotspot: index of the target that attracts `hotspot_fraction` in
+  /// [0, 1] of the traffic; the remainder is uniform over all targets.
   std::uint32_t hotspot_target = 0;
   double hotspot_fraction = 0.5;
   /// kWeighted: weight[i][t] — relative traffic from initiator i to
   /// target t (rows may be any non-negative values, zero row = silent).
   std::vector<std::vector<double>> weights;
+  /// Temporal burstiness in [0, 1): the OFF-duty fraction of a two-state
+  /// Markov (on/off) modulation of the injection process. 0 is the
+  /// memoryless Bernoulli process. At burstiness b each initiator is ON
+  /// a fraction (1-b) of the time and injects at rate
+  /// injection_rate/(1-b) while ON, so the mean rate is preserved while
+  /// variance grows — the bursty MPEG-style arrivals of DESIGN.md §5.
+  /// Rates above the ON-duty fraction saturate (peak rate clamps at 1).
+  double burstiness = 0.0;
+  /// Mean ON-dwell in cycles (geometric) when burstiness > 0; the mean
+  /// OFF-dwell follows from the duty cycle: avg_burst_cycles * b/(1-b).
+  double avg_burst_cycles = 10.0;
+  /// Seeds the driver's private xoshiro256** stream (independent of the
+  /// network's seed, which drives link error injection).
   std::uint64_t seed = 42;
 };
 
@@ -49,18 +75,45 @@ struct TraceEntry {
   ocp::Cmd cmd = ocp::Cmd::kRead;
   std::uint64_t addr_offset = 0;  ///< within the target's window
   std::uint32_t burst = 1;
+  /// OCP thread id. Part of the schedule: responses match per thread, so
+  /// replay timing is only faithful if the trace pins it.
+  std::uint32_t thread = 0;
 };
 
-/// Parses a text trace: one entry per line,
+/// Trace-body command mnemonic ("read" | "write" | "writenp") — the
+/// inverse of what parse_trace_line accepts. Throws on Cmd::kIdle.
+const char* trace_cmd_name(ocp::Cmd cmd);
+
+/// Parses one trace body line,
 ///   <cycle> <initiator> <target> <read|write|writenp> <offset> <burst>
-/// '#' starts a comment. Entries must be sorted by cycle.
+///   [thread]
+/// ('#' starts a comment; the trailing OCP thread id defaults to 0) into
+/// `out`. Returns false for a blank or comment-only line; throws
+/// xpl::Error (tagged with `lineno`) on malformed content. Shared by
+/// parse_trace and the workload/ trace file format so the two can never
+/// drift apart.
+bool parse_trace_line(const std::string& line, std::size_t lineno,
+                      TraceEntry& out);
+
+/// Parses a text trace: one entry per line (parse_trace_line grammar).
+/// Entries must be sorted by non-decreasing cycle.
 std::vector<TraceEntry> parse_trace(const std::string& text);
 std::vector<TraceEntry> load_trace(const std::string& path);
 
 /// Replays a trace into a network; step once per cycle like TrafficDriver.
+/// Validates every entry against the network (initiator/target/thread
+/// ranges, burst fit) at construction. This is the one replay engine:
+/// workload::TraceDriver layers the trace *file* format and a seed-free
+/// payload policy on top of it.
 class TracePlayer {
  public:
-  TracePlayer(noc::Network& network, std::vector<TraceEntry> trace);
+  /// Write payload for beat `beat` of entry `index`. The default (null)
+  /// draws from the player's fixed-seed RNG stream.
+  using PayloadFn =
+      std::function<std::uint64_t(std::size_t index, std::uint32_t beat)>;
+
+  TracePlayer(noc::Network& network, std::vector<TraceEntry> trace,
+              PayloadFn payload = nullptr);
 
   void step();
   void run(std::size_t cycles);
@@ -71,9 +124,10 @@ class TracePlayer {
  private:
   noc::Network& network_;
   std::vector<TraceEntry> trace_;
+  PayloadFn payload_;
   std::size_t next_ = 0;
   std::uint64_t cycle_ = 0;
-  Rng rng_;  ///< write payload generation
+  Rng rng_;  ///< write payload generation (default policy)
 };
 
 /// Injects transactions into every master of `network` when step() is
@@ -92,6 +146,9 @@ class TrafficDriver {
 
  private:
   std::size_t pick_target(std::size_t initiator);
+  /// Rolls the on/off Markov chain and the injection coin for one
+  /// initiator-cycle; true when a transaction should be injected.
+  bool roll_injection(std::size_t initiator);
 
   noc::Network& network_;
   TrafficConfig config_;
@@ -99,6 +156,11 @@ class TrafficDriver {
   std::uint64_t injected_ = 0;
   /// Prefix sums per initiator for kWeighted.
   std::vector<std::vector<double>> cumulative_;
+  /// Per-initiator ON/OFF state (burstiness > 0 only).
+  std::vector<bool> burst_on_;
+  double peak_rate_ = 0.0;   ///< injection probability while ON
+  double p_on_to_off_ = 0.0;
+  double p_off_to_on_ = 0.0;
 };
 
 }  // namespace xpl::traffic

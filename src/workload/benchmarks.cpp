@@ -1,0 +1,70 @@
+#include "src/workload/benchmarks.hpp"
+
+#include "src/appgraph/mapping.hpp"
+#include "src/common/error.hpp"
+
+namespace xpl::workload {
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names{"mpeg4", "vopd", "mwd"};
+  return names;
+}
+
+bool is_benchmark(const std::string& name) {
+  for (const auto& n : benchmark_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+appgraph::CoreGraph benchmark(const std::string& name) {
+  if (name == "mpeg4") return appgraph::mpeg4_decoder();
+  if (name == "vopd") return appgraph::vopd();
+  if (name == "mwd") return appgraph::mwd();
+  std::string known;
+  for (const auto& n : benchmark_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw Error("workload: unknown benchmark '" + name + "' (known: " + known +
+              ")");
+}
+
+std::vector<std::vector<double>> benchmark_weights(
+    const appgraph::CoreGraph& graph, const topology::Topology& topo) {
+  // First initiator / target NI position per switch, in the NI-insertion
+  // order the Network uses for master(i)/slave(t) indexing.
+  const std::size_t num_switches = topo.num_switches();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> switch_initiator(num_switches, kNone);
+  std::vector<std::size_t> switch_target(num_switches, kNone);
+  const auto initiator_ids = topo.initiator_ids();
+  const auto target_ids = topo.target_ids();
+  for (std::size_t i = 0; i < initiator_ids.size(); ++i) {
+    const std::uint32_t s = topo.ni(initiator_ids[i]).switch_id;
+    if (switch_initiator[s] == kNone) switch_initiator[s] = i;
+  }
+  for (std::size_t t = 0; t < target_ids.size(); ++t) {
+    const std::uint32_t s = topo.ni(target_ids[t]).switch_id;
+    if (switch_target[s] == kNone) switch_target[s] = t;
+  }
+  for (std::size_t s = 0; s < num_switches; ++s) {
+    require(switch_initiator[s] != kNone && switch_target[s] != kNone,
+            "benchmark_weights: every switch needs an initiator and a "
+            "target NI");
+  }
+
+  const appgraph::Mapping mapping = appgraph::greedy_map(graph, topo);
+
+  std::vector<std::vector<double>> weights(
+      initiator_ids.size(), std::vector<double>(target_ids.size(), 0.0));
+  for (const appgraph::Flow& f : graph.flows()) {
+    const std::size_t src_ini =
+        switch_initiator[mapping.core_to_switch[f.src]];
+    const std::size_t dst_tgt = switch_target[mapping.core_to_switch[f.dst]];
+    weights[src_ini][dst_tgt] += f.bandwidth;
+  }
+  return weights;
+}
+
+}  // namespace xpl::workload

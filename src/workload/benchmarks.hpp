@@ -1,0 +1,44 @@
+// Embedded SoC task-graph benchmark library.
+//
+// The workload layer's application catalogue: the classic multimedia core
+// graphs used throughout the xpipes line of work (MPEG-4 decoder, Video
+// Object Plane Decoder, Multi-Window Display), addressable by name so
+// campaign specs can say `pattern app:mpeg4` and tools can enumerate what
+// is available. The graphs themselves live in appgraph/ (they also feed
+// the SunMap-style mapping flow); this module adds the by-name registry
+// and the deterministic bridge from a core graph to the per-pair weight
+// matrix that traffic::Pattern::kWeighted consumes (DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/appgraph/core_graph.hpp"
+#include "src/topology/topology.hpp"
+
+namespace xpl::workload {
+
+/// Names of the embedded benchmarks, in stable order:
+/// "mpeg4", "vopd", "mwd".
+const std::vector<std::string>& benchmark_names();
+
+/// True when `name` is one of benchmark_names().
+bool is_benchmark(const std::string& name);
+
+/// Returns the named benchmark's core graph; throws xpl::Error on an
+/// unknown name (the error lists the known ones).
+appgraph::CoreGraph benchmark(const std::string& name);
+
+/// Deterministically places `graph` onto `topo` (greedy placement, no
+/// RNG — the same spec always yields the same weights) and returns the
+/// initiator-index-by-target-index bandwidth matrix for
+/// traffic::Pattern::kWeighted. Every switch of `topo` must carry at
+/// least one initiator and one target NI (the sweep engine's uniform NI
+/// plan guarantees this); flows between cores mapped to the same switch
+/// still cross it once (initiator NI -> switch -> target NI). Rows of
+/// initiators whose switch received no sending core are all-zero
+/// (silent), which TrafficDriver honours.
+std::vector<std::vector<double>> benchmark_weights(
+    const appgraph::CoreGraph& graph, const topology::Topology& topo);
+
+}  // namespace xpl::workload

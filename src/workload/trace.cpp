@@ -1,0 +1,207 @@
+#include "src/workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace xpl::workload {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw Error("trace line " + std::to_string(line) + ": " + what);
+}
+
+std::uint32_t parse_count(const std::string& token, std::size_t line) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    fail(line, "bad count '" + token + "'");
+  }
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(token);
+  } catch (const std::logic_error&) {
+    fail(line, "bad count '" + token + "'");
+  }
+  if (value > 0xFFFFFFFFull) fail(line, "count '" + token + "' too large");
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Replay write payload for beat `beat` of entry `index`: a splitmix64
+/// finalizer over the pair, so payloads are reproducible from the trace
+/// alone — no RNG state, no seed.
+std::uint64_t payload_word(std::uint64_t index, std::uint32_t beat) {
+  std::uint64_t z = (index << 20) + beat + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Trace parse_trace(const std::string& text) {
+  Trace trace;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Directive lines start with a keyword; entry lines with a number.
+    std::string body = line;
+    const auto hash = body.find('#');
+    if (hash != std::string::npos) body.resize(hash);
+    std::istringstream ls(body);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only
+    if (key == "trace" || key == "initiators" || key == "targets") {
+      if (!trace.entries.empty()) {
+        fail(lineno, "'" + key + "' directive after the first entry");
+      }
+      std::string value, extra;
+      if (!(ls >> value) || (ls >> extra)) {
+        fail(lineno, "'" + key + "' expects exactly one argument");
+      }
+      if (key == "trace") {
+        trace.name = value;
+      } else if (key == "initiators") {
+        trace.initiators = parse_count(value, lineno);
+      } else {
+        trace.targets = parse_count(value, lineno);
+      }
+      continue;
+    }
+    // Entry lines start with a cycle number; any other keyword is a
+    // typo'd directive, which must not be skipped silently (a dropped
+    // `initiators` line would disable the replay shape check).
+    if (key.find_first_not_of("0123456789") != std::string::npos) {
+      fail(lineno, "unknown directive '" + key + "'");
+    }
+    traffic::TraceEntry entry;
+    if (!traffic::parse_trace_line(line, lineno, entry)) continue;
+    if (!trace.entries.empty()) {
+      require(entry.cycle >= trace.entries.back().cycle,
+              "trace line " + std::to_string(lineno) +
+                  ": cycles must be non-decreasing");
+    }
+    if (trace.initiators != 0 && entry.initiator >= trace.initiators) {
+      fail(lineno, "initiator index exceeds the 'initiators' count");
+    }
+    if (trace.targets != 0 && entry.target >= trace.targets) {
+      fail(lineno, "target index exceeds the 'targets' count");
+    }
+    trace.entries.push_back(entry);
+  }
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "workload::load_trace: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_trace(text.str());
+}
+
+std::string write_trace(const Trace& trace) {
+  // A name with whitespace or '#' would not survive the line-oriented
+  // reload (extra tokens / truncation), breaking the round-trip
+  // guarantee — reject it here rather than emit a corrupt file.
+  require(!trace.name.empty() &&
+              trace.name.find_first_of(" \t#") == std::string::npos,
+          "write_trace: trace name must be one '#'-free token, got '" +
+              trace.name + "'");
+  std::ostringstream os;
+  os << "# xpipes lite transaction trace\n";
+  os << "trace " << trace.name << "\n";
+  os << "initiators " << trace.initiators << "\n";
+  os << "targets " << trace.targets << "\n";
+  for (const traffic::TraceEntry& e : trace.entries) {
+    os << e.cycle << " " << e.initiator << " " << e.target << " "
+       << traffic::trace_cmd_name(e.cmd) << " " << e.addr_offset << " "
+       << e.burst << " " << e.thread << "\n";
+  }
+  return os.str();
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "save_trace: cannot open " + path);
+  out << write_trace(trace);
+}
+
+TraceRecorder::TraceRecorder(noc::Network& network, std::string name)
+    : network_(network) {
+  trace_.name = std::move(name);
+  trace_.initiators = static_cast<std::uint32_t>(network.num_initiators());
+  trace_.targets = static_cast<std::uint32_t>(network.num_targets());
+  const std::uint64_t window = network.config().target_window;
+  for (std::size_t i = 0; i < network.num_initiators(); ++i) {
+    // Enforce the one-recorder-per-network rule: clobbering a live tap
+    // would silently truncate the other recorder's trace.
+    require(!network.master(i).on_push,
+            "TraceRecorder: master already has a push tap installed");
+    network.master(i).on_push = [this, i,
+                                 window](const ocp::Transaction& txn) {
+      traffic::TraceEntry entry;
+      entry.cycle = network_.kernel().cycle();
+      entry.initiator = static_cast<std::uint32_t>(i);
+      entry.target = static_cast<std::uint32_t>(txn.addr / window);
+      entry.cmd = txn.cmd;
+      entry.addr_offset = txn.addr % window;
+      entry.burst = txn.burst_len;
+      entry.thread = txn.thread_id;
+      XPL_ASSERT(trace_.entries.empty() ||
+                 entry.cycle >= trace_.entries.back().cycle);
+      trace_.entries.push_back(entry);
+    };
+  }
+}
+
+TraceRecorder::~TraceRecorder() {
+  for (std::size_t i = 0; i < network_.num_initiators(); ++i) {
+    network_.master(i).on_push = nullptr;
+  }
+}
+
+namespace {
+
+/// Header-count validation runs before the TracePlayer member is built
+/// so the error names the shape mismatch, not an entry index. Returns
+/// the entries by move — the driver keeps no second copy.
+std::vector<traffic::TraceEntry> checked_entries(Trace trace,
+                                                 noc::Network& network) {
+  if (trace.initiators != 0) {
+    require(trace.initiators == network.num_initiators(),
+            "TraceDriver: trace expects " +
+                std::to_string(trace.initiators) + " initiators, network "
+                "has " + std::to_string(network.num_initiators()));
+  }
+  if (trace.targets != 0) {
+    require(trace.targets == network.num_targets(),
+            "TraceDriver: trace expects " + std::to_string(trace.targets) +
+                " targets, network has " +
+                std::to_string(network.num_targets()));
+  }
+  return std::move(trace.entries);
+}
+
+}  // namespace
+
+TraceDriver::TraceDriver(noc::Network& network, Trace trace)
+    : network_(network),
+      name_(trace.name),
+      player_(network, checked_entries(std::move(trace), network),
+              &payload_word) {}
+
+std::uint64_t TraceDriver::replay(std::uint64_t max_drain_cycles) {
+  std::uint64_t cycles = 0;
+  while (!done()) {
+    player_.step();
+    network_.step();
+    ++cycles;
+  }
+  return cycles + network_.run_until_quiescent(max_drain_cycles);
+}
+
+}  // namespace xpl::workload

@@ -1,4 +1,5 @@
-// Extended statistics: histograms, link loads, CSV export.
+// Extended statistics: warmup windows, histograms, link loads, CSV
+// export.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -25,6 +26,37 @@ std::unique_ptr<noc::Network> loaded_net(double rate = 0.06) {
   driver.run(3000);
   net->run_until_quiescent(50000);
   return net;
+}
+
+TEST(Warmup, WindowExcludesPreWarmupTransactions) {
+  auto net = loaded_net();
+  const auto whole = collect_run(*net, 3000);
+  const auto windowed = collect_run(*net, 3000, 1500);
+
+  // Traffic was injected from cycle 0, so a 1500-cycle warmup must drop
+  // transactions — and every survivor was issued inside the window.
+  EXPECT_GT(whole.transactions, windowed.transactions);
+  EXPECT_GT(windowed.transactions, 0u);
+  EXPECT_EQ(windowed.warmup, 1500u);
+  std::size_t in_window = 0;
+  for (std::size_t i = 0; i < net->num_initiators(); ++i) {
+    for (const auto& r : net->master(i).completed()) {
+      if (r.issue_cycle >= 1500) ++in_window;
+    }
+  }
+  EXPECT_EQ(windowed.transactions, in_window);
+
+  // Latency distribution likewise shrinks to the window's samples.
+  EXPECT_EQ(windowed.latency.count, collect_latency(*net, 1500).count);
+  EXPECT_LT(windowed.latency.count, whole.latency.count);
+
+  // Throughput normalizes over the measured window, not the whole run.
+  EXPECT_DOUBLE_EQ(windowed.throughput,
+                   static_cast<double>(windowed.transactions) / 1500.0);
+
+  // Degenerate windows are rejected; warmup=0 is the whole-run default.
+  EXPECT_THROW(collect_run(*net, 3000, 3000), Error);
+  EXPECT_EQ(whole.transactions, collect_run(*net, 3000, 0).transactions);
 }
 
 TEST(Histogram, CountsMatchLatencyStats) {

@@ -1,9 +1,11 @@
 // xsweep — parallel design-space exploration campaigns.
 //
-// Reads a sweep specification (src/sweep/spec.hpp format), runs every
-// campaign point on a work-stealing thread pool, and reports the result
-// table plus its Pareto front. Results are bit-identical for any --jobs
-// value. Usage:
+// Reads a sweep specification (src/sweep/spec.hpp grammar; docs/FORMATS.md
+// is the reference), runs every campaign point on a work-stealing thread
+// pool, and reports the result table plus its Pareto front. Results are
+// bit-identical for any --jobs value. Campaigns can sweep synthetic
+// patterns, embedded app benchmarks (`pattern app:mpeg4`), injection
+// burstiness and warmup windows — see examples/app_scan.sweep. Usage:
 //
 //   xsweep <campaign.sweep> [options]
 //     --jobs N             worker threads (default: hardware concurrency)
@@ -13,6 +15,7 @@
 //                          (wall clock, points/s) for perf tracking
 //     --pareto             print only the Pareto front
 //     --print-spec         echo the canonical specification and exit
+//     --list-apps          list the embedded app benchmarks and exit
 //     --quiet              suppress per-point progress lines
 //
 // Example:
@@ -25,6 +28,7 @@
 
 #include "src/sweep/runner.hpp"
 #include "src/sweep/spec.hpp"
+#include "src/workload/benchmarks.hpp"
 
 namespace {
 
@@ -32,8 +36,19 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <campaign.sweep> [--jobs N] [--csv <path>]\n"
                "          [--json <path>] [--bench-json <path>] [--pareto]\n"
-               "          [--print-spec] [--quiet]\n",
+               "          [--print-spec] [--list-apps] [--quiet]\n",
                argv0);
+}
+
+/// `--list-apps`: the benchmarks a `pattern app:<name>` axis accepts.
+void list_apps() {
+  std::printf("%-8s %-6s %-6s %s\n", "name", "cores", "flows",
+              "total MB/s");
+  for (const auto& name : xpl::workload::benchmark_names()) {
+    const auto graph = xpl::workload::benchmark(name);
+    std::printf("%-8s %-6zu %-6zu %.0f\n", name.c_str(), graph.num_cores(),
+                graph.flows().size(), graph.total_bandwidth());
+  }
 }
 
 }  // namespace
@@ -75,6 +90,9 @@ int main(int argc, char** argv) {
       pareto_only = true;
     } else if (arg == "--print-spec") {
       print_spec = true;
+    } else if (arg == "--list-apps") {
+      list_apps();
+      return 0;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
