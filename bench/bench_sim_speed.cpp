@@ -1,15 +1,62 @@
 // F10 — simulator performance (google-benchmark).
 //
 // Not a paper figure: measures the cycle-accurate model itself — kernel
-// cycles per second and end-to-end transaction throughput for growing
-// meshes — so users can size experiments.
+// cycles per second, end-to-end transaction throughput for growing meshes,
+// and the per-flit-hop cost of the link protocol path (seal, wire, verify,
+// ACK) — so users can size experiments and PRs can track the perf
+// trajectory.
+//
+// The binary counts heap allocations (global operator new override below):
+// BM_FlitHop reports allocs_per_hop and *fails* if a flit hop at width
+// <= 128 allocates, pinning the BitVector small-buffer guarantee.
+//
+// Usage:
+//   bench_sim_speed [--bench-json BENCH_foo.json] [google-benchmark flags]
+//
+// --bench-json writes the machine-readable perf record tracked across PRs
+// (see README.md "Tracking performance").
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "src/link/goback_n.hpp"
+#include "src/link/link.hpp"
 #include "src/noc/network.hpp"
 #include "src/topology/generators.hpp"
 #include "src/traffic/traffic.hpp"
 
+// ---------------------------------------------------------------- alloc
+// Global allocation counter: every operator new bumps g_allocs. The
+// benchmarks read the counter around their hot loops; the counter is
+// relaxed-atomic so it costs nothing measurable next to malloc itself.
 namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+// Set by BM_FlitHop when a hop at width <= 128 allocates; main() turns it
+// into a nonzero exit. Tracked here (not via the reporter's Run fields)
+// because the error/skip reporting API changed across google-benchmark
+// 1.7 -> 1.8 and this must build against both.
+bool g_flit_hop_alloc_failure = false;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+std::uint64_t allocs() { return g_allocs.load(std::memory_order_relaxed); }
 
 xpl::noc::NetworkConfig config(std::size_t mesh_side = 2) {
   xpl::noc::NetworkConfig cfg;
@@ -32,6 +79,8 @@ void BM_IdleCycles(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["switches"] = static_cast<double>(net.num_switches());
+  state.counters["signal_pools"] =
+      static_cast<double>(net.signal_pool_count());
 }
 BENCHMARK(BM_IdleCycles)->Arg(2)->Arg(4)->Arg(8);
 
@@ -75,6 +124,132 @@ void BM_ReadTransaction(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadTransaction);
 
+// One flit hop over the full link protocol path: sender seals (CRC) and
+// drives the wire, the kernel commits, the receiver verifies and ACKs,
+// the kernel commits the ACK back. This is the innermost unit of work of
+// every simulated link; the allocs_per_hop counter must be exactly zero
+// for the paper's whole 16..128-bit flit range (BitVector inline storage
+// plus ring-buffer FIFOs), and the benchmark fails if it is not.
+void BM_FlitHop(benchmark::State& state) {
+  using namespace xpl;
+  const auto width = static_cast<std::size_t>(state.range(0));
+  sim::Kernel kernel;
+  const link::LinkWires wires = link::LinkWires::make(kernel);
+  const link::ProtocolConfig proto = link::ProtocolConfig::for_link(0);
+  link::GoBackNSender tx(wires, proto);
+  link::GoBackNReceiver rx(wires, proto);
+
+  BitVector payload(width);
+  for (std::size_t i = 0; i < width; i += 3) payload.set(i, true);
+
+  std::uint64_t hops = 0;
+  const std::uint64_t allocs_before = allocs();
+  for (auto _ : state) {
+    tx.begin_cycle();
+    if (tx.can_accept()) tx.accept(Flit(payload, /*head=*/true, /*tail=*/true));
+    tx.end_cycle();
+    kernel.step();  // flit crosses the wire
+    if (auto flit = rx.begin_cycle(/*can_take=*/true)) {
+      benchmark::DoNotOptimize(flit->payload);
+      ++hops;
+    }
+    rx.end_cycle();
+    kernel.step();  // ACK returns
+  }
+  const std::uint64_t allocated = allocs() - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+  state.counters["allocs_per_hop"] =
+      state.iterations() > 0
+          ? static_cast<double>(allocated) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  if (width <= 128 && allocated > 0) {
+    g_flit_hop_alloc_failure = true;
+    state.SkipWithError("heap allocation on the flit hop path");
+  }
+}
+BENCHMARK(BM_FlitHop)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+// ------------------------------------------------------------ reporting
+// Console reporter that also captures finished runs so main() can emit
+// the compact BENCH_*.json perf record (README.md "Tracking performance")
+// next to the normal console output.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) runs_.push_back(run);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+bool write_bench_json(const std::string& path,
+                      const std::vector<benchmark::BenchmarkReporter::Run>&
+                          runs) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\"bench\": \"sim_speed\", \"results\": [");
+  bool first = true;
+  for (const auto& run : runs) {
+    double items_per_s = 0.0;
+    const auto it = run.counters.find("items_per_second");
+    if (it != run.counters.end()) items_per_s = it->second;
+    std::fprintf(out, "%s\n  {\"name\": \"%s\", \"items_per_s\": %.1f",
+                 first ? "" : ",", run.benchmark_name().c_str(),
+                 items_per_s);
+    const auto allocs_it = run.counters.find("allocs_per_hop");
+    if (allocs_it != run.counters.end()) {
+      std::fprintf(out, ", \"allocs_per_hop\": %.3f",
+                   static_cast<double>(allocs_it->second));
+    }
+    std::fprintf(out, "}");
+    first = false;
+  }
+  std::fprintf(out, "\n]}\n");
+  std::fclose(out);
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --bench-json before google-benchmark parses the rest.
+  std::string bench_json;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(std::string("--bench-json=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  CaptureReporter capture;
+  benchmark::RunSpecifiedBenchmarks(&capture);
+
+  bool failed = g_flit_hop_alloc_failure;
+  if (failed) {
+    std::fprintf(stderr,
+                 "FAILED: BM_FlitHop: heap allocation on the flit hop "
+                 "path at width <= 128\n");
+  }
+  if (!bench_json.empty() && !write_bench_json(bench_json, capture.runs())) {
+    failed = true;
+  }
+  benchmark::Shutdown();
+  return failed ? 1 : 0;
+}

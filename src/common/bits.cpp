@@ -1,6 +1,7 @@
 #include "src/common/bits.hpp"
 
 #include <bit>
+#include <cstring>
 
 namespace xpl {
 
@@ -9,7 +10,9 @@ constexpr std::size_t kWordBits = 64;
 }  // namespace
 
 BitVector::BitVector(std::size_t width)
-    : width_(width), words_(ceil_div(width, kWordBits), 0) {}
+    : width_(width), nwords_(ceil_div(width, kWordBits)) {
+  if (!inline_storage()) heap_.assign(nwords_, 0);
+}
 
 BitVector::BitVector(std::size_t width, std::uint64_t value)
     : BitVector(width) {
@@ -17,29 +20,29 @@ BitVector::BitVector(std::size_t width, std::uint64_t value)
     require((value >> width) == 0,
             "BitVector: initial value wider than vector");
   }
-  if (!words_.empty()) words_[0] = value;
+  if (nwords_ != 0) word_data()[0] = value;
   mask_top();
 }
 
 void BitVector::mask_top() {
   const std::size_t rem = width_ % kWordBits;
-  if (rem != 0 && !words_.empty()) {
-    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  if (rem != 0 && nwords_ != 0) {
+    word_data()[nwords_ - 1] &= (std::uint64_t{1} << rem) - 1;
   }
 }
 
 bool BitVector::get(std::size_t pos) const {
   XPL_ASSERT(pos < width_);
-  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
+  return (word_data()[pos / kWordBits] >> (pos % kWordBits)) & 1u;
 }
 
 void BitVector::set(std::size_t pos, bool value) {
   XPL_ASSERT(pos < width_);
   const std::uint64_t mask = std::uint64_t{1} << (pos % kWordBits);
   if (value) {
-    words_[pos / kWordBits] |= mask;
+    word_data()[pos / kWordBits] |= mask;
   } else {
-    words_[pos / kWordBits] &= ~mask;
+    word_data()[pos / kWordBits] &= ~mask;
   }
 }
 
@@ -47,11 +50,12 @@ std::uint64_t BitVector::slice(std::size_t pos, std::size_t count) const {
   XPL_ASSERT(count <= kWordBits);
   XPL_ASSERT(pos + count <= width_);
   if (count == 0) return 0;
+  const std::uint64_t* w = word_data();
   const std::size_t word = pos / kWordBits;
   const std::size_t off = pos % kWordBits;
-  std::uint64_t value = words_[word] >> off;
+  std::uint64_t value = w[word] >> off;
   if (off + count > kWordBits) {
-    value |= words_[word + 1] << (kWordBits - off);
+    value |= w[word + 1] << (kWordBits - off);
   }
   if (count < kWordBits) {
     value &= (std::uint64_t{1} << count) - 1;
@@ -67,25 +71,34 @@ void BitVector::deposit(std::size_t pos, std::size_t count,
   if (count < kWordBits) {
     value &= (std::uint64_t{1} << count) - 1;
   }
+  std::uint64_t* w = word_data();
   const std::size_t word = pos / kWordBits;
   const std::size_t off = pos % kWordBits;
   const std::size_t low_count = std::min(count, kWordBits - off);
   const std::uint64_t low_mask = (low_count == kWordBits)
                                      ? ~std::uint64_t{0}
                                      : (std::uint64_t{1} << low_count) - 1;
-  words_[word] =
-      (words_[word] & ~(low_mask << off)) | ((value & low_mask) << off);
+  w[word] = (w[word] & ~(low_mask << off)) | ((value & low_mask) << off);
   if (count > low_count) {
     const std::size_t high_count = count - low_count;
     const std::uint64_t high_mask = (std::uint64_t{1} << high_count) - 1;
-    words_[word + 1] = (words_[word + 1] & ~high_mask) |
-                       ((value >> low_count) & high_mask);
+    w[word + 1] =
+        (w[word + 1] & ~high_mask) | ((value >> low_count) & high_mask);
   }
 }
 
 BitVector BitVector::subvector(std::size_t pos, std::size_t count) const {
   XPL_ASSERT(pos + count <= width_);
   BitVector out(count);
+  if (count == 0) return out;
+  if (pos % kWordBits == 0) {
+    // Word-aligned extraction: straight word copy plus a top mask. This is
+    // the packetizer's path (registers decompose on flit boundaries).
+    std::memcpy(out.word_data(), word_data() + pos / kWordBits,
+                out.nwords_ * sizeof(std::uint64_t));
+    out.mask_top();
+    return out;
+  }
   std::size_t done = 0;
   while (done < count) {
     const std::size_t chunk = std::min<std::size_t>(kWordBits, count - done);
@@ -97,6 +110,19 @@ BitVector BitVector::subvector(std::size_t pos, std::size_t count) const {
 
 void BitVector::deposit_vector(std::size_t pos, const BitVector& value) {
   XPL_ASSERT(pos + value.width() <= width_);
+  if (value.width() == 0) return;
+  if (pos % kWordBits == 0) {
+    // Word-aligned deposit: copy whole words, finish with one partial
+    // deposit for the value's top fragment.
+    const std::size_t full = value.width() / kWordBits;
+    std::memcpy(word_data() + pos / kWordBits, value.word_data(),
+                full * sizeof(std::uint64_t));
+    const std::size_t rem = value.width() % kWordBits;
+    if (rem != 0) {
+      deposit(pos + full * kWordBits, rem, value.word_data()[full]);
+    }
+    return;
+  }
   std::size_t done = 0;
   while (done < value.width()) {
     const std::size_t chunk =
@@ -107,27 +133,50 @@ void BitVector::deposit_vector(std::size_t pos, const BitVector& value) {
 }
 
 void BitVector::resize(std::size_t width) {
+  const std::size_t new_n = ceil_div(width, kWordBits);
+  if (new_n <= kInlineWords) {
+    if (!inline_storage()) {
+      // Heap -> inline: bring the surviving words home.
+      for (std::size_t i = 0; i < new_n; ++i) inline_words_[i] = heap_[i];
+      heap_.clear();
+      heap_.shrink_to_fit();
+    }
+    // Keep the invariant that unused inline words are zero, so a later
+    // grow within the inline span exposes no stale bits.
+    for (std::size_t i = new_n; i < kInlineWords; ++i) inline_words_[i] = 0;
+  } else if (inline_storage()) {
+    // Inline -> heap.
+    heap_.assign(new_n, 0);
+    for (std::size_t i = 0; i < nwords_; ++i) heap_[i] = inline_words_[i];
+    for (std::size_t i = 0; i < kInlineWords; ++i) inline_words_[i] = 0;
+  } else {
+    heap_.resize(new_n, 0);
+  }
   width_ = width;
-  words_.resize(ceil_div(width, kWordBits), 0);
+  nwords_ = new_n;
   mask_top();
 }
 
 std::uint64_t BitVector::to_u64() const {
   require(width_ <= kWordBits, "BitVector::to_u64: vector wider than 64 bits");
-  return words_.empty() ? 0 : words_[0];
+  return nwords_ == 0 ? 0 : word_data()[0];
 }
 
 std::size_t BitVector::popcount() const {
+  const std::uint64_t* w = word_data();
   std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  for (std::size_t i = 0; i < nwords_; ++i) {
+    n += static_cast<std::size_t>(std::popcount(w[i]));
+  }
   return n;
 }
 
 bool BitVector::parity() const { return (popcount() & 1u) != 0; }
 
 bool BitVector::is_zero() const {
-  for (std::uint64_t w : words_) {
-    if (w != 0) return false;
+  const std::uint64_t* w = word_data();
+  for (std::size_t i = 0; i < nwords_; ++i) {
+    if (w[i] != 0) return false;
   }
   return true;
 }
@@ -142,13 +191,20 @@ std::string BitVector::to_string() const {
 }
 
 bool BitVector::operator==(const BitVector& other) const {
-  return width_ == other.width_ && words_ == other.words_;
+  if (width_ != other.width_) return false;
+  // Storage above width() is zero by invariant, so whole-word compare is
+  // value compare.
+  return nwords_ == 0 ||
+         std::memcmp(word_data(), other.word_data(),
+                     nwords_ * sizeof(std::uint64_t)) == 0;
 }
 
 BitVector& BitVector::operator^=(const BitVector& other) {
   require(width_ == other.width_, "BitVector::operator^=: width mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] ^= other.words_[i];
+  std::uint64_t* w = word_data();
+  const std::uint64_t* o = other.word_data();
+  for (std::size_t i = 0; i < nwords_; ++i) {
+    w[i] ^= o[i];
   }
   return *this;
 }

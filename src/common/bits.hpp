@@ -5,6 +5,13 @@
 // (16..128 bits in the paper). BitVector models such registers exactly,
 // independent of the host word size, so packetization round-trips at any
 // flit width. Bit 0 is the least-significant bit.
+//
+// Storage is small-buffer optimized: vectors up to kInlineWords*64 bits
+// live inline in the object with no heap allocation. The inline span is
+// sized so that every flit payload of the paper's 16..128-bit sweep range
+// *and* the CRC's protected view of such a flit (payload + 10 control
+// bits, see packet/flit.hpp) stay inline — copying a flit through the
+// simulated pipeline never allocates.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,9 @@ namespace xpl {
 /// bits above width() are zero, so equality and hashing are value-based.
 class BitVector {
  public:
+  /// Widths up to kInlineWords*64 bits are stored inline (no heap).
+  static constexpr std::size_t kInlineWords = 3;
+
   /// Creates an all-zero vector of `width` bits (width may be 0).
   explicit BitVector(std::size_t width = 0);
 
@@ -74,13 +84,22 @@ class BitVector {
   BitVector& operator^=(const BitVector& other);
 
   /// Raw storage words (read-only), little-endian word order.
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  const std::uint64_t* word_data() const {
+    return inline_storage() ? inline_words_ : heap_.data();
+  }
+  std::size_t num_words() const { return nwords_; }
 
  private:
+  bool inline_storage() const { return nwords_ <= kInlineWords; }
+  std::uint64_t* word_data() {
+    return inline_storage() ? inline_words_ : heap_.data();
+  }
   void mask_top();
 
   std::size_t width_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::size_t nwords_ = 0;
+  std::uint64_t inline_words_[kInlineWords] = {0, 0, 0};
+  std::vector<std::uint64_t> heap_;  ///< engaged only above kInlineWords
 };
 
 /// Incremental writer that appends fields LSB-first into a BitVector.

@@ -1,26 +1,115 @@
 #include "src/common/crc.hpp"
 
+#include <array>
+
 namespace xpl {
 
 namespace {
 
-// Bitwise CRC over the vector, LSB-first bit order, zero initial value.
-// Flits are at most a few hundred bits, so the bitwise loop is not a
-// bottleneck; it also exactly matches the serial LFSR the synthesis model
-// charges gates for.
-std::uint16_t crc_generic(const BitVector& bits, std::uint16_t poly,
-                          unsigned width) {
-  std::uint16_t reg = 0;
-  const std::uint16_t top = static_cast<std::uint16_t>(1u << (width - 1));
-  const std::uint16_t mask =
-      static_cast<std::uint16_t>((width == 16) ? 0xFFFFu : ((1u << width) - 1));
-  for (std::size_t i = 0; i < bits.width(); ++i) {
-    const bool in = bits.get(i);
-    const bool msb = (reg & top) != 0;
-    reg = static_cast<std::uint16_t>((reg << 1) & mask);
-    if (in != msb) reg = static_cast<std::uint16_t>(reg ^ poly);
+// Bitwise CRC step: LSB-first bit order over the message, MSB-first shift
+// register, zero initial value. This serial form exactly matches the LFSR
+// the synthesis model charges gates for; it remains the reference (and the
+// tail path for the last <8 bits) while whole bytes go through the tables
+// below.
+template <typename Reg>
+Reg crc_serial_bit(Reg reg, bool in, Reg poly, Reg top, Reg mask) {
+  const bool msb = (reg & top) != 0;
+  reg = static_cast<Reg>((reg << 1) & mask);
+  if (in != msb) reg = static_cast<Reg>(reg ^ poly);
+  return reg;
+}
+
+template <typename Reg>
+Reg crc_serial_byte(Reg reg, std::uint8_t byte, Reg poly, Reg top, Reg mask) {
+  for (unsigned b = 0; b < 8; ++b) {
+    reg = crc_serial_bit<Reg>(reg, (byte >> b) & 1u, poly, top, mask);
   }
-  return static_cast<std::uint16_t>(reg & mask);
+  return reg;
+}
+
+// The per-bit update is linear over GF(2): reg' = L(reg) ^ in*poly. Eight
+// steps therefore split as f(reg, byte) = f(reg, 0) ^ f(0, byte), so one
+// 256-entry table per operand turns the serial loop into two lookups per
+// message byte. Tables are built from the serial reference itself, so the
+// two implementations cannot drift (crc_test cross-checks them anyway).
+struct Crc8Tables {
+  std::array<std::uint8_t, 256> reg;  ///< f(r, 0)
+  std::array<std::uint8_t, 256> in;   ///< f(0, b)
+};
+
+struct Crc16Tables {
+  std::array<std::uint16_t, 256> reg;  ///< f(r << 8, 0), r = top byte
+  std::array<std::uint16_t, 256> in;   ///< f(0, b)
+};
+
+const Crc8Tables& crc8_tables() {
+  static const Crc8Tables tables = [] {
+    Crc8Tables t;
+    for (unsigned v = 0; v < 256; ++v) {
+      t.reg[v] = crc_serial_byte<std::uint8_t>(
+          static_cast<std::uint8_t>(v), 0, 0x07, 0x80, 0xFF);
+      t.in[v] = crc_serial_byte<std::uint8_t>(
+          0, static_cast<std::uint8_t>(v), 0x07, 0x80, 0xFF);
+    }
+    return t;
+  }();
+  return tables;
+}
+
+const Crc16Tables& crc16_tables() {
+  static const Crc16Tables tables = [] {
+    Crc16Tables t;
+    for (unsigned v = 0; v < 256; ++v) {
+      t.reg[v] = crc_serial_byte<std::uint16_t>(
+          static_cast<std::uint16_t>(v << 8), 0, 0x1021, 0x8000, 0xFFFF);
+      t.in[v] = crc_serial_byte<std::uint16_t>(
+          0, static_cast<std::uint8_t>(v), 0x1021, 0x8000, 0xFFFF);
+    }
+    return t;
+  }();
+  return tables;
+}
+
+/// Generic driver: whole bytes through `step`, tail bits through the
+/// serial reference. Message bytes never straddle storage words (8 | 64),
+/// so each is one shift+mask off the word array.
+template <typename Reg, typename Step>
+Reg crc_bytewise(const BitVector& bits, Step step, Reg poly, Reg top,
+                 Reg mask) {
+  const std::uint64_t* words = bits.word_data();
+  const std::size_t nbytes = bits.width() / 8;
+  Reg reg = 0;
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    const auto byte =
+        static_cast<std::uint8_t>(words[i / 8] >> ((i % 8) * 8));
+    reg = step(reg, byte);
+  }
+  for (std::size_t pos = nbytes * 8; pos < bits.width(); ++pos) {
+    reg = crc_serial_bit<Reg>(reg, bits.get(pos), poly, top, mask);
+  }
+  return reg;
+}
+
+std::uint8_t crc8_compute(const BitVector& bits) {
+  const Crc8Tables& t = crc8_tables();
+  return crc_bytewise<std::uint8_t>(
+      bits,
+      [&t](std::uint8_t reg, std::uint8_t byte) {
+        return static_cast<std::uint8_t>(t.reg[reg] ^ t.in[byte]);
+      },
+      0x07, 0x80, 0xFF);
+}
+
+std::uint16_t crc16_compute(const BitVector& bits) {
+  const Crc16Tables& t = crc16_tables();
+  return crc_bytewise<std::uint16_t>(
+      bits,
+      [&t](std::uint16_t reg, std::uint8_t byte) {
+        // f(reg, 0): the low byte shifts up, the top byte folds via table.
+        return static_cast<std::uint16_t>(
+            ((reg & 0xFF) << 8) ^ t.reg[reg >> 8] ^ t.in[byte]);
+      },
+      0x1021, 0x8000, 0xFFFF);
 }
 
 }  // namespace
@@ -46,9 +135,9 @@ std::uint16_t crc_compute(CrcKind kind, const BitVector& bits) {
     case CrcKind::kParity:
       return bits.parity() ? 1 : 0;
     case CrcKind::kCrc8:
-      return crc_generic(bits, 0x07, 8);
+      return crc8_compute(bits);
     case CrcKind::kCrc16:
-      return crc_generic(bits, 0x1021, 16);
+      return crc16_compute(bits);
   }
   return 0;
 }

@@ -30,6 +30,7 @@ GoBackNSender::GoBackNSender(LinkWires wires, const ProtocolConfig& config)
       config_(config),
       seq_mask_(static_cast<std::uint8_t>((1u << config.seq_bits) - 1)) {
   config_.validate();
+  buffer_.reserve(config_.window);  // can_accept bounds it at window
 }
 
 void GoBackNSender::begin_cycle() {
@@ -62,6 +63,9 @@ void GoBackNSender::accept(Flit flit) {
   XPL_ASSERT(can_accept());
   flit.seqno = next_seq_;
   next_seq_ = (next_seq_ + 1) & seq_mask_;
+  // Seal once on entry: the buffered flit is immutable until retired, so
+  // retransmissions reuse the same checksum instead of recomputing it.
+  flit_seal(flit, config_.crc);
   buffer_.push_back(Entry{std::move(flit), /*sent=*/false});
 }
 
@@ -74,9 +78,7 @@ void GoBackNSender::end_cycle() {
     } else {
       entry.sent = true;
     }
-    Flit flit = entry.flit;
-    flit_seal(flit, config_.crc);
-    wires_.fwd->write(FlitBeat{true, std::move(flit)});
+    wires_.fwd->write(FlitBeat{true, entry.flit});
     ++resend_idx_;
     ++flits_sent_;
   } else {

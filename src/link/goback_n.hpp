@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "src/common/crc.hpp"
+#include "src/common/ring.hpp"
 #include "src/link/link.hpp"
 #include "src/packet/flit.hpp"
 
@@ -73,7 +73,7 @@ class GoBackNSender {
     Flit flit;
     bool sent = false;  ///< transmitted at least once (retx accounting)
   };
-  std::deque<Entry> buffer_;     ///< unacked flits, oldest first
+  Ring<Entry> buffer_;           ///< unacked flits, oldest first (<= window)
   std::size_t resend_idx_ = 0;   ///< next buffer index to transmit
   std::uint8_t next_seq_ = 0;    ///< seqno for the next accepted flit
 

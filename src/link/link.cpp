@@ -13,8 +13,7 @@ PipelinedLink::PipelinedLink(std::string name, const LinkWires& upstream,
       rev_pipe_(config.stages),
       rng_(config.seed) {}
 
-FlitBeat PipelinedLink::maybe_corrupt(FlitBeat beat) {
-  if (!beat.valid || config_.bit_error_rate <= 0.0) return beat;
+void PipelinedLink::corrupt_in_place(FlitBeat& beat) {
   bool corrupted = false;
   // Independent per-bit flips across all protected fields, the same fault
   // model the ACK/nACK CRC is meant to cover.
@@ -38,21 +37,26 @@ FlitBeat PipelinedLink::maybe_corrupt(FlitBeat beat) {
     corrupted = true;
   }
   if (corrupted) ++flits_corrupted_;
-  return beat;
 }
 
 void PipelinedLink::tick(sim::Kernel&) {
-  // Forward direction: sender -> (stages) -> receiver.
-  FlitBeat incoming = maybe_corrupt(up_.fwd->read());
-  if (incoming.valid) ++flits_carried_;
+  // Forward direction: sender -> (stages) -> receiver. The reliable-link
+  // fast path (the sweep default) forwards the wire value without touching
+  // flit payloads; error injection mutates a copy in place.
+  const FlitBeat& wire_in = up_.fwd->read();
+  if (wire_in.valid) ++flits_carried_;
+  const bool inject = wire_in.valid && config_.bit_error_rate > 0.0;
   if (fwd_pipe_.empty()) {
-    down_.fwd->write(incoming);
+    FlitBeat out = wire_in;
+    if (inject) corrupt_in_place(out);
+    down_.fwd->write(std::move(out));
   } else {
-    down_.fwd->write(fwd_pipe_.back());
+    down_.fwd->write(std::move(fwd_pipe_.back()));
     for (std::size_t i = fwd_pipe_.size(); i-- > 1;) {
-      fwd_pipe_[i] = fwd_pipe_[i - 1];
+      fwd_pipe_[i] = std::move(fwd_pipe_[i - 1]);
     }
-    fwd_pipe_[0] = incoming;
+    fwd_pipe_[0] = wire_in;
+    if (inject) corrupt_in_place(fwd_pipe_[0]);
   }
 
   // Reverse direction: receiver -> (stages) -> sender. Reliable.

@@ -55,7 +55,9 @@ class PipelinedLink : public sim::Module {
   const Config& config() const { return config_; }
 
  private:
-  FlitBeat maybe_corrupt(FlitBeat beat);
+  /// Applies per-bit error injection to `beat` (call only for valid beats
+  /// with bit_error_rate > 0; draws the same RNG sequence either way).
+  void corrupt_in_place(FlitBeat& beat);
 
   Config config_;
   LinkWires up_;

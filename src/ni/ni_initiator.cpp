@@ -30,6 +30,13 @@ InitiatorNi::InitiatorNi(std::string name, const InitiatorConfig& config,
       rx_(net_in, config.protocol),
       depack_(config.format) {
   config_.validate();
+  // Steady-state bounds: flit_out_ holds one packetized request (a new
+  // transaction starts only when it is empty); resp_out_ is capped by
+  // resp_queue_depth plus the beats of the response(s) released by one
+  // arrival. Both rings grow (once, deterministically) if a burst length
+  // exceeds the estimate.
+  flit_out_.reserve(config_.format.packet_flits(8));
+  resp_out_.reserve(config_.resp_queue_depth + 8);
 }
 
 void InitiatorNi::start_packet(const ocp::ReqBeat& beat, std::uint64_t) {
@@ -160,7 +167,7 @@ void InitiatorNi::tick(sim::Kernel& kernel) {
 
   // Network transmit: one flit per cycle from the packetizer output.
   if (!flit_out_.empty() && tx_.can_accept()) {
-    tx_.accept(flit_out_.front());
+    tx_.accept(std::move(flit_out_.front()));
     flit_out_.pop_front();
   }
 

@@ -19,6 +19,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "src/common/ring.hpp"
 #include "src/link/goback_n.hpp"
 #include "src/ni/lut.hpp"
 #include "src/ocp/agents.hpp"
@@ -87,10 +88,10 @@ class InitiatorNi : public sim::Module {
   link::GoBackNReceiver rx_;
 
   std::optional<Building> building_;
-  std::deque<Flit> flit_out_;  ///< packetizer output, drains 1 flit/cycle
+  Ring<Flit> flit_out_;  ///< packetizer output, drains 1 flit/cycle
 
   Depacketizer depack_;
-  std::deque<ocp::RespBeat> resp_out_;  ///< decoded beats toward the core
+  Ring<ocp::RespBeat> resp_out_;  ///< decoded beats toward the core
 
   std::unordered_map<std::uint32_t, Outstanding> outstanding_;
   /// Issue order per OCP thread: responses must reach the core in this

@@ -24,6 +24,10 @@ TargetNi::TargetNi(std::string name, const TargetConfig& config,
       ocp_resp_(ocp.resp, config.ocp_resp_fifo),
       depack_(config.format) {
   config_.validate();
+  jobs_.reserve(config_.job_queue_depth);  // rx_ can_take bounds it
+  // One packetized response in flight (complete_response fires only when
+  // flit_out_ has drained); grows once if a longer burst shows up.
+  flit_out_.reserve(config_.format.packet_flits(8));
 }
 
 void TargetNi::complete_response(RespBuild build) {
@@ -53,7 +57,7 @@ void TargetNi::tick(sim::Kernel&) {
 
   // Network transmit: drain the response packetizer.
   if (!flit_out_.empty() && tx_.can_accept()) {
-    tx_.accept(flit_out_.front());
+    tx_.accept(std::move(flit_out_.front()));
     flit_out_.pop_front();
   }
 

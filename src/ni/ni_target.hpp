@@ -17,6 +17,7 @@
 #include <map>
 #include <optional>
 
+#include "src/common/ring.hpp"
 #include "src/link/goback_n.hpp"
 #include "src/ni/lut.hpp"
 #include "src/ocp/agents.hpp"
@@ -81,7 +82,7 @@ class TargetNi : public sim::Module {
   sim::StreamConsumer<ocp::RespBeat> ocp_resp_;
 
   Depacketizer depack_;
-  std::deque<Packet> jobs_;             ///< decoded requests awaiting issue
+  Ring<Packet> jobs_;                   ///< decoded requests awaiting issue
   std::optional<Packet> issuing_;       ///< request being beat-streamed
   std::uint32_t issue_beat_ = 0;
 
@@ -89,7 +90,7 @@ class TargetNi : public sim::Module {
   std::map<std::uint32_t, std::deque<PendingResp>> pending_;
   std::map<std::uint32_t, RespBuild> collecting_;  ///< per-thread response
 
-  std::deque<Flit> flit_out_;
+  Ring<Flit> flit_out_;
 
   std::uint64_t packets_received_ = 0;
   std::uint64_t packets_sent_ = 0;

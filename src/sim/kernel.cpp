@@ -6,10 +6,11 @@ void Kernel::step() {
   for (Module* m : modules_) {
     m->tick(*this);
   }
-  // Commit only written signals; the flag test is non-virtual so idle
-  // signals cost one predictable branch, not a dispatch (see SignalBase).
-  for (auto& s : signals_) {
-    if (s->written()) s->commit();
+  // Commit per type pool: one virtual dispatch per signal *type*, then a
+  // tight non-virtual loop testing each signal's written flag (see
+  // Signal::commit and DESIGN.md §2).
+  for (auto& pool : pools_) {
+    pool->commit_all();
   }
   ++cycle_;
   for (auto& p : probes_) {

@@ -17,12 +17,24 @@
 // Signals hold their value until rewritten; by convention a module drives
 // each of its outputs every cycle (like an always_ff block that assigns all
 // outputs on every edge).
+//
+// Commit is devirtualized: signals live in type-segregated pools (one pool
+// per signal type — Signal<FlitBeat>, Signal<AckBeat>, the OCP beat
+// signals, and whatever other types a testbench creates), and each pool
+// commits its signals in a tight non-virtual loop over deque chunks. The
+// per-cycle cost is one virtual dispatch per *type*, not per signal; the
+// per-signal work is a predictable written-flag branch plus a move. See
+// DESIGN.md §2 for the measured history (commit-all vs dirty list vs flag
+// scan vs pools).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <typeindex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -51,35 +63,19 @@ class Module {
   std::string name_;
 };
 
-/// Type-erased base so the kernel can commit any signal.
-///
-/// The written flag lives here (not in Signal<T>) so the kernel's commit
-/// scan can test it without a virtual dispatch and touch only signals
-/// actually written this cycle. Measured on the xsweep mesh campaign the
-/// flag test is free when every signal is written every cycle (this
-/// codebase's modules drive all outputs every tick, so that is the hot
-/// case) and skips the dispatch entirely for idle signals; an explicit
-/// dirty *list* was tried and rejected — enqueueing on every write cost
-/// ~15% wall clock at 100% write density.
-class SignalBase {
- public:
-  virtual ~SignalBase() = default;
-  virtual void commit() = 0;
-
-  bool written() const { return written_; }
-
- protected:
-  bool written_ = false;  ///< staged value pending commit
-};
-
 /// A registered wire of type T between two modules.
 ///
 /// read() returns the value as of the last commit; write() stages a value
-/// that becomes visible after the current cycle's commit.
+/// that becomes visible after the current cycle's commit. Signals have no
+/// virtual functions: the kernel owns them in per-type pools and commits
+/// them with direct calls.
 template <typename T>
-class Signal : public SignalBase {
+class Signal {
  public:
-  explicit Signal(T reset = T{}) : curr_(reset), next_(reset) {}
+  explicit Signal(T reset = T{}) : curr_(reset), next_(std::move(reset)) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
 
   const T& read() const { return curr_; }
 
@@ -88,7 +84,13 @@ class Signal : public SignalBase {
     written_ = true;
   }
 
-  void commit() override {
+  bool written() const { return written_; }
+
+  /// Applies the staged value. Called by the kernel's pool commit loop;
+  /// the written-flag test keeps idle signals at one predictable branch
+  /// (an explicit dirty list was measured slower at this codebase's ~100%
+  /// write density — see DESIGN.md §2).
+  void commit() {
     if (written_) {
       curr_ = std::move(next_);
       written_ = false;
@@ -98,6 +100,7 @@ class Signal : public SignalBase {
  private:
   T curr_;
   T next_;
+  bool written_ = false;
 };
 
 /// Owns signals, schedules modules, and advances simulated time.
@@ -108,13 +111,15 @@ class Kernel {
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
-  /// Creates a kernel-owned signal and returns a stable reference.
+  /// Creates a kernel-owned signal and returns a stable reference. The
+  /// signal joins the pool of its type (pools use deque storage, so
+  /// references never move while the pool grows).
   template <typename T>
   Signal<T>& make_signal(T reset = T{}) {
-    auto sig = std::make_unique<Signal<T>>(std::move(reset));
-    Signal<T>& ref = *sig;
-    signals_.push_back(std::move(sig));
-    return ref;
+    SignalPool<T>& pool = pool_for<T>();
+    pool.signals.emplace_back(std::move(reset));
+    ++signal_count_;
+    return pool.signals.back();
   }
 
   /// Registers a module. The kernel does not take ownership; modules must
@@ -142,11 +147,45 @@ class Kernel {
   std::uint64_t cycle() const { return cycle_; }
 
   std::size_t module_count() const { return modules_.size(); }
-  std::size_t signal_count() const { return signals_.size(); }
+  std::size_t signal_count() const { return signal_count_; }
+  /// Distinct signal types in use (== virtual dispatches per commit).
+  std::size_t signal_pool_count() const { return pools_.size(); }
 
  private:
+  /// Type-erased pool handle: one virtual call per type per cycle.
+  struct SignalPoolBase {
+    virtual ~SignalPoolBase() = default;
+    virtual void commit_all() = 0;
+  };
+
+  /// All signals of one type T. Deque storage keeps references stable
+  /// under growth while the commit loop walks large contiguous chunks.
+  template <typename T>
+  struct SignalPool final : SignalPoolBase {
+    std::deque<Signal<T>> signals;
+
+    void commit_all() override {
+      for (Signal<T>& s : signals) s.commit();  // direct, inlinable call
+    }
+  };
+
+  template <typename T>
+  SignalPool<T>& pool_for() {
+    const std::type_index key(typeid(T));
+    auto it = pool_index_.find(key);
+    if (it == pool_index_.end()) {
+      auto pool = std::make_unique<SignalPool<T>>();
+      SignalPool<T>* raw = pool.get();
+      pools_.push_back(std::move(pool));
+      it = pool_index_.emplace(key, raw).first;
+    }
+    return *static_cast<SignalPool<T>*>(it->second);
+  }
+
   std::vector<Module*> modules_;
-  std::vector<std::unique_ptr<SignalBase>> signals_;
+  std::vector<std::unique_ptr<SignalPoolBase>> pools_;
+  std::unordered_map<std::type_index, SignalPoolBase*> pool_index_;
+  std::size_t signal_count_ = 0;
   std::vector<std::function<void(std::uint64_t)>> probes_;
   std::uint64_t cycle_ = 0;
 };

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "src/common/error.hpp"
+#include "src/common/ring.hpp"
 #include "src/sim/kernel.hpp"
 
 namespace xpl::sim {
@@ -84,7 +84,7 @@ class StreamConsumer {
  public:
   StreamConsumer() = default;
   StreamConsumer(StreamWires<T> wires, std::size_t capacity)
-      : wires_(wires), capacity_(capacity) {}
+      : wires_(wires), capacity_(capacity), fifo_(capacity) {}
 
   /// Latches an arriving beat into the FIFO. Call first in tick().
   void begin_cycle() {
@@ -120,7 +120,7 @@ class StreamConsumer {
  private:
   StreamWires<T> wires_{};
   std::size_t capacity_ = 0;
-  std::deque<T> fifo_;
+  Ring<T> fifo_;  ///< capacity fixed at construction; never reallocates
   std::uint8_t freed_this_cycle_ = 0;
 };
 

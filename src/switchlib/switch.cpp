@@ -1,5 +1,7 @@
 #include "src/switchlib/switch.hpp"
 
+#include <algorithm>
+
 #include "src/common/error.hpp"
 #include "src/packet/header.hpp"
 
@@ -39,6 +41,7 @@ Switch::Switch(std::string name, const SwitchConfig& config,
     InputPort port;
     port.rx =
         link::GoBackNReceiver(input_wires[i], config_.input_protocol(i));
+    port.fifo.reserve(config_.input_fifo_depth);
     inputs_.push_back(std::move(port));
   }
   outputs_.reserve(config.num_outputs);
@@ -46,9 +49,16 @@ Switch::Switch(std::string name, const SwitchConfig& config,
     OutputPort port(config.arbiter, config.num_inputs);
     port.tx =
         link::GoBackNSender(output_wires[o], config_.output_protocol(o));
+    port.fifo.reserve(config_.output_fifo_depth);
+    if (config_.extra_pipeline > 0) {
+      port.pipe.reserve(config_.output_fifo_depth);
+    }
     outputs_.push_back(std::move(port));
   }
   packets_out_.assign(config.num_outputs, 0);
+  req_cache_.assign(config.num_inputs, kNoPort);
+  req_cache_valid_.assign(config.num_inputs, false);
+  req_scratch_.assign(config.num_inputs, false);
 }
 
 std::optional<std::size_t> Switch::requested_output(
@@ -76,7 +86,7 @@ void Switch::tick(sim::Kernel& kernel) {
   // Link transmit: drain output queues into the go-back-N senders.
   for (OutputPort& out : outputs_) {
     if (!out.fifo.empty() && out.tx.can_accept()) {
-      out.tx.accept(out.fifo.front());
+      out.tx.accept(std::move(out.fifo.front()));
       out.fifo.pop_front();
     }
   }
@@ -93,8 +103,20 @@ void Switch::tick(sim::Kernel& kernel) {
     }
   }
 
-  // Stage 2: arbitration + crossbar traversal.
+  // Stage 2: arbitration + crossbar traversal. Each input's requested
+  // output is derived from its head flit at most once per cycle (the memo
+  // invalidates when the head flit changes); the arbiter request vector is
+  // a reused member, so this stage allocates nothing.
   bool any_switched = false;
+  std::fill(req_cache_valid_.begin(), req_cache_valid_.end(), false);
+  const auto request_of = [this](std::size_t i) {
+    if (!req_cache_valid_[i]) {
+      const auto req = requested_output(inputs_[i]);
+      req_cache_[i] = req.has_value() ? *req : kNoPort;
+      req_cache_valid_[i] = true;
+    }
+    return req_cache_[i];
+  };
   for (std::size_t o = 0; o < outputs_.size(); ++o) {
     OutputPort& out = outputs_[o];
     // Space accounting covers both the queue and the in-flight delay line.
@@ -107,19 +129,16 @@ void Switch::tick(sim::Kernel& kernel) {
       const InputPort& in = inputs_[out.locked_input];
       if (!in.fifo.empty()) winner = out.locked_input;
     } else {
-      std::vector<bool> requests(inputs_.size(), false);
       bool any = false;
       for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        const auto req = requested_output(inputs_[i]);
         // Only unlocked inputs with a head flit may open a new wormhole.
-        if (req.has_value() && *req == o &&
-            inputs_[i].locked_output == kNoPort) {
-          requests[i] = true;
-          any = true;
-        }
+        const bool wants = inputs_[i].locked_output == kNoPort &&
+                           request_of(i) == o;
+        req_scratch_[i] = wants;
+        any = any || wants;
       }
       if (any) {
-        const auto grant = out.arbiter.grant(requests);
+        const auto grant = out.arbiter.grant(req_scratch_);
         XPL_ASSERT(grant.has_value());
         winner = *grant;
         out.locked_input = winner;
@@ -130,7 +149,7 @@ void Switch::tick(sim::Kernel& kernel) {
 
     if (winner == kNoPort) continue;
     InputPort& in = inputs_[winner];
-    Flit flit = in.fifo.front();
+    Flit flit = std::move(in.fifo.front());
     in.fifo.pop_front();
     if (flit.head) {
       // Consume this hop's route selector.
@@ -147,6 +166,9 @@ void Switch::tick(sim::Kernel& kernel) {
     } else {
       out.fifo.push_back(std::move(flit));
     }
+    // The input's head flit changed (and possibly its lock state):
+    // recompute its request if a later output looks at it this cycle.
+    req_cache_valid_[winner] = false;
     ++flits_switched_;
     any_switched = true;
   }

@@ -20,10 +20,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "src/common/ring.hpp"
 #include "src/link/goback_n.hpp"
 #include "src/link/link.hpp"
 #include "src/sim/kernel.hpp"
@@ -93,17 +93,18 @@ class Switch : public sim::Module {
 
   struct InputPort {
     link::GoBackNReceiver rx;
-    std::deque<Flit> fifo;
+    Ring<Flit> fifo;  ///< bounded by input_fifo_depth
     std::size_t locked_output = kNoPort;  ///< wormhole in progress
     bool expecting_body = false;          ///< protocol check state
   };
 
   struct OutputPort {
     link::GoBackNSender tx;
-    std::deque<Flit> fifo;
+    Ring<Flit> fifo;  ///< bounded by output_fifo_depth
     /// Crossbar-to-queue delay line modelling extra pipeline stages; each
     /// entry records the cycle it entered and exits extra_pipeline later.
-    std::deque<std::pair<Flit, std::uint64_t>> pipe;
+    /// Shares the output_fifo_depth bound (fifo + pipe <= depth).
+    Ring<std::pair<Flit, std::uint64_t>> pipe;
     std::size_t locked_input = kNoPort;  ///< wormhole allocator state
     Arbiter arbiter;
 
@@ -117,6 +118,14 @@ class Switch : public sim::Module {
   SwitchConfig config_;
   std::vector<InputPort> inputs_;
   std::vector<OutputPort> outputs_;
+
+  /// Per-cycle memo of each input's requested output (kNoPort = none),
+  /// invalidated when the input's head flit changes mid-cycle, plus the
+  /// arbiter request scratch — both hoisted out of tick() so arbitration
+  /// does no per-cycle allocation and reads each head flit's route once.
+  std::vector<std::size_t> req_cache_;
+  std::vector<bool> req_cache_valid_;
+  std::vector<bool> req_scratch_;
 
   std::uint64_t flits_switched_ = 0;
   std::uint64_t active_cycles_ = 0;

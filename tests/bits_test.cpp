@@ -175,6 +175,97 @@ TEST(CeilDiv, KnownValues) {
   EXPECT_EQ(ceil_div(65, 64), 2u);
 }
 
+// Word-boundary sweep for the whole-vector operations that got word-level
+// fast paths (equality, XOR, subvector, deposit_vector): widths straddling
+// one and two word boundaries, aligned and unaligned positions.
+class WordBoundaryOps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WordBoundaryOps, EqualityAndXorAreValueBased) {
+  const std::size_t width = GetParam();
+  Rng rng(width);
+  BitVector a(width);
+  for (std::size_t i = 0; i < width; ++i) a.set(i, rng.chance(0.5));
+  BitVector b = a;
+  EXPECT_EQ(a, b);
+  // Flipping the top bit (the masked partial-word region) must break
+  // equality; XORing the same vector twice must restore it.
+  b.set(width - 1, !b.get(width - 1));
+  EXPECT_NE(a, b);
+  BitVector delta(width);
+  delta.set(width - 1, true);
+  b ^= delta;
+  EXPECT_EQ(a, b);
+  b ^= b;
+  EXPECT_TRUE(b.is_zero());
+}
+
+TEST_P(WordBoundaryOps, SubvectorMatchesBitwiseExtraction) {
+  const std::size_t width = GetParam();
+  Rng rng(width + 1);
+  BitVector v(width);
+  for (std::size_t i = 0; i < width; ++i) v.set(i, rng.chance(0.5));
+  // Aligned (fast path), off-by-one, and mid-word positions.
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{1},
+                                std::size_t{63} % width}) {
+    const std::size_t count = width - pos;
+    const BitVector sub = v.subvector(pos, count);
+    ASSERT_EQ(sub.width(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(sub.get(i), v.get(pos + i)) << "pos=" << pos << " i=" << i;
+    }
+  }
+}
+
+TEST_P(WordBoundaryOps, DepositVectorMatchesBitwiseDeposit) {
+  const std::size_t width = GetParam();
+  Rng rng(width + 2);
+  BitVector value(width);
+  for (std::size_t i = 0; i < width; ++i) value.set(i, rng.chance(0.5));
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{64},
+                                std::size_t{5}}) {
+    BitVector dst(pos + width + 3);
+    for (std::size_t i = 0; i < dst.width(); ++i) dst.set(i, true);
+    dst.deposit_vector(pos, value);
+    for (std::size_t i = 0; i < width; ++i) {
+      ASSERT_EQ(dst.get(pos + i), value.get(i)) << "pos=" << pos;
+    }
+    // Neighbours untouched.
+    for (std::size_t i = 0; i < pos; ++i) ASSERT_TRUE(dst.get(i));
+    for (std::size_t i = pos + width; i < dst.width(); ++i) {
+      ASSERT_TRUE(dst.get(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundary, WordBoundaryOps,
+                         ::testing::Values<std::size_t>(63, 64, 65, 127, 128,
+                                                        129, 192, 200));
+
+// Small-buffer optimization: flit-range vectors must stay inline and
+// resizing across the inline/heap boundary must preserve value semantics.
+TEST(BitVector, ResizeAcrossInlineHeapBoundary) {
+  const std::size_t inline_bits = BitVector::kInlineWords * 64;
+  BitVector v(64, 0xFEEDFACEDEADBEEFull);
+  v.resize(inline_bits + 64);  // inline -> heap
+  EXPECT_EQ(v.slice(0, 64), 0xFEEDFACEDEADBEEFull);
+  EXPECT_EQ(v.popcount(), BitVector(64, 0xFEEDFACEDEADBEEFull).popcount());
+  v.set(inline_bits + 63, true);
+  v.resize(64);  // heap -> inline, dropping the high bits
+  EXPECT_EQ(v.to_u64(), 0xFEEDFACEDEADBEEFull);
+  v.resize(inline_bits + 64);  // back out: dropped bits must stay dropped
+  EXPECT_EQ(v.popcount(), BitVector(64, 0xFEEDFACEDEADBEEFull).popcount());
+  for (std::size_t i = 64; i < v.width(); ++i) ASSERT_FALSE(v.get(i));
+}
+
+TEST(BitVector, ShrinkWithinInlineClearsDroppedWords) {
+  BitVector v(192);
+  v.set(190, true);
+  v.set(100, true);
+  v.resize(64);
+  v.resize(192);
+  EXPECT_TRUE(v.is_zero());
+}
+
 // Property sweep: deposit/slice agree for every (pos, count) pair on a
 // couple of widths spanning word boundaries.
 class DepositSliceSweep

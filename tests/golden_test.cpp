@@ -1,0 +1,117 @@
+// Golden determinism pins for the simulation core.
+//
+// These tests compare byte-exact artifacts — campaign CSV/JSON exports and
+// a recorded `.trace` — against files checked in under tests/golden/. They
+// were generated *before* the hot-path refactor (inline flit storage,
+// pooled signal commit, ring-buffer FIFOs) landed, so any refactor of the
+// core must reproduce the seed behaviour bit for bit to stay green.
+//
+// Regenerating (only when an intentional behaviour change is reviewed):
+//   XPL_UPDATE_GOLDEN=1 ./golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/sweep/runner.hpp"
+#include "src/sweep/spec.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/traffic.hpp"
+#include "src/workload/trace.hpp"
+
+namespace xpl {
+namespace {
+
+std::string golden_dir() { return std::string(XPL_SOURCE_DIR) + "/tests/golden/"; }
+
+bool update_mode() { return std::getenv("XPL_UPDATE_GOLDEN") != nullptr; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << bytes;
+}
+
+/// Compares `bytes` against the pinned golden file (or rewrites it in
+/// update mode). On mismatch the first differing offset is reported.
+void expect_golden(const std::string& name, const std::string& bytes) {
+  const std::string path = golden_dir() + name;
+  if (update_mode()) {
+    write_file(path, bytes);
+    return;
+  }
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty()) << "missing golden file " << path
+                             << " (run with XPL_UPDATE_GOLDEN=1 to create)";
+  if (bytes == want) return;
+  std::size_t off = 0;
+  while (off < bytes.size() && off < want.size() && bytes[off] == want[off]) {
+    ++off;
+  }
+  FAIL() << name << " diverges from golden at byte " << off << " (got "
+         << bytes.size() << " bytes, want " << want.size() << ")";
+}
+
+/// The pinned campaign: small enough to run in seconds, wide enough to
+/// exercise two flit widths, two mesh shapes, and bursty + Bernoulli
+/// injection. All 16 points are feasible; if one ever fails, the failure
+/// row is pinned too.
+const char* kCampaignSpec =
+    "sweep golden\n"
+    "seed 7\n"
+    "cycles 1500\n"
+    "topology mesh\n"
+    "width 2 3\n"
+    "height 2\n"
+    "flit_width 16 32\n"
+    "injection_rate 0.03\n"
+    "burstiness 0 0.5\n";
+
+TEST(Golden, CampaignCsvAndJsonAreByteStable) {
+  const sweep::SweepSpec spec = sweep::parse_sweep(kCampaignSpec);
+  sweep::SweepRunner runner(1);
+  const sweep::ResultTable table = runner.run(spec);
+  expect_golden("campaign.csv", table.to_csv());
+  expect_golden("campaign.json", table.to_json());
+}
+
+TEST(Golden, CampaignIsThreadCountInvariant) {
+  const sweep::SweepSpec spec = sweep::parse_sweep(kCampaignSpec);
+  const sweep::ResultTable t1 = sweep::SweepRunner(1).run(spec);
+  const sweep::ResultTable t8 = sweep::SweepRunner(8).run(spec);
+  EXPECT_EQ(t1.to_csv(), t8.to_csv());
+  EXPECT_EQ(t1.to_json(), t8.to_json());
+}
+
+TEST(Golden, RecordedTraceIsByteStable) {
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.08;
+  tcfg.burstiness = 0.4;
+  tcfg.seed = 99;
+  workload::TraceRecorder recorder(net, "golden");
+  traffic::TrafficDriver driver(net, tcfg);
+  driver.run(600);
+  net.run_until_quiescent(20000);
+
+  ASSERT_GT(recorder.recorded(), 0u);
+  expect_golden("run.trace", workload::write_trace(recorder.trace()));
+}
+
+}  // namespace
+}  // namespace xpl
