@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/link/flow.hpp"
 #include "src/link/goback_n.hpp"
 #include "src/link/link.hpp"
 #include "src/noc/network.hpp"
@@ -84,27 +85,62 @@ void BM_IdleCycles(benchmark::State& state) {
 }
 BENCHMARK(BM_IdleCycles)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_LoadedCycles(benchmark::State& state) {
+// Loaded simulation throughput, parametrized over the link-level flow
+// control (arg 1: 0 = ack_nack, 1 = credit). The moderate-rate variant
+// tracks the PR-3 numbers; BM_SaturatedCycles below drives the network
+// into back-pressure, where ACK/nACK pays retransmission thrash (every
+// nACKed flit re-traverses the link and is re-CRC-checked) and credit
+// mode just idles the stalled senders.
+void loaded_cycles(benchmark::State& state, double injection_rate) {
   using namespace xpl;
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto flow = static_cast<link::FlowControl>(state.range(1));
+  noc::NetworkConfig cfg = config(n);
+  cfg.flow = flow;
   noc::Network net(
       topology::make_mesh(n, n, topology::NiPlan::uniform(n * n, 1, 1)),
-      config(n));
+      cfg);
   traffic::TrafficConfig tcfg;
-  tcfg.injection_rate = 0.05;
+  tcfg.injection_rate = injection_rate;
   traffic::TrafficDriver driver(net, tcfg);
   for (auto _ : state) {
     driver.step();
     net.step();
   }
   state.SetItemsProcessed(state.iterations());
+  state.SetLabel(link::flow_control_name(flow));
   std::uint64_t done = 0;
   for (std::size_t i = 0; i < net.num_initiators(); ++i) {
     done += net.master(i).completed().size();
   }
   state.counters["txns"] = static_cast<double>(done);
+  state.counters["retx"] =
+      static_cast<double>(net.total_retransmissions());
+  state.counters["credit_stalls"] =
+      static_cast<double>(net.total_credit_stalls());
 }
-BENCHMARK(BM_LoadedCycles)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LoadedCycles(benchmark::State& state) {
+  loaded_cycles(state, 0.05);
+}
+BENCHMARK(BM_LoadedCycles)
+    ->ArgNames({"mesh", "flow"})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
+void BM_SaturatedCycles(benchmark::State& state) {
+  loaded_cycles(state, 0.30);
+}
+BENCHMARK(BM_SaturatedCycles)
+    ->ArgNames({"mesh", "flow"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
 
 void BM_ReadTransaction(benchmark::State& state) {
   using namespace xpl;
@@ -124,20 +160,24 @@ void BM_ReadTransaction(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadTransaction);
 
-// One flit hop over the full link protocol path: sender seals (CRC) and
-// drives the wire, the kernel commits, the receiver verifies and ACKs,
-// the kernel commits the ACK back. This is the innermost unit of work of
-// every simulated link; the allocs_per_hop counter must be exactly zero
-// for the paper's whole 16..128-bit flit range (BitVector inline storage
-// plus ring-buffer FIFOs), and the benchmark fails if it is not.
+// One flit hop over the full link protocol path. Under ack_nack (arg 1
+// == 0): sender seals (CRC) and drives the wire, the kernel commits, the
+// receiver verifies and ACKs, the kernel commits the ACK back. Under
+// credit (arg 1 == 1) the CRC work disappears and the reverse beat is a
+// bare credit return — the per-hop saving reliable links buy. This is
+// the innermost unit of work of every simulated link; the allocs_per_hop
+// counter must be exactly zero for the paper's whole 16..128-bit flit
+// range in *both* protocols (BitVector inline storage plus ring-buffer
+// FIFOs), and the benchmark fails if it is not.
 void BM_FlitHop(benchmark::State& state) {
   using namespace xpl;
   const auto width = static_cast<std::size_t>(state.range(0));
+  const auto flow = static_cast<link::FlowControl>(state.range(1));
   sim::Kernel kernel;
   const link::LinkWires wires = link::LinkWires::make(kernel);
   const link::ProtocolConfig proto = link::ProtocolConfig::for_link(0);
-  link::GoBackNSender tx(wires, proto);
-  link::GoBackNReceiver rx(wires, proto);
+  link::LinkSender tx(flow, wires, proto);
+  link::LinkReceiver rx(flow, wires, proto);
 
   BitVector payload(width);
   for (std::size_t i = 0; i < width; i += 3) payload.set(i, true);
@@ -158,6 +198,7 @@ void BM_FlitHop(benchmark::State& state) {
   }
   const std::uint64_t allocated = allocs() - allocs_before;
   state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+  state.SetLabel(link::flow_control_name(flow));
   state.counters["allocs_per_hop"] =
       state.iterations() > 0
           ? static_cast<double>(allocated) /
@@ -168,7 +209,14 @@ void BM_FlitHop(benchmark::State& state) {
     state.SkipWithError("heap allocation on the flit hop path");
   }
 }
-BENCHMARK(BM_FlitHop)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_FlitHop)
+    ->ArgNames({"width", "flow"})
+    ->Args({16, 0})
+    ->Args({32, 0})
+    ->Args({64, 0})
+    ->Args({128, 0})
+    ->Args({32, 1})
+    ->Args({128, 1});
 
 // ------------------------------------------------------------ reporting
 // Console reporter that also captures finished runs so main() can emit
@@ -207,6 +255,15 @@ bool write_bench_json(const std::string& path,
     if (allocs_it != run.counters.end()) {
       std::fprintf(out, ", \"allocs_per_hop\": %.3f",
                    static_cast<double>(allocs_it->second));
+    }
+    // The flow-control comparison: retransmission vs credit-stall load
+    // behind the cycles/s numbers.
+    for (const char* key : {"retx", "credit_stalls"}) {
+      const auto it2 = run.counters.find(key);
+      if (it2 != run.counters.end()) {
+        std::fprintf(out, ", \"%s\": %.0f", key,
+                     static_cast<double>(it2->second));
+      }
     }
     std::fprintf(out, "}");
     first = false;

@@ -115,6 +115,13 @@ NocSpec parse_spec(const std::string& text) {
       } else {
         fail(lineno, "unknown crc '" + tokens[1] + "'");
       }
+    } else if (key == "flow") {
+      need(2);
+      try {
+        spec.net.flow = link::parse_flow_control(tokens[1]);
+      } catch (const Error&) {
+        fail(lineno, "unknown flow '" + tokens[1] + "'");
+      }
     } else if (key == "extra_pipeline") {
       need(2);
       spec.net.extra_switch_pipeline = parse_u64(tokens[1], lineno);
@@ -189,6 +196,9 @@ std::string write_spec(const NocSpec& spec) {
                                                                  : "fixed")
      << "\n";
   os << "crc " << crc_name(spec.net.crc) << "\n";
+  if (spec.net.flow != link::FlowControl::kAckNack) {
+    os << "flow " << link::flow_control_name(spec.net.flow) << "\n";
+  }
   if (spec.net.extra_switch_pipeline != 0) {
     os << "extra_pipeline " << spec.net.extra_switch_pipeline << "\n";
   }

@@ -1,0 +1,84 @@
+#include "src/link/credit.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::link {
+
+CreditSender::CreditSender(LinkWires wires, const ProtocolConfig& config)
+    : wires_(wires), config_(config), credits_(config.window) {
+  config_.validate();
+  buffer_.reserve(config_.window);  // can_accept bounds it at window
+}
+
+void CreditSender::begin_cycle() {
+  XPL_ASSERT(wires_.rev != nullptr);
+  const AckBeat beat = wires_.rev->read();
+  if (beat.valid) {
+    // One valid reverse beat = one credit returned (ack/seqno unused).
+    XPL_ASSERT(credits_ < config_.window);
+    ++credits_;
+  }
+}
+
+bool CreditSender::can_accept() const {
+  // Bound total outstanding (staged + sent-but-uncredited) at window,
+  // the same occupancy contract as GoBackNSender's retransmission
+  // buffer — so a flow-control comparison measures protocol behaviour,
+  // not a doubled per-hop buffer.
+  return in_flight() < config_.window;
+}
+
+void CreditSender::accept(Flit flit) {
+  XPL_ASSERT(can_accept());
+  // Reliable link: no seqno, no CRC seal — the receiver never checks.
+  buffer_.push_back(std::move(flit));
+}
+
+void CreditSender::end_cycle() {
+  XPL_ASSERT(wires_.fwd != nullptr);
+  if (!buffer_.empty()) {
+    // can_accept keeps buffer_.size() <= credits_, so a staged flit
+    // always has a credit to spend.
+    XPL_ASSERT(credits_ > 0);
+    --credits_;
+    wires_.fwd->write(FlitBeat{true, std::move(buffer_.front())});
+    buffer_.pop_front();
+    ++flits_sent_;
+  } else {
+    // Credit starvation: the entire window is parked at the receiver
+    // awaiting drain, so nothing could have been staged this cycle.
+    if (credits_ == 0) ++credit_stalls_;
+    wires_.fwd->write(FlitBeat{});
+  }
+}
+
+CreditReceiver::CreditReceiver(LinkWires wires, const ProtocolConfig& config)
+    : wires_(wires), config_(config) {
+  config_.validate();
+  buffer_.reserve(config_.window);
+}
+
+std::optional<Flit> CreditReceiver::begin_cycle(bool can_take) {
+  XPL_ASSERT(wires_.fwd != nullptr);
+  const FlitBeat& beat = wires_.fwd->read();
+  if (beat.valid) {
+    // The sender spent a credit for this slot; overflow is a protocol
+    // wiring bug, not a runtime condition.
+    XPL_ASSERT(buffer_.size() < config_.window);
+    buffer_.push_back(beat.flit);
+  }
+  if (buffer_.empty() || !can_take) return std::nullopt;
+  Flit flit = std::move(buffer_.front());
+  buffer_.pop_front();
+  pending_credit_ = true;  // slot freed: return exactly one credit
+  ++flits_accepted_;
+  return flit;
+}
+
+void CreditReceiver::end_cycle() {
+  XPL_ASSERT(wires_.rev != nullptr);
+  wires_.rev->write(AckBeat{pending_credit_, /*ack=*/true, 0});
+  pending_credit_ = false;
+}
+
+}  // namespace xpl::link

@@ -1,0 +1,111 @@
+// Credit-based link-level flow control over reliable links.
+//
+// The classic alternative to the paper's ACK/nACK go-back-N protocol
+// (goback_n.hpp): the sender holds a credit counter initialized to the
+// receiver's buffer depth, spends one credit per transmitted flit and
+// stalls at zero; the receiver returns one credit on the reverse channel
+// for every flit its owner drains. No flit is ever sent without a
+// guaranteed buffer slot, so nothing is retransmitted and no CRC is
+// checked — which is exactly why credit flow control *requires reliable
+// links* (bit_error_rate == 0, enforced at network assembly). The
+// asymmetry is the paper's thesis: ACK/nACK buys unreliable-link
+// tolerance with retransmission buffers and nACK thrash at saturation;
+// credits buy a leaner hot path but no error story. See DESIGN.md.
+//
+// CreditSender and CreditReceiver mirror the go-back-N endpoints' call
+// shape exactly (begin_cycle / can_accept / accept / end_cycle on the
+// sender, begin_cycle(can_take) / end_cycle on the receiver) so the
+// link-protocol seam (flow.hpp) can swap protocols per network. They
+// share ProtocolConfig: `window` doubles as the credit count, sized by
+// ProtocolConfig::for_link to cover the link round trip so a clean link
+// sustains one flit per cycle in either protocol. The reverse channel
+// reuses AckBeat wires: a valid beat means "one credit returned"
+// (ack/seqno are ignored).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/ring.hpp"
+#include "src/link/goback_n.hpp"
+#include "src/link/link.hpp"
+#include "src/packet/flit.hpp"
+
+namespace xpl::link {
+
+/// Sender endpoint: stages flits and spends credits to transmit them.
+class CreditSender {
+ public:
+  CreditSender() = default;
+  CreditSender(LinkWires wires, const ProtocolConfig& config);
+
+  /// Collects returned credits from the reverse wire. Call first in the
+  /// owner's tick().
+  void begin_cycle();
+
+  /// True if a new flit can be staged this cycle: total outstanding
+  /// flits (staged + credit not yet returned) stay below the window,
+  /// mirroring the go-back-N sender's occupancy bound.
+  bool can_accept() const;
+
+  /// Stages `flit` for transmission. Requires can_accept().
+  void accept(Flit flit);
+
+  /// Transmits at most one flit (credit permitting) and drives the wire.
+  /// Call last in the owner's tick().
+  void end_cycle();
+
+  /// Flits staged locally plus flits whose credit has not returned yet
+  /// (in flight on the link or buffered at the receiver).
+  std::size_t in_flight() const {
+    return buffer_.size() + (config_.window - credits_);
+  }
+  bool idle() const { return in_flight() == 0; }
+
+  std::uint64_t flits_sent() const { return flits_sent_; }
+  /// Credit-starvation cycles: cycles spent at zero credits, i.e. with
+  /// the entire window parked at the receiver awaiting drain — the
+  /// credit protocol's back-pressure signal (the counterpart of
+  /// go-back-N's flow-control retransmissions).
+  std::uint64_t credit_stalls() const { return credit_stalls_; }
+  std::size_t credits() const { return credits_; }
+
+ private:
+  LinkWires wires_{};
+  ProtocolConfig config_{};
+  Ring<Flit> buffer_;        ///< staged flits, oldest first (<= window)
+  std::size_t credits_ = 0;  ///< free receiver slots (starts at window)
+
+  std::uint64_t flits_sent_ = 0;
+  std::uint64_t credit_stalls_ = 0;
+};
+
+/// Receiver endpoint: owns the credited buffer and returns credits as
+/// its owner drains flits.
+class CreditReceiver {
+ public:
+  CreditReceiver() = default;
+  CreditReceiver(LinkWires wires, const ProtocolConfig& config);
+
+  /// Latches an arriving flit into the credited buffer (space is
+  /// guaranteed by the sender's credit accounting) and, when `can_take`,
+  /// hands the oldest buffered flit to the owner — scheduling one credit
+  /// return. Call first in the owner's tick().
+  std::optional<Flit> begin_cycle(bool can_take);
+
+  /// Drives the credit-return wire. Call last in the owner's tick().
+  void end_cycle();
+
+  std::uint64_t flits_accepted() const { return flits_accepted_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  LinkWires wires_{};
+  ProtocolConfig config_{};
+  Ring<Flit> buffer_;            ///< credited slots (capacity = window)
+  bool pending_credit_ = false;  ///< return one credit at end_cycle
+
+  std::uint64_t flits_accepted_ = 0;
+};
+
+}  // namespace xpl::link

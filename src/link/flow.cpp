@@ -1,0 +1,24 @@
+#include "src/link/flow.hpp"
+
+#include "src/common/error.hpp"
+
+namespace xpl::link {
+
+const char* flow_control_name(FlowControl flow) {
+  switch (flow) {
+    case FlowControl::kAckNack:
+      return "ack_nack";
+    case FlowControl::kCredit:
+      return "credit";
+  }
+  return "?";
+}
+
+FlowControl parse_flow_control(const std::string& name) {
+  if (name == "ack_nack") return FlowControl::kAckNack;
+  if (name == "credit") return FlowControl::kCredit;
+  throw Error("unknown flow control '" + name +
+              "' (expected ack_nack | credit)");
+}
+
+}  // namespace xpl::link

@@ -1,0 +1,140 @@
+// Link-protocol seam: one selector, two flow-control protocols.
+//
+// Every network port (switch input/output, NI network port) embeds one
+// sender and one receiver endpoint. Historically these were hard-wired to
+// the paper's ACK/nACK go-back-N protocol; LinkSender / LinkReceiver make
+// the protocol a per-network architecture axis instead:
+//
+//   * FlowControl::kAckNack — goback_n.hpp: CRC + sequence numbers,
+//     nACK-driven retransmission; tolerates unreliable links, pays
+//     retransmission buffers and nACK thrash under back-pressure.
+//   * FlowControl::kCredit — credit.hpp: counted buffer slots, sender
+//     stalls at zero credits; requires reliable links (the network
+//     assembly enforces bit_error_rate == 0), never retransmits.
+//
+// Both protocols share LinkWires and ProtocolConfig (`window` = go-back-N
+// window or credit count, sized to the link round trip either way), so a
+// port's endpoints are interchangeable. Dispatch is one predictable
+// branch on the enum per call — no virtual functions on the hot path,
+// matching the devirtualized kernel design (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/link/credit.hpp"
+#include "src/link/goback_n.hpp"
+#include "src/link/link.hpp"
+#include "src/packet/flit.hpp"
+
+namespace xpl::link {
+
+enum class FlowControl : std::uint8_t { kAckNack, kCredit };
+
+/// "ack_nack" | "credit" — the sweep-axis / spec-file token.
+const char* flow_control_name(FlowControl flow);
+
+/// Inverse of flow_control_name; throws xpl::Error on unknown tokens.
+FlowControl parse_flow_control(const std::string& name);
+
+/// Protocol-dispatching sender endpoint. The owner's call protocol is
+/// identical for both flavours: begin_cycle, can_accept/accept at most
+/// once, end_cycle.
+class LinkSender {
+ public:
+  LinkSender() = default;
+  LinkSender(FlowControl flow, LinkWires wires,
+             const ProtocolConfig& config) {
+    flow_ = flow;
+    if (flow == FlowControl::kAckNack) {
+      ack_ = GoBackNSender(wires, config);
+    } else {
+      credit_ = CreditSender(wires, config);
+    }
+  }
+
+  void begin_cycle() {
+    flow_ == FlowControl::kAckNack ? ack_.begin_cycle()
+                                   : credit_.begin_cycle();
+  }
+  bool can_accept() const {
+    return flow_ == FlowControl::kAckNack ? ack_.can_accept()
+                                          : credit_.can_accept();
+  }
+  void accept(Flit flit) {
+    flow_ == FlowControl::kAckNack ? ack_.accept(std::move(flit))
+                                   : credit_.accept(std::move(flit));
+  }
+  void end_cycle() {
+    flow_ == FlowControl::kAckNack ? ack_.end_cycle() : credit_.end_cycle();
+  }
+
+  std::size_t in_flight() const {
+    return flow_ == FlowControl::kAckNack ? ack_.in_flight()
+                                          : credit_.in_flight();
+  }
+  bool idle() const {
+    return flow_ == FlowControl::kAckNack ? ack_.idle() : credit_.idle();
+  }
+  std::uint64_t flits_sent() const {
+    return flow_ == FlowControl::kAckNack ? ack_.flits_sent()
+                                          : credit_.flits_sent();
+  }
+  /// Go-back-N only; 0 in credit mode (credits never retransmit).
+  std::uint64_t retransmissions() const {
+    return flow_ == FlowControl::kAckNack ? ack_.retransmissions() : 0;
+  }
+  /// Credit only; 0 in ACK/nACK mode (back-pressure shows up as
+  /// flow-control retransmissions instead).
+  std::uint64_t credit_stalls() const {
+    return flow_ == FlowControl::kAckNack ? 0 : credit_.credit_stalls();
+  }
+
+ private:
+  FlowControl flow_ = FlowControl::kAckNack;
+  GoBackNSender ack_;
+  CreditSender credit_;
+};
+
+/// Protocol-dispatching receiver endpoint.
+class LinkReceiver {
+ public:
+  LinkReceiver() = default;
+  LinkReceiver(FlowControl flow, LinkWires wires,
+               const ProtocolConfig& config) {
+    flow_ = flow;
+    if (flow == FlowControl::kAckNack) {
+      ack_ = GoBackNReceiver(wires, config);
+    } else {
+      credit_ = CreditReceiver(wires, config);
+    }
+  }
+
+  std::optional<Flit> begin_cycle(bool can_take) {
+    return flow_ == FlowControl::kAckNack ? ack_.begin_cycle(can_take)
+                                          : credit_.begin_cycle(can_take);
+  }
+  void end_cycle() {
+    flow_ == FlowControl::kAckNack ? ack_.end_cycle() : credit_.end_cycle();
+  }
+
+  std::uint64_t flits_accepted() const {
+    return flow_ == FlowControl::kAckNack ? ack_.flits_accepted()
+                                          : credit_.flits_accepted();
+  }
+  /// Go-back-N only; structurally impossible in credit mode.
+  std::uint64_t crc_rejections() const {
+    return flow_ == FlowControl::kAckNack ? ack_.crc_rejections() : 0;
+  }
+  std::uint64_t flow_rejections() const {
+    return flow_ == FlowControl::kAckNack ? ack_.flow_rejections() : 0;
+  }
+
+ private:
+  FlowControl flow_ = FlowControl::kAckNack;
+  GoBackNReceiver ack_;
+  CreditReceiver credit_;
+};
+
+}  // namespace xpl::link

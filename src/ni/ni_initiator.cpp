@@ -26,8 +26,8 @@ InitiatorNi::InitiatorNi(std::string name, const InitiatorConfig& config,
       config_(config),
       ocp_req_(ocp.req, config.ocp_req_fifo),
       ocp_resp_(ocp.resp, config.ocp_resp_credits),
-      tx_(net_out, config.protocol),
-      rx_(net_in, config.protocol),
+      tx_(config.flow, net_out, config.protocol),
+      rx_(config.flow, net_in, config.protocol),
       depack_(config.format) {
   config_.validate();
   // Steady-state bounds: flit_out_ holds one packetized request (a new

@@ -20,7 +20,7 @@
 #include <unordered_map>
 
 #include "src/common/ring.hpp"
-#include "src/link/goback_n.hpp"
+#include "src/link/flow.hpp"
 #include "src/ni/lut.hpp"
 #include "src/ocp/agents.hpp"
 #include "src/packet/packetizer.hpp"
@@ -36,7 +36,8 @@ struct InitiatorConfig {
   std::size_t ocp_resp_credits = 8; ///< master core's response FIFO depth
   std::size_t resp_queue_depth = 8; ///< response beats buffered network-side
   std::size_t max_outstanding = 8;  ///< response-expecting txns in flight
-  link::ProtocolConfig protocol{};  ///< network-port ACK/nACK parameters
+  link::FlowControl flow = link::FlowControl::kAckNack;
+  link::ProtocolConfig protocol{};  ///< network-port link parameters
 
   void validate() const;
 };
@@ -59,6 +60,8 @@ class InitiatorNi : public sim::Module {
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t lut_misses() const { return lut_misses_; }
+  /// Network-port sender back-pressure (0 unless flow == kCredit).
+  std::uint64_t credit_stalls() const { return tx_.credit_stalls(); }
   /// True when no transaction is in flight anywhere in this NI.
   bool idle() const;
 
@@ -84,8 +87,8 @@ class InitiatorNi : public sim::Module {
 
   sim::StreamConsumer<ocp::ReqBeat> ocp_req_;
   sim::StreamProducer<ocp::RespBeat> ocp_resp_;
-  link::GoBackNSender tx_;
-  link::GoBackNReceiver rx_;
+  link::LinkSender tx_;
+  link::LinkReceiver rx_;
 
   std::optional<Building> building_;
   Ring<Flit> flit_out_;  ///< packetizer output, drains 1 flit/cycle

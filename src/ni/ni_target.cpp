@@ -18,8 +18,8 @@ TargetNi::TargetNi(std::string name, const TargetConfig& config,
                    const link::LinkWires& net_out)
     : sim::Module(std::move(name)),
       config_(config),
-      rx_(net_in, config.protocol),
-      tx_(net_out, config.protocol),
+      rx_(config.flow, net_in, config.protocol),
+      tx_(config.flow, net_out, config.protocol),
       ocp_req_(ocp.req, config.ocp_req_credits),
       ocp_resp_(ocp.resp, config.ocp_resp_fifo),
       depack_(config.format) {

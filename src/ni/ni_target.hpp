@@ -18,7 +18,7 @@
 #include <optional>
 
 #include "src/common/ring.hpp"
-#include "src/link/goback_n.hpp"
+#include "src/link/flow.hpp"
 #include "src/ni/lut.hpp"
 #include "src/ocp/agents.hpp"
 #include "src/packet/packetizer.hpp"
@@ -33,6 +33,7 @@ struct TargetConfig {
   std::size_t job_queue_depth = 4;   ///< whole request packets buffered
   std::size_t ocp_req_credits = 8;   ///< slave core's request FIFO depth
   std::size_t ocp_resp_fifo = 8;     ///< front-end response buffer (beats)
+  link::FlowControl flow = link::FlowControl::kAckNack;
   link::ProtocolConfig protocol{};
 
   void validate() const;
@@ -53,6 +54,8 @@ class TargetNi : public sim::Module {
   const TargetConfig& config() const { return config_; }
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
+  /// Network-port sender back-pressure (0 unless flow == kCredit).
+  std::uint64_t credit_stalls() const { return tx_.credit_stalls(); }
   bool idle() const;
 
  private:
@@ -76,8 +79,8 @@ class TargetNi : public sim::Module {
   TargetConfig config_;
   ResponseLut lut_;
 
-  link::GoBackNReceiver rx_;
-  link::GoBackNSender tx_;
+  link::LinkReceiver rx_;
+  link::LinkSender tx_;
   sim::StreamProducer<ocp::ReqBeat> ocp_req_;
   sim::StreamConsumer<ocp::RespBeat> ocp_resp_;
 

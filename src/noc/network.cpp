@@ -25,6 +25,12 @@ std::size_t max_link_stages(const topology::Topology& topo) {
 Network::Network(topology::Topology topo, const NetworkConfig& config)
     : topo_(std::move(topo)), config_(config) {
   topo_.validate();
+  // Credit flow control never retransmits, so it is only legal over
+  // reliable links — the protocol asymmetry the paper builds on.
+  require(config.flow != link::FlowControl::kCredit ||
+              config.bit_error_rate == 0.0,
+          "Network: credit flow control requires reliable links "
+          "(bit_error_rate == 0)");
   routes_ = topology::compute_all_routes(topo_, config.routing);
   deadlock_ = topology::check_deadlock(topo_, routes_);
   if (config.require_deadlock_free) {
@@ -138,6 +144,7 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
             : config.output_fifo_depth;
     scfg.extra_pipeline = config.extra_switch_pipeline;
     scfg.arbiter = config.arbiter;
+    scfg.flow = config.flow;
     scfg.protocol = protocol;
     for (const auto& ref : in_ports) {
       scfg.input_protocols.push_back(protocol_for(ref));
@@ -166,6 +173,7 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
     icfg.ocp_req_fifo = mcfg.req_credits;
     icfg.ocp_resp_credits = mcfg.resp_fifo_depth;
     icfg.max_outstanding = config.max_outstanding;
+    icfg.flow = config.flow;
     icfg.protocol = ni_protocol;
     auto ni_mod = std::make_unique<ni::InitiatorNi>(
         topo_.ni(node).name, icfg, ocp_wires, ni_in_wires[node].up,
@@ -195,6 +203,7 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
     tcfg.node_id = node;
     tcfg.ocp_req_credits = scfg.req_fifo_depth;
     tcfg.ocp_resp_fifo = scfg.resp_credits;
+    tcfg.flow = config.flow;
     tcfg.protocol = ni_protocol;
     auto ni_mod = std::make_unique<ni::TargetNi>(
         topo_.ni(node).name, tcfg, ocp_wires, ni_out_wires[node].down,
@@ -238,6 +247,14 @@ std::uint64_t Network::run_until_quiescent(std::uint64_t max_cycles) {
 std::uint64_t Network::total_retransmissions() const {
   std::uint64_t total = 0;
   for (const auto& s : switches_) total += s->retransmissions();
+  return total;
+}
+
+std::uint64_t Network::total_credit_stalls() const {
+  std::uint64_t total = 0;
+  for (const auto& s : switches_) total += s->credit_stalls();
+  for (const auto& n : initiator_nis_) total += n->credit_stalls();
+  for (const auto& n : target_nis_) total += n->credit_stalls();
   return total;
 }
 

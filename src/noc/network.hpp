@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/link/flow.hpp"
 #include "src/link/link.hpp"
 #include "src/ni/ni_initiator.hpp"
 #include "src/ni/ni_target.hpp"
@@ -44,6 +45,11 @@ struct NetworkConfig {
   std::vector<std::size_t> output_fifo_override;
   std::size_t extra_switch_pipeline = 0;  ///< 0 = 2-stage lite switch
 
+  /// Link-level flow control on every port. kCredit assumes reliable
+  /// links and therefore requires bit_error_rate == 0 — the paper's
+  /// ACK/nACK protocol exists precisely because its links may corrupt
+  /// flits in flight (see DESIGN.md "Flow control").
+  link::FlowControl flow = link::FlowControl::kAckNack;
   CrcKind crc = CrcKind::kCrc8;
   double bit_error_rate = 0.0;  ///< on switch-to-switch links only
   std::uint64_t seed = 1;
@@ -106,6 +112,9 @@ class Network {
 
   /// Sum of retransmissions over all switch and NI senders.
   std::uint64_t total_retransmissions() const;
+  /// Sum of credit-stall cycles over all switch and NI senders (0 unless
+  /// config().flow == kCredit).
+  std::uint64_t total_credit_stalls() const;
   /// Sum of flits carried over all links.
   std::uint64_t total_link_flits() const;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/link/flow.hpp"
 #include "src/sweep/format.hpp"
 #include "src/sweep/pareto.hpp"
 
@@ -89,26 +90,46 @@ std::vector<std::size_t> ResultTable::pareto_front() const {
   return front;
 }
 
+bool ResultTable::has_flow_axis() const {
+  if (flow_axis_) return true;
+  // Fallback for hand-built tables (direct run_point drivers): any
+  // non-default row forces the extended columns.
+  for (const auto& r : rows_) {
+    if (r.point.net.flow != link::FlowControl::kAckNack) return true;
+  }
+  return false;
+}
+
 std::string ResultTable::to_csv() const {
+  // The flow columns appear only when the campaign swept the flow axis,
+  // so legacy (all-ack_nack) exports stay byte-identical — the same
+  // discipline as label()'s conditional suffixes.
+  const bool flow = has_flow_axis();
   std::ostringstream os;
   os << "index,label,topology,width,height,switches,flit_width,fifo_depth,"
-        "pattern,injection_rate,burstiness,warmup,cycles,ok,transactions,"
+     << (flow ? "flow," : "")
+     << "pattern,injection_rate,burstiness,warmup,cycles,ok,transactions,"
         "avg_latency_cycles,p95_latency_cycles,throughput_tpc,link_flits,"
-        "retransmissions,avg_link_utilization,area_mm2,power_mw,fmax_mhz,"
+        "retransmissions,"
+     << (flow ? "credit_stalls," : "")
+     << "avg_link_utilization,area_mm2,power_mw,fmax_mhz,"
         "error\n";
   for (const auto& r : rows_) {
     const auto& p = r.point;
     os << p.index << "," << p.label() << "," << p.topology << "," << p.width
        << "," << p.height << "," << p.num_switches() << ","
-       << p.net.flit_width << "," << p.net.output_fifo_depth << ","
-       << p.pattern_label() << ","
+       << p.net.flit_width << "," << p.net.output_fifo_depth << ",";
+    if (flow) os << link::flow_control_name(p.net.flow) << ",";
+    os << p.pattern_label() << ","
        << fmt_double(p.traffic.injection_rate) << ","
        << fmt_double(p.traffic.burstiness) << "," << p.warmup << ","
        << p.sim_cycles << ","
        << (r.ok ? 1 : 0) << "," << r.transactions << ","
        << fmt_double(r.avg_latency_cycles) << "," << fmt_double(r.p95_latency_cycles)
        << "," << fmt_double(r.throughput_tpc) << "," << r.link_flits << ","
-       << r.retransmissions << "," << fmt_double(r.avg_link_utilization) << ","
+       << r.retransmissions << ",";
+    if (flow) os << r.credit_stalls << ",";
+    os << fmt_double(r.avg_link_utilization) << ","
        << fmt_double(r.area_mm2) << "," << fmt_double(r.power_mw) << "," << fmt_double(r.fmax_mhz)
        << "," << csv_field(r.error) << "\n";
   }
@@ -116,6 +137,7 @@ std::string ResultTable::to_csv() const {
 }
 
 std::string ResultTable::to_json() const {
+  const bool flow = has_flow_axis();
   std::ostringstream os;
   os << "[\n";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -126,8 +148,11 @@ std::string ResultTable::to_json() const {
        << "\", \"width\": " << p.width << ", \"height\": " << p.height
        << ", \"switches\": " << p.num_switches()
        << ", \"flit_width\": " << p.net.flit_width
-       << ", \"fifo_depth\": " << p.net.output_fifo_depth
-       << ", \"pattern\": \"" << p.pattern_label()
+       << ", \"fifo_depth\": " << p.net.output_fifo_depth;
+    if (flow) {
+      os << ", \"flow\": \"" << link::flow_control_name(p.net.flow) << "\"";
+    }
+    os << ", \"pattern\": \"" << p.pattern_label()
        << "\", \"injection_rate\": " << fmt_double(p.traffic.injection_rate)
        << ", \"burstiness\": " << fmt_double(p.traffic.burstiness)
        << ", \"warmup\": " << p.warmup
@@ -138,8 +163,9 @@ std::string ResultTable::to_json() const {
        << ", \"p95_latency_cycles\": " << fmt_double(r.p95_latency_cycles)
        << ", \"throughput_tpc\": " << fmt_double(r.throughput_tpc)
        << ", \"link_flits\": " << r.link_flits
-       << ", \"retransmissions\": " << r.retransmissions
-       << ", \"avg_link_utilization\": " << fmt_double(r.avg_link_utilization)
+       << ", \"retransmissions\": " << r.retransmissions;
+    if (flow) os << ", \"credit_stalls\": " << r.credit_stalls;
+    os << ", \"avg_link_utilization\": " << fmt_double(r.avg_link_utilization)
        << ", \"area_mm2\": " << fmt_double(r.area_mm2) << ", \"power_mw\": "
        << fmt_double(r.power_mw) << ", \"fmax_mhz\": " << fmt_double(r.fmax_mhz)
        << ", \"error\": \"" << json_escape(r.error) << "\"}"

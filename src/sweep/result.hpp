@@ -30,6 +30,7 @@ struct SweepResult {
   double throughput_tpc = 0.0;  ///< completed transactions per cycle
   std::uint64_t link_flits = 0;
   std::uint64_t retransmissions = 0;
+  std::uint64_t credit_stalls = 0;  ///< credit flow control only
   double avg_link_utilization = 0.0;
 
   // Synthesis view (src/synth/estimator at point.target_mhz).
@@ -52,6 +53,13 @@ class ResultTable {
   /// Stores `result` at its point's campaign index.
   void set(SweepResult result);
 
+  /// Declares that the producing campaign swept the flow-control axis,
+  /// forcing the exporters' flow/credit_stalls columns even when (e.g.
+  /// under `samples N`) every drawn point happens to be ack_nack — a
+  /// campaign spec always yields one stable schema. SweepRunner::run
+  /// sets this from the spec.
+  void mark_flow_axis() { flow_axis_ = true; }
+
   std::size_t num_ok() const;
 
   /// Indices of the Pareto-efficient successful rows under minimize
@@ -61,10 +69,14 @@ class ResultTable {
 
   /// CSV with a fixed header row; stable formatting (%.*g), one row per
   /// point in campaign order. Failed points keep their parameters and
-  /// carry the error string.
+  /// carry the error string. Campaigns that leave the flow-control axis
+  /// at its ack_nack default export the legacy column set byte-for-byte;
+  /// sweeping `flow` adds the `flow` and `credit_stalls` columns (see
+  /// docs/FORMATS.md).
   std::string to_csv() const;
 
-  /// JSON array of row objects, same fields and formatting guarantees.
+  /// JSON array of row objects, same fields, formatting and
+  /// flow-column guarantees as to_csv().
   std::string to_json() const;
 
   void save_csv(const std::string& path) const;
@@ -75,7 +87,13 @@ class ResultTable {
   std::string summary(bool front_only = false) const;
 
  private:
+  /// True when the campaign swept the flow axis (mark_flow_axis) or any
+  /// row departs from the default ack_nack flow control — the trigger
+  /// for the exporters' flow/credit_stalls columns.
+  bool has_flow_axis() const;
+
   std::vector<SweepResult> rows_;
+  bool flow_axis_ = false;
 };
 
 }  // namespace xpl::sweep

@@ -132,6 +132,7 @@ SweepResult SweepRunner::run_point(const SweepPoint& point) {
     result.throughput_tpc = stats.throughput;
     result.link_flits = stats.link_flits;
     result.retransmissions = stats.retransmissions;
+    result.credit_stalls = stats.credit_stalls;
     result.avg_link_utilization = stats.avg_link_utilization;
 
     if (point.estimate) {
@@ -152,6 +153,12 @@ ResultTable SweepRunner::run(const SweepSpec& spec) const {
   spec.validate();
   const auto points = spec.points();
   ResultTable table(points.size());
+  // Export schema follows the *spec*, not the drawn points: a sampled
+  // flow campaign keeps its flow/credit_stalls columns even when the
+  // draw happens to contain only ack_nack points.
+  if (spec.flows.size() > 1 || spec.flows.front() != "ack_nack") {
+    table.mark_flow_axis();
+  }
 
   std::mutex table_mutex;
   run_indexed(points.size(), [&](std::size_t i) {

@@ -8,6 +8,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
+#include "src/link/flow.hpp"
 #include "src/sweep/format.hpp"
 #include "src/topology/generators.hpp"
 #include "src/workload/benchmarks.hpp"
@@ -143,13 +144,17 @@ std::string SweepPoint::label() const {
      << "_r" << fmt_double(traffic.injection_rate);
   if (traffic.burstiness > 0) os << "_b" << fmt_double(traffic.burstiness);
   if (warmup > 0) os << "_w" << warmup;
+  if (net.flow != link::FlowControl::kAckNack) {
+    os << "_" << link::flow_control_name(net.flow);
+  }
   return os.str();
 }
 
 std::size_t SweepSpec::grid_size() const {
   return topologies.size() * widths.size() * heights.size() *
-         flit_widths.size() * fifo_depths.size() * patterns.size() *
-         warmups.size() * burstinesses.size() * injection_rates.size();
+         flit_widths.size() * fifo_depths.size() * flows.size() *
+         patterns.size() * warmups.size() * burstinesses.size() *
+         injection_rates.size();
 }
 
 std::size_t SweepSpec::num_points() const {
@@ -166,6 +171,7 @@ void SweepSpec::validate() const {
   non_empty("height", heights.size());
   non_empty("flit_width", flit_widths.size());
   non_empty("fifo_depth", fifo_depths.size());
+  non_empty("flow", flows.size());
   non_empty("pattern", patterns.size());
   non_empty("warmup", warmups.size());
   non_empty("burstiness", burstinesses.size());
@@ -174,6 +180,7 @@ void SweepSpec::validate() const {
     require(known_topologies().count(t) != 0,
             "sweep: unknown topology '" + t + "'");
   }
+  for (const auto& f : flows) link::parse_flow_control(f);  // throws
   for (const auto& p : patterns) check_pattern_token(p, 0);
   for (const double b : burstinesses) {
     require(b >= 0.0 && b < 1.0, "sweep: burstiness must be in [0, 1)");
@@ -218,6 +225,7 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
   const std::size_t burst_i = take(burstinesses.size());
   const std::size_t warmup_i = take(warmups.size());
   const std::size_t pattern_i = take(patterns.size());
+  const std::size_t flow_i = take(flows.size());
   const std::size_t fifo_i = take(fifo_depths.size());
   const std::size_t flit_i = take(flit_widths.size());
   const std::size_t height_i = take(heights.size());
@@ -235,6 +243,7 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
 
   p.net.flit_width = flit_widths[flit_i];
   p.net.output_fifo_depth = fifo_depths[fifo_i];
+  p.net.flow = link::parse_flow_control(flows[flow_i]);
   p.net.input_fifo_depth = 2;
   p.net.max_burst = std::max<std::size_t>(p.net.max_burst, max_burst);
   p.net.target_window = 1 << 12;
@@ -363,6 +372,16 @@ SweepSpec parse_sweep(const std::string& text) {
     } else if (key == "fifo_depth") {
       need_values();
       spec.fifo_depths = u64_list();
+    } else if (key == "flow") {
+      need_values();
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        try {
+          link::parse_flow_control(tokens[t]);  // validates
+        } catch (const Error& e) {
+          fail(lineno, e.what());
+        }
+      }
+      spec.flows.assign(tokens.begin() + 1, tokens.end());
     } else if (key == "pattern" || key == "traffic") {
       // `traffic` is an alias so campaign specs can read
       // `traffic app:mpeg4`; the canonical form writes `pattern`.
@@ -417,6 +436,7 @@ std::string write_sweep(const SweepSpec& spec) {
   write_list("height", spec.heights);
   write_list("flit_width", spec.flit_widths);
   write_list("fifo_depth", spec.fifo_depths);
+  write_list("flow", spec.flows);
   write_list("pattern", spec.patterns);
   write_list("warmup", spec.warmups);
   auto write_f64_list = [&os](const char* key, const auto& values) {

@@ -36,6 +36,7 @@
 //   height 4               # axis: mesh/torus height (ignored otherwise)
 //   flit_width 32 64       # axis
 //   fifo_depth 4           # axis: switch output queue depth
+//   flow ack_nack credit   # axis: link-level flow control
 //   pattern uniform        # axis: uniform | hotspot | permutation
 //                          #       | app:mpeg4 | app:vopd | app:mwd
 //   warmup 0 500           # axis: cycles excluded from the stats window
@@ -96,8 +97,9 @@ struct SweepPoint {
   std::string pattern_label() const;
 
   /// Compact human identifier, e.g. "mesh_4x4_f32_q4_uniform_r0.02";
-  /// app points read e.g. "mesh_4x3_f32_q4_mpeg4_r0.02", and non-default
-  /// burstiness / warmup append "_b<val>" / "_w<val>".
+  /// app points read e.g. "mesh_4x3_f32_q4_mpeg4_r0.02", non-default
+  /// burstiness / warmup append "_b<val>" / "_w<val>", and credit-mode
+  /// points append "_credit".
   std::string label() const;
 };
 
@@ -121,6 +123,8 @@ struct SweepSpec {
   std::vector<std::size_t> heights = {4};
   std::vector<std::size_t> flit_widths = {32};
   std::vector<std::size_t> fifo_depths = {4};
+  /// Link-level flow control: "ack_nack" and/or "credit" (flow.hpp).
+  std::vector<std::string> flows = {"ack_nack"};
   /// Synthetic pattern names and/or "app:<benchmark>" values.
   std::vector<std::string> patterns = {"uniform"};
   std::vector<std::size_t> warmups = {0};

@@ -39,16 +39,16 @@ Switch::Switch(std::string name, const SwitchConfig& config,
   inputs_.reserve(config.num_inputs);
   for (std::size_t i = 0; i < config.num_inputs; ++i) {
     InputPort port;
-    port.rx =
-        link::GoBackNReceiver(input_wires[i], config_.input_protocol(i));
+    port.rx = link::LinkReceiver(config_.flow, input_wires[i],
+                                 config_.input_protocol(i));
     port.fifo.reserve(config_.input_fifo_depth);
     inputs_.push_back(std::move(port));
   }
   outputs_.reserve(config.num_outputs);
   for (std::size_t o = 0; o < config.num_outputs; ++o) {
     OutputPort port(config.arbiter, config.num_inputs);
-    port.tx =
-        link::GoBackNSender(output_wires[o], config_.output_protocol(o));
+    port.tx = link::LinkSender(config_.flow, output_wires[o],
+                               config_.output_protocol(o));
     port.fifo.reserve(config_.output_fifo_depth);
     if (config_.extra_pipeline > 0) {
       port.pipe.reserve(config_.output_fifo_depth);
@@ -197,6 +197,12 @@ void Switch::tick(sim::Kernel& kernel) {
 std::uint64_t Switch::retransmissions() const {
   std::uint64_t total = 0;
   for (const OutputPort& out : outputs_) total += out.tx.retransmissions();
+  return total;
+}
+
+std::uint64_t Switch::credit_stalls() const {
+  std::uint64_t total = 0;
+  for (const OutputPort& out : outputs_) total += out.tx.credit_stalls();
   return total;
 }
 

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "src/common/ring.hpp"
-#include "src/link/goback_n.hpp"
+#include "src/link/flow.hpp"
 #include "src/link/link.hpp"
 #include "src/sim/kernel.hpp"
 #include "src/switchlib/arbiter.hpp"
@@ -42,7 +42,9 @@ struct SwitchConfig {
   std::size_t output_fifo_depth = 4;  ///< output queue per output
   std::size_t extra_pipeline = 0;     ///< 0 => the paper's 2-stage switch
   ArbiterKind arbiter = ArbiterKind::kRoundRobin;
-  link::ProtocolConfig protocol{};    ///< uniform ACK/nACK parameters
+  /// Link-level flow control on every port (link::flow.hpp seam).
+  link::FlowControl flow = link::FlowControl::kAckNack;
+  link::ProtocolConfig protocol{};    ///< uniform link protocol parameters
   /// Optional per-port protocol overrides (per-instance buffer sizing:
   /// the go-back-N window of each port matches *its* link's round trip
   /// instead of the network-wide worst case). Empty = use `protocol`.
@@ -82,8 +84,12 @@ class Switch : public sim::Module {
   const std::vector<std::uint64_t>& packets_per_output() const {
     return packets_out_;
   }
-  /// Retransmissions requested of this switch's senders (error/flow).
+  /// Retransmissions requested of this switch's senders (error/flow);
+  /// always 0 in credit mode.
   std::uint64_t retransmissions() const;
+  /// Credit-starvation cycles summed over this switch's senders (zero
+  /// credits, window parked downstream); always 0 in ACK/nACK mode.
+  std::uint64_t credit_stalls() const;
 
   /// True when no flit is buffered or in flight inside the switch.
   bool idle() const;
@@ -92,14 +98,14 @@ class Switch : public sim::Module {
   static constexpr std::size_t kNoPort = static_cast<std::size_t>(-1);
 
   struct InputPort {
-    link::GoBackNReceiver rx;
+    link::LinkReceiver rx;
     Ring<Flit> fifo;  ///< bounded by input_fifo_depth
     std::size_t locked_output = kNoPort;  ///< wormhole in progress
     bool expecting_body = false;          ///< protocol check state
   };
 
   struct OutputPort {
-    link::GoBackNSender tx;
+    link::LinkSender tx;
     Ring<Flit> fifo;  ///< bounded by output_fifo_depth
     /// Crossbar-to-queue delay line modelling extra pipeline stages; each
     /// entry records the cycle it entered and exits extra_pipeline later.

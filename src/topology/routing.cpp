@@ -19,10 +19,27 @@ const char* routing_name(RoutingAlgorithm algorithm) {
 
 namespace {
 
+// Outgoing link ids per switch, in link-insertion order — the same order
+// the old whole-link-table scans explored, so every path below is
+// byte-identical to what the unindexed code produced. Built once per
+// compute_route / compute_all_routes call instead of rescanning all L
+// links for every visited switch (which made each route O(S*L) and
+// compute_all_routes worse than quadratic on large meshes).
+using Adjacency = std::vector<std::vector<std::uint32_t>>;
+
+Adjacency build_adjacency(const Topology& topo) {
+  Adjacency adj(topo.num_switches());
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    adj[topo.link(l).from].push_back(l);
+  }
+  return adj;
+}
+
 // BFS over switches; returns the link ids of a shortest path from_sw ->
 // to_sw (empty if from_sw == to_sw). Deterministic: links are explored in
 // insertion order.
 std::vector<std::uint32_t> bfs_path(const Topology& topo,
+                                    const Adjacency& adj,
                                     std::uint32_t from_sw,
                                     std::uint32_t to_sw) {
   const std::size_t n = topo.num_switches();
@@ -33,9 +50,9 @@ std::vector<std::uint32_t> bfs_path(const Topology& topo,
   while (!queue.empty() && !seen[to_sw]) {
     const std::uint32_t s = queue.front();
     queue.pop_front();
-    for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    for (const std::uint32_t l : adj[s]) {
       const Link& link = topo.link(l);
-      if (link.from == s && !seen[link.to]) {
+      if (!seen[link.to]) {
         seen[link.to] = true;
         via_link[link.to] = l;
         queue.push_back(link.to);
@@ -56,6 +73,7 @@ std::vector<std::uint32_t> bfs_path(const Topology& topo,
 // Dimension-order: full X displacement, then Y. Requires coordinates and
 // a grid link in the needed direction at every step.
 std::vector<std::uint32_t> xy_path(const Topology& topo,
+                                   const Adjacency& adj,
                                    std::uint32_t from_sw,
                                    std::uint32_t to_sw) {
   std::vector<std::uint32_t> path;
@@ -68,9 +86,8 @@ std::vector<std::uint32_t> xy_path(const Topology& topo,
     const int want = x_dim ? (goal.x > here.x ? 1 : goal.x < here.x ? -1 : 0)
                            : (goal.y > here.y ? 1 : goal.y < here.y ? -1 : 0);
     if (want == 0) return false;
-    for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    for (const std::uint32_t l : adj[cur]) {
       const Link& link = topo.link(l);
-      if (link.from != cur) continue;
       const SwitchNode& next = topo.switch_node(link.to);
       const int dx = next.x - here.x;
       const int dy = next.y - here.y;
@@ -102,6 +119,7 @@ std::vector<std::uint32_t> xy_path(const Topology& topo,
 // topology. BFS over (switch, phase) states finds the shortest legal
 // path.
 std::vector<std::uint32_t> updown_path(const Topology& topo,
+                                       const Adjacency& adj,
                                        std::uint32_t from_sw,
                                        std::uint32_t to_sw) {
   const std::size_t n = topo.num_switches();
@@ -112,9 +130,9 @@ std::vector<std::uint32_t> updown_path(const Topology& topo,
     while (!queue.empty()) {
       const std::uint32_t s = queue.front();
       queue.pop_front();
-      for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+      for (const std::uint32_t l : adj[s]) {
         const Link& link = topo.link(l);
-        if (link.from == s && level[link.to] == static_cast<std::size_t>(-1)) {
+        if (level[link.to] == static_cast<std::size_t>(-1)) {
           level[link.to] = level[s] + 1;
           queue.push_back(link.to);
         }
@@ -143,9 +161,8 @@ std::vector<std::uint32_t> updown_path(const Topology& topo,
       final_state = static_cast<std::int64_t>(idx(s, phase));
       break;
     }
-    for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    for (const std::uint32_t l : adj[s]) {
       const Link& link = topo.link(l);
-      if (link.from != s) continue;
       const bool up = is_up(link);
       if (phase == 1 && up) continue;  // no up after down
       const std::size_t next_phase = up ? phase : 1;
@@ -169,10 +186,11 @@ std::vector<std::uint32_t> updown_path(const Topology& topo,
   return path;
 }
 
-}  // namespace
-
-Route compute_route(const Topology& topo, std::uint32_t src,
-                    std::uint32_t dst, RoutingAlgorithm algorithm) {
+// compute_route with a caller-provided adjacency index, so all-pairs
+// table construction indexes the topology once instead of per route.
+Route compute_route_indexed(const Topology& topo, const Adjacency& adj,
+                            std::uint32_t src, std::uint32_t dst,
+                            RoutingAlgorithm algorithm) {
   require(src < topo.num_nis() && dst < topo.num_nis(),
           "compute_route: NI id out of range");
   require(src != dst, "compute_route: src and dst NIs are the same");
@@ -182,13 +200,13 @@ Route compute_route(const Topology& topo, std::uint32_t src,
   std::vector<std::uint32_t> links;
   switch (algorithm) {
     case RoutingAlgorithm::kShortestPath:
-      links = bfs_path(topo, from_sw, to_sw);
+      links = bfs_path(topo, adj, from_sw, to_sw);
       break;
     case RoutingAlgorithm::kXY:
-      links = xy_path(topo, from_sw, to_sw);
+      links = xy_path(topo, adj, from_sw, to_sw);
       break;
     case RoutingAlgorithm::kUpDown:
-      links = updown_path(topo, from_sw, to_sw);
+      links = updown_path(topo, adj, from_sw, to_sw);
       break;
   }
 
@@ -210,6 +228,14 @@ Route compute_route(const Topology& topo, std::uint32_t src,
   return route;
 }
 
+}  // namespace
+
+Route compute_route(const Topology& topo, std::uint32_t src,
+                    std::uint32_t dst, RoutingAlgorithm algorithm) {
+  return compute_route_indexed(topo, build_adjacency(topo), src, dst,
+                               algorithm);
+}
+
 const Route& RoutingTables::at(std::uint32_t src, std::uint32_t dst) const {
   const auto it = routes.find({src, dst});
   require(it != routes.end(), "RoutingTables: no route for pair");
@@ -226,11 +252,15 @@ std::size_t RoutingTables::max_hops() const {
 
 RoutingTables compute_all_routes(const Topology& topo,
                                  RoutingAlgorithm algorithm) {
+  // One adjacency index for the whole all-pairs table.
+  const Adjacency adj = build_adjacency(topo);
   RoutingTables tables;
   for (const std::uint32_t ini : topo.initiator_ids()) {
     for (const std::uint32_t tgt : topo.target_ids()) {
-      tables.routes[{ini, tgt}] = compute_route(topo, ini, tgt, algorithm);
-      tables.routes[{tgt, ini}] = compute_route(topo, tgt, ini, algorithm);
+      tables.routes[{ini, tgt}] =
+          compute_route_indexed(topo, adj, ini, tgt, algorithm);
+      tables.routes[{tgt, ini}] =
+          compute_route_indexed(topo, adj, tgt, ini, algorithm);
     }
   }
   return tables;

@@ -54,8 +54,9 @@ std::string RunStats::to_string() const {
   os << "txns=" << transactions << " cycles=" << cycles;
   if (warmup > 0) os << " warmup=" << warmup;
   os << " thru=" << throughput << " txn/cy; latency{" << latency.to_string()
-     << "} link_flits=" << link_flits << " retx=" << retransmissions
-     << " util=" << avg_link_utilization;
+     << "} link_flits=" << link_flits << " retx=" << retransmissions;
+  if (credit_stalls > 0) os << " credit_stalls=" << credit_stalls;
+  os << " util=" << avg_link_utilization;
   return os.str();
 }
 
@@ -78,6 +79,7 @@ RunStats collect_run(noc::Network& network, std::uint64_t cycles,
                                        static_cast<double>(window);
   stats.link_flits = network.total_link_flits();
   stats.retransmissions = network.total_retransmissions();
+  stats.credit_stalls = network.total_credit_stalls();
   const std::size_t links = network.links().size();
   stats.avg_link_utilization =
       (cycles == 0 || links == 0)
@@ -89,9 +91,15 @@ RunStats collect_run(noc::Network& network, std::uint64_t cycles,
 
 double LatencyHistogram::cdf(std::uint64_t latency) const {
   if (total == 0) return 0.0;
+  // Bin i counts samples in [i*w, (i+1)*w); the histogram cannot resolve
+  // positions inside a bin, so the CDF is evaluated at bin granularity:
+  // every bin whose *start* is <= latency counts fully. In particular the
+  // bin containing `latency` is included — the old `(i+1)*w - 1 <= l`
+  // test skipped it, so cdf(max_sample) returned 0.0 whenever bin_width
+  // exceeded the largest latency.
   std::uint64_t below = 0;
   for (std::size_t i = 0; i < bins.size(); ++i) {
-    if ((i + 1) * bin_width - 1 <= latency) {
+    if (i * bin_width <= latency) {
       below += bins[i];
     } else {
       break;
@@ -150,13 +158,21 @@ std::vector<LinkLoad> collect_link_loads(noc::Network& network,
 }
 
 std::size_t write_latency_csv(noc::Network& network,
-                              const std::string& path) {
+                              const std::string& path,
+                              std::uint64_t warmup) {
   std::ofstream out(path);
   require(out.good(), "write_latency_csv: cannot open " + path);
   out << "initiator,thread,issue_cycle,complete_cycle,latency,beats\n";
   std::size_t rows = 0;
   for (std::size_t i = 0; i < network.num_initiators(); ++i) {
     for (const auto& result : network.master(i).completed()) {
+      // Same record filter as collect_latency/collect_histogram: posted
+      // writes complete at issue (complete_cycle <= issue_cycle) and
+      // carry no end-to-end latency; pre-warmup issues are outside the
+      // measurement window. Both used to leak into the CSV as bogus
+      // zero-latency rows.
+      if (result.issue_cycle < warmup) continue;
+      if (result.complete_cycle <= result.issue_cycle) continue;
       out << i << "," << result.thread_id << "," << result.issue_cycle
           << "," << result.complete_cycle << ","
           << (result.complete_cycle - result.issue_cycle) << ","

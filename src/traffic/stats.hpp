@@ -43,6 +43,11 @@ struct RunStats {
   /// these (and avg_link_utilization) are not warmup-windowed.
   std::uint64_t link_flits = 0;
   std::uint64_t retransmissions = 0;
+  /// Credit-starvation cycles summed over all senders: cycles spent at
+  /// zero credits with the whole window parked downstream (credit flow
+  /// control only; always 0 under ACK/nACK, where back-pressure
+  /// retransmits instead).
+  std::uint64_t credit_stalls = 0;
   double avg_link_utilization = 0.0; ///< flits per link per cycle
 
   std::string to_string() const;
@@ -61,7 +66,9 @@ struct LatencyHistogram {
   std::vector<std::uint64_t> bins;    ///< bins[i] counts [i*w, (i+1)*w)
   std::uint64_t total = 0;
 
-  /// Fraction of samples at or below `latency`.
+  /// Fraction of samples at or below `latency`, at bin granularity:
+  /// every bin whose start is <= `latency` counts fully (the histogram
+  /// cannot resolve positions inside a bin). cdf(max sample) == 1.0.
   double cdf(std::uint64_t latency) const;
   std::string to_string() const;
 };
@@ -81,9 +88,13 @@ std::vector<LinkLoad> collect_link_loads(noc::Network& network,
                                          std::uint64_t cycles);
 
 /// Writes per-transaction records as CSV (initiator, thread, issue cycle,
-/// complete cycle, latency, beats) — one row per completed transaction.
-/// Returns the number of rows written.
+/// complete cycle, latency, beats) — one row per transaction that
+/// actually completed (posted writes, which finish at issue, are
+/// excluded) and was issued at or after `warmup`, the same windowing
+/// discipline as collect_latency/collect_histogram. Returns the number
+/// of rows written.
 std::size_t write_latency_csv(noc::Network& network,
-                              const std::string& path);
+                              const std::string& path,
+                              std::uint64_t warmup = 0);
 
 }  // namespace xpl::traffic

@@ -171,6 +171,11 @@ TrafficDriver::TrafficDriver(noc::Network& network,
           "TrafficDriver: bad burst range");
   require(config.max_burst <= network.config().max_burst,
           "TrafficDriver: burst exceeds network max_burst");
+  // Even the shortest burst must fit a target's address window (8 bytes
+  // per beat), or every injected transaction would spill past the window
+  // into the next target's address space.
+  require(8ull * config.min_burst <= network.config().target_window,
+          "TrafficDriver: min_burst does not fit the target window");
   if (config.pattern == Pattern::kWeighted) {
     require(config.weights.size() == network.num_initiators(),
             "TrafficDriver: weights rows must match initiators");
@@ -259,17 +264,27 @@ void TrafficDriver::step() {
     if (target >= network_.num_targets()) continue;  // silent row
 
     ocp::Transaction txn;
-    const std::uint32_t burst =
+    std::uint32_t burst =
         config_.min_burst +
         static_cast<std::uint32_t>(rng_.next_below(
             config_.max_burst - config_.min_burst + 1));
+    // Clamp the rolled burst to what the window can hold (the ctor
+    // guarantees min_burst fits, so the clamp never reaches zero); an
+    // unclamped burst would run past the target's window into the next
+    // target's address space.
+    const std::uint64_t window = network_.config().target_window;
+    if (8ull * burst > window) {
+      burst = static_cast<std::uint32_t>(window / 8);
+    }
     txn.burst_len = burst;
     txn.thread_id = static_cast<std::uint32_t>(
         rng_.next_below(network_.config().num_threads));
-    // Aligned address inside the window, room for the whole burst.
-    const std::uint64_t window = network_.config().target_window;
+    // Aligned address inside the window, room for the whole burst. The
+    // max(1, ...) covers windows that are not multiples of 8: the tail
+    // fragment leaves (window - span) / 8 == 0 aligned starts past base.
     const std::uint64_t span = 8ull * burst;
-    const std::uint64_t slots = window > span ? (window - span) / 8 : 1;
+    const std::uint64_t slots =
+        window > span ? std::max<std::uint64_t>(1, (window - span) / 8) : 1;
     txn.addr = network_.target_base(target) + 8 * rng_.next_below(slots);
     if (rng_.chance(config_.read_fraction)) {
       txn.cmd = ocp::Cmd::kRead;

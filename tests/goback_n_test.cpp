@@ -185,6 +185,120 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 4, 8),
                        ::testing::Values(0.0, 0.001, 0.01)));
 
+// ---- Receiver back-pressure paths (goback_n.cpp begin_cycle), driven
+// wire by wire so each branch is pinned in isolation: the can_take ==
+// false nACK, its flow_rejections_ accounting, and the silent drop of a
+// stale flit racing a rewind. These are exactly the behaviours credit
+// flow control (credit.hpp) replaces, so they are pinned here before the
+// protocol seam.
+
+// One receiver on bare wires; the test plays the sender by writing the
+// forward wire directly and committing the kernel.
+struct RxHarness {
+  sim::Kernel kernel;
+  LinkWires wires;
+  ProtocolConfig cfg;
+  GoBackNReceiver rx;
+
+  RxHarness()
+      : wires(LinkWires::make(kernel)),
+        cfg(ProtocolConfig::for_link(0)),
+        rx(wires, cfg) {}
+
+  /// Puts a sealed flit with sequence `seq` on the forward wire.
+  void drive_flit(std::uint8_t seq, std::uint64_t payload = 0xAB) {
+    Flit f(BitVector(16, payload), /*head=*/true, /*tail=*/true);
+    f.seqno = seq;
+    flit_seal(f, cfg.crc);
+    wires.fwd->write(FlitBeat{true, std::move(f)});
+    kernel.step();
+  }
+
+  /// One receiver cycle against the current wire; returns the delivered
+  /// flit (if any) and leaves the ACK wire committed for inspection.
+  std::optional<Flit> cycle(bool can_take) {
+    auto flit = rx.begin_cycle(can_take);
+    rx.end_cycle();
+    kernel.step();
+    return flit;
+  }
+
+  AckBeat ack() const { return wires.rev->read(); }
+};
+
+TEST(GoBackNReceiver, BackpressureNacksIntactInOrderFlit) {
+  RxHarness h;
+  h.drive_flit(0);
+  // Intact, in order, but the owner has no buffer space: nACK(expected),
+  // counted as a flow rejection, nothing delivered, expected_seq_ stays.
+  EXPECT_FALSE(h.cycle(/*can_take=*/false).has_value());
+  const AckBeat nack = h.ack();
+  EXPECT_TRUE(nack.valid);
+  EXPECT_FALSE(nack.ack);
+  EXPECT_EQ(nack.seqno, 0u);
+  EXPECT_EQ(h.rx.flow_rejections(), 1u);
+  EXPECT_EQ(h.rx.flits_accepted(), 0u);
+
+  // The retried flit (same sequence) goes through once space appears.
+  h.drive_flit(0, 0xCD);
+  const auto flit = h.cycle(/*can_take=*/true);
+  ASSERT_TRUE(flit.has_value());
+  EXPECT_EQ(flit->payload.to_u64(), 0xCDu);
+  const AckBeat ack = h.ack();
+  EXPECT_TRUE(ack.valid);
+  EXPECT_TRUE(ack.ack);
+  EXPECT_EQ(ack.seqno, 0u);
+  EXPECT_EQ(h.rx.flow_rejections(), 1u);  // unchanged
+  EXPECT_EQ(h.rx.flits_accepted(), 1u);
+}
+
+TEST(GoBackNReceiver, RepeatedBackpressureCountsEveryRejection) {
+  RxHarness h;
+  for (int i = 0; i < 5; ++i) {
+    h.drive_flit(0);
+    EXPECT_FALSE(h.cycle(/*can_take=*/false).has_value());
+    EXPECT_FALSE(h.ack().ack);
+  }
+  EXPECT_EQ(h.rx.flow_rejections(), 5u);
+  EXPECT_EQ(h.rx.crc_rejections(), 0u);
+  EXPECT_EQ(h.rx.flits_accepted(), 0u);
+}
+
+TEST(GoBackNReceiver, StaleFlitAfterRewindIsDroppedSilently) {
+  RxHarness h;
+  // Deliver seq 0 so expected_seq_ advances to 1.
+  h.drive_flit(0);
+  ASSERT_TRUE(h.cycle(/*can_take=*/true).has_value());
+
+  // A stale seq-0 flit races the rewind: dropped with *no* ACK or nACK
+  // (nACKing again would only thrash a sender that is already resending)
+  // and no rejection counter movement.
+  h.drive_flit(0);
+  EXPECT_FALSE(h.cycle(/*can_take=*/true).has_value());
+  EXPECT_FALSE(h.ack().valid);
+  EXPECT_EQ(h.rx.flow_rejections(), 0u);
+  EXPECT_EQ(h.rx.crc_rejections(), 0u);
+  EXPECT_EQ(h.rx.flits_accepted(), 1u);
+
+  // The expected flit still goes through afterwards.
+  h.drive_flit(1);
+  EXPECT_TRUE(h.cycle(/*can_take=*/true).has_value());
+  EXPECT_EQ(h.rx.flits_accepted(), 2u);
+}
+
+TEST(GoBackNReceiver, BackpressureNackWinsOverStaleDrop) {
+  // Order of checks in begin_cycle: sequence before flow. A *stale* flit
+  // under back-pressure is dropped silently (not flow-nACKed) — the
+  // rejection counters must not move.
+  RxHarness h;
+  h.drive_flit(0);
+  ASSERT_TRUE(h.cycle(/*can_take=*/true).has_value());
+  h.drive_flit(0);  // stale
+  EXPECT_FALSE(h.cycle(/*can_take=*/false).has_value());
+  EXPECT_FALSE(h.ack().valid);
+  EXPECT_EQ(h.rx.flow_rejections(), 0u);
+}
+
 TEST(GoBackN, SenderWindowNeverExceeded) {
   const auto cfg = ProtocolConfig::for_link(1);
   sim::Kernel kernel;

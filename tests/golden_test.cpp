@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/link/flow.hpp"
 #include "src/sweep/runner.hpp"
 #include "src/sweep/spec.hpp"
 #include "src/topology/generators.hpp"
@@ -91,6 +92,34 @@ TEST(Golden, CampaignIsThreadCountInvariant) {
   const sweep::ResultTable t8 = sweep::SweepRunner(8).run(spec);
   EXPECT_EQ(t1.to_csv(), t8.to_csv());
   EXPECT_EQ(t1.to_json(), t8.to_json());
+}
+
+/// The flow-control comparison campaign: the same grid under ACK/nACK
+/// and credit flow control. Pins (a) that ack_nack rows are identical to
+/// what the hard-wired protocol produced, (b) credit-mode results, and
+/// (c) the extended flow/credit_stalls export columns.
+const char* kFlowCampaignSpec =
+    "sweep golden_flow\n"
+    "seed 7\n"
+    "cycles 1200\n"
+    "topology mesh\n"
+    "width 2\n"
+    "height 2\n"
+    "flow ack_nack credit\n"
+    "injection_rate 0.05 0.2\n";
+
+TEST(Golden, FlowCampaignCsvIsByteStable) {
+  const sweep::SweepSpec spec = sweep::parse_sweep(kFlowCampaignSpec);
+  sweep::SweepRunner runner(1);
+  const sweep::ResultTable table = runner.run(spec);
+  // Credit mode must never retransmit; under load it must stall instead.
+  for (const auto& r : table.rows()) {
+    ASSERT_TRUE(r.ok) << r.error;
+    if (r.point.net.flow == link::FlowControl::kCredit) {
+      EXPECT_EQ(r.retransmissions, 0u);
+    }
+  }
+  expect_golden("campaign_flow.csv", table.to_csv());
 }
 
 TEST(Golden, RecordedTraceIsByteStable) {

@@ -200,6 +200,25 @@ TEST_P(RoutingSweep, EveryPairRoutes) {
   }
 }
 
+// The adjacency-indexed all-pairs builder must produce byte-identical
+// routes to per-pair compute_route (which also answers for the pre-index
+// behaviour: link exploration order is link-insertion order in both).
+TEST(Routing, AllRoutesMatchPerPairComputation) {
+  for (const auto algorithm :
+       {RoutingAlgorithm::kShortestPath, RoutingAlgorithm::kUpDown}) {
+    for (const auto& topo :
+         {make_mesh(4, 4, NiPlan::uniform(16, 1, 1)),
+          make_ring(6, NiPlan::uniform(6, 1, 1)),
+          make_star(5, NiPlan::uniform(6, 1, 1))}) {
+      const RoutingTables tables = compute_all_routes(topo, algorithm);
+      for (const auto& [key, route] : tables.routes) {
+        EXPECT_EQ(route,
+                  compute_route(topo, key.first, key.second, algorithm));
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Topologies, RoutingSweep,
                          ::testing::Range(0, 7));
 

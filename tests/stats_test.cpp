@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "src/common/error.hpp"
 #include "src/topology/generators.hpp"
@@ -88,6 +89,30 @@ TEST(Histogram, CdfMonotoneAndBounded) {
   EXPECT_NEAR(hist.cdf(100000), 1.0, 1e-12);
 }
 
+TEST(Histogram, CdfOfMaxIsOneForSingleBinData) {
+  // Regression: the old bin test `(i+1)*w - 1 <= latency` skipped the
+  // bin *containing* the latency, so with every sample in bin 0 (bin
+  // width beyond the max latency) cdf(max) returned 0.0.
+  LatencyHistogram hist;
+  hist.bin_width = 1000;
+  hist.bins = {7};  // all 7 samples in [0, 1000)
+  hist.total = 7;
+  EXPECT_DOUBLE_EQ(hist.cdf(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.cdf(42), 1.0);
+  EXPECT_DOUBLE_EQ(hist.cdf(999), 1.0);
+
+  // And through the collector: one giant bin swallowing a real run.
+  auto net = loaded_net();
+  const auto lat = collect_latency(*net);
+  const auto wide = collect_histogram(*net, lat.max + 1);
+  ASSERT_EQ(wide.bins.size(), 1u);
+  EXPECT_DOUBLE_EQ(wide.cdf(lat.max), 1.0);
+
+  // At any bin width, the bin containing the max sample counts.
+  const auto narrow = collect_histogram(*net, 10);
+  EXPECT_DOUBLE_EQ(narrow.cdf(lat.max), 1.0);
+}
+
 TEST(Histogram, RejectsZeroBinWidth) {
   auto net = loaded_net(0.01);
   EXPECT_THROW(collect_histogram(*net, 0), Error);
@@ -117,8 +142,8 @@ TEST(LinkLoads, SortedAndConsistent) {
   EXPECT_EQ(total, net->total_link_flits());
 }
 
-TEST(LatencyCsv, WritesOneRowPerTransaction) {
-  auto net = loaded_net();
+TEST(LatencyCsv, WritesOneRowPerLatencyCarryingTransaction) {
+  auto net = loaded_net();  // read_fraction 1.0: every txn carries latency
   std::size_t completed = 0;
   for (std::size_t i = 0; i < net->num_initiators(); ++i) {
     completed += net->master(i).completed().size();
@@ -138,6 +163,55 @@ TEST(LatencyCsv, WritesOneRowPerTransaction) {
     if (!line.empty()) ++lines;
   }
   EXPECT_EQ(lines, rows);
+}
+
+TEST(LatencyCsv, ExcludesPostedWritesAndPreWarmupRows) {
+  // A run with posted writes: those complete at issue and used to leak
+  // into the CSV as zero-latency rows, and the exporter ignored warmup
+  // entirely — both now follow collect_latency's filter exactly.
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  TrafficConfig tcfg;
+  tcfg.injection_rate = 0.06;
+  tcfg.read_fraction = 0.5;  // half the traffic is posted writes
+  tcfg.seed = 9;
+  TrafficDriver driver(net, tcfg);
+  driver.run(3000);
+  net.run_until_quiescent(50000);
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
+    total += net.master(i).completed().size();
+  }
+
+  const std::string path = ::testing::TempDir() + "/xpl_lat_warm.csv";
+  const std::size_t whole = write_latency_csv(net, path);
+  EXPECT_LT(whole, total);  // posted writes are gone
+  EXPECT_EQ(whole, collect_latency(net).count);
+
+  const std::size_t windowed = write_latency_csv(net, path, 1500);
+  EXPECT_LT(windowed, whole);  // warmup window engaged
+  EXPECT_EQ(windowed, collect_latency(net, 1500).count);
+
+  // Every surviving row has positive latency and post-warmup issue.
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::uint64_t ini = 0, thread = 0, issue = 0, complete = 0;
+    char c = 0;
+    std::istringstream ls(line);
+    ls >> ini >> c >> thread >> c >> issue >> c >> complete;
+    EXPECT_GE(issue, 1500u);
+    EXPECT_GT(complete, issue);
+  }
+  EXPECT_EQ(lines, windowed);
 }
 
 }  // namespace

@@ -228,5 +228,50 @@ TEST(Stats, HigherLoadHigherLatency) {
   EXPECT_GT(heavy, light);
 }
 
+// Regression for the address-window overflow: with a target window of 16
+// bytes (2 beats), a rolled burst of 3-4 beats used to be issued at the
+// window base anyway and run past the window into the next target's
+// address space — observable as slave-side kErr responses on every
+// overlong burst. The driver now clamps the rolled burst to the window.
+TEST(Traffic, BurstIsClampedToTargetWindow) {
+  noc::NetworkConfig cfg = net_config();
+  cfg.target_window = 16;  // room for exactly 2 beats
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+
+  TrafficConfig tcfg;
+  tcfg.injection_rate = 0.2;
+  tcfg.read_fraction = 1.0;  // reads carry the error response back
+  tcfg.min_burst = 1;
+  tcfg.max_burst = 4;  // rolls of 3 and 4 must clamp to 2
+  tcfg.seed = 21;
+  TrafficDriver driver(net, tcfg);
+  driver.run(1500);
+  net.run_until_quiescent(100000);
+  ASSERT_GT(driver.injected(), 0u);
+
+  bool saw_clamped = false;
+  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
+    for (const auto& r : net.master(i).completed()) {
+      EXPECT_EQ(r.resp, ocp::Resp::kDva)
+          << "burst ran past the target window";
+      EXPECT_LE(r.data.size(), 2u);
+      saw_clamped = saw_clamped || r.data.size() == 2;
+    }
+  }
+  EXPECT_TRUE(saw_clamped);  // the clamp actually engaged
+}
+
+TEST(Traffic, RejectsMinBurstLargerThanTargetWindow) {
+  noc::NetworkConfig cfg = net_config();
+  cfg.target_window = 16;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+  TrafficConfig tcfg;
+  tcfg.min_burst = 3;  // 24 bytes can never fit a 16-byte window
+  tcfg.max_burst = 4;
+  EXPECT_THROW(TrafficDriver(net, tcfg), Error);
+}
+
 }  // namespace
 }  // namespace xpl::traffic

@@ -5,7 +5,10 @@
 // pool, and reports the result table plus its Pareto front. Results are
 // bit-identical for any --jobs value. Campaigns can sweep synthetic
 // patterns, embedded app benchmarks (`pattern app:mpeg4`), injection
-// burstiness and warmup windows — see examples/app_scan.sweep. Usage:
+// burstiness, warmup windows — see examples/app_scan.sweep — and the
+// link-level flow control (`flow ack_nack credit`, which adds
+// retransmissions-vs-credit_stalls columns; examples/flow_scan.sweep).
+// Usage:
 //
 //   xsweep <campaign.sweep> [options]
 //     --jobs N             worker threads (default: hardware concurrency)
