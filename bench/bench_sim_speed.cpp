@@ -86,17 +86,21 @@ void BM_IdleCycles(benchmark::State& state) {
 BENCHMARK(BM_IdleCycles)->Arg(2)->Arg(4)->Arg(8);
 
 // Loaded simulation throughput, parametrized over the link-level flow
-// control (arg 1: 0 = ack_nack, 1 = credit). The moderate-rate variant
-// tracks the PR-3 numbers; BM_SaturatedCycles below drives the network
-// into back-pressure, where ACK/nACK pays retransmission thrash (every
-// nACKed flit re-traverses the link and is re-CRC-checked) and credit
-// mode just idles the stalled senders.
-void loaded_cycles(benchmark::State& state, double injection_rate) {
+// control (arg 1: 0 = ack_nack, 1 = credit) and, for the saturated
+// variant, the virtual-channel count. The moderate-rate variant tracks
+// the PR-3 numbers; BM_SaturatedCycles below drives the network into
+// back-pressure, where ACK/nACK pays retransmission thrash (every nACKed
+// flit re-traverses the link and is re-CRC-checked), credit mode just
+// idles the stalled senders, and extra lanes relieve head-of-line
+// blocking at the switch inputs.
+void loaded_cycles(benchmark::State& state, double injection_rate,
+                   std::size_t vcs) {
   using namespace xpl;
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto flow = static_cast<link::FlowControl>(state.range(1));
   noc::NetworkConfig cfg = config(n);
   cfg.flow = flow;
+  cfg.vcs = vcs;
   noc::Network net(
       topology::make_mesh(n, n, topology::NiPlan::uniform(n * n, 1, 1)),
       cfg);
@@ -121,7 +125,7 @@ void loaded_cycles(benchmark::State& state, double injection_rate) {
 }
 
 void BM_LoadedCycles(benchmark::State& state) {
-  loaded_cycles(state, 0.05);
+  loaded_cycles(state, 0.05, /*vcs=*/1);
 }
 BENCHMARK(BM_LoadedCycles)
     ->ArgNames({"mesh", "flow"})
@@ -133,14 +137,62 @@ BENCHMARK(BM_LoadedCycles)
     ->Args({8, 1});
 
 void BM_SaturatedCycles(benchmark::State& state) {
-  loaded_cycles(state, 0.30);
+  loaded_cycles(state, 0.30, static_cast<std::size_t>(state.range(2)));
 }
 BENCHMARK(BM_SaturatedCycles)
-    ->ArgNames({"mesh", "flow"})
-    ->Args({4, 0})
-    ->Args({4, 1})
-    ->Args({8, 0})
-    ->Args({8, 1});
+    ->ArgNames({"mesh", "flow", "vcs"})
+    ->Args({4, 0, 1})
+    ->Args({4, 0, 2})
+    ->Args({4, 0, 4})
+    ->Args({4, 1, 1})
+    ->Args({4, 1, 2})
+    ->Args({4, 1, 4})
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 1});
+
+// The dateline payoff: saturated transaction throughput on a 4x4 torus,
+// minimal (shortest-path) routing with dateline VCs against the up*/down*
+// single-lane baseline the seed had to fall back to. Minimal routes use
+// the torus bisection that up*/down* wastes; the txns counter is the
+// comparison (same wall budget => more completed transactions).
+void BM_TorusSaturated(benchmark::State& state) {
+  using namespace xpl;
+  const bool minimal = state.range(0) != 0;
+  const auto vcs = static_cast<std::size_t>(state.range(1));
+  noc::NetworkConfig cfg;
+  cfg.target_window = 1 << 12;
+  cfg.routing = minimal ? topology::RoutingAlgorithm::kShortestPath
+                        : topology::RoutingAlgorithm::kUpDown;
+  cfg.vcs = vcs;
+  noc::Network net(
+      topology::make_torus(4, 4, topology::NiPlan::uniform(16, 1, 1)),
+      cfg);
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.30;
+  traffic::TrafficDriver driver(net, tcfg);
+  for (auto _ : state) {
+    driver.step();
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(minimal ? "minimal+dateline" : "updown");
+  std::uint64_t done = 0;
+  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
+    done += net.master(i).completed().size();
+  }
+  state.counters["txns"] = static_cast<double>(done);
+  state.counters["txns_per_kcycle"] =
+      state.iterations() > 0
+          ? 1000.0 * static_cast<double>(done) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_TorusSaturated)
+    ->ArgNames({"minimal", "vcs"})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({1, 4});
 
 void BM_ReadTransaction(benchmark::State& state) {
   using namespace xpl;
@@ -173,23 +225,32 @@ void BM_FlitHop(benchmark::State& state) {
   using namespace xpl;
   const auto width = static_cast<std::size_t>(state.range(0));
   const auto flow = static_cast<link::FlowControl>(state.range(1));
+  const auto vcs = static_cast<std::size_t>(state.range(2));
   sim::Kernel kernel;
   const link::LinkWires wires = link::LinkWires::make(kernel);
-  const link::ProtocolConfig proto = link::ProtocolConfig::for_link(0);
+  link::ProtocolConfig proto = link::ProtocolConfig::for_link(0);
+  proto.vcs = vcs;
   link::LinkSender tx(flow, wires, proto);
   link::LinkReceiver rx(flow, wires, proto);
+  const std::uint32_t take_all = (1u << vcs) - 1;
 
   BitVector payload(width);
   for (std::size_t i = 0; i < width; i += 3) payload.set(i, true);
 
   std::uint64_t hops = 0;
+  std::uint8_t lane = 0;
   const std::uint64_t allocs_before = allocs();
   for (auto _ : state) {
     tx.begin_cycle();
-    if (tx.can_accept()) tx.accept(Flit(payload, /*head=*/true, /*tail=*/true));
+    if (tx.can_accept(lane)) {
+      Flit flit(payload, /*head=*/true, /*tail=*/true);
+      flit.vc = lane;  // single-flit packets rotate over the lanes
+      tx.accept(std::move(flit));
+      lane = static_cast<std::uint8_t>((lane + 1) % vcs);
+    }
     tx.end_cycle();
     kernel.step();  // flit crosses the wire
-    if (auto flit = rx.begin_cycle(/*can_take=*/true)) {
+    if (auto flit = rx.begin_cycle(take_all)) {
       benchmark::DoNotOptimize(flit->payload);
       ++hops;
     }
@@ -210,13 +271,17 @@ void BM_FlitHop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlitHop)
-    ->ArgNames({"width", "flow"})
-    ->Args({16, 0})
-    ->Args({32, 0})
-    ->Args({64, 0})
-    ->Args({128, 0})
-    ->Args({32, 1})
-    ->Args({128, 1});
+    ->ArgNames({"width", "flow", "vcs"})
+    ->Args({16, 0, 1})
+    ->Args({32, 0, 1})
+    ->Args({64, 0, 1})
+    ->Args({128, 0, 1})
+    ->Args({32, 0, 2})
+    ->Args({32, 0, 4})
+    ->Args({32, 1, 1})
+    ->Args({32, 1, 2})
+    ->Args({32, 1, 4})
+    ->Args({128, 1, 1});
 
 // ------------------------------------------------------------ reporting
 // Console reporter that also captures finished runs so main() can emit
@@ -256,9 +321,10 @@ bool write_bench_json(const std::string& path,
       std::fprintf(out, ", \"allocs_per_hop\": %.3f",
                    static_cast<double>(allocs_it->second));
     }
-    // The flow-control comparison: retransmission vs credit-stall load
-    // behind the cycles/s numbers.
-    for (const char* key : {"retx", "credit_stalls"}) {
+    // The flow-control / routing comparisons: retransmission vs
+    // credit-stall load behind the cycles/s numbers, and the saturated
+    // transaction throughput of the torus routing duel.
+    for (const char* key : {"retx", "credit_stalls", "txns_per_kcycle"}) {
       const auto it2 = run.counters.find(key);
       if (it2 != run.counters.end()) {
         std::fprintf(out, ", \"%s\": %.0f", key,

@@ -32,7 +32,11 @@ inline switchlib::SwitchConfig paper_switch(std::size_t n_in,
   cfg.num_outputs = n_out;
   cfg.flit_width = flit_width;
   cfg.port_bits = 3;
-  cfg.route_bits = std::min<std::size_t>(24, flit_width);
+  // Whole hop selectors only: a route field that is not a multiple of
+  // port_bits would shift non-route header bits into the selectors as
+  // hops are consumed (SwitchConfig::validate() now rejects it).
+  cfg.route_bits =
+      std::min<std::size_t>(24, flit_width / cfg.port_bits * cfg.port_bits);
   cfg.protocol = link::ProtocolConfig::for_link(0);
   return cfg;
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json perf records and print per-benchmark deltas.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--fail-below PCT]
+
+Both files follow the bench_sim_speed / xsweep record shape:
+
+    {"bench": "sim_speed", "results": [
+        {"name": "BM_FlitHop/width:32/...", "items_per_s": 123.4, ...},
+        ...]}
+
+Benchmarks are matched by name. The report lists matched benchmarks with
+their items/s delta, then names entries present in only one record
+(benchmark parametrizations change across PRs; that is informational,
+not an error). With --fail-below PCT the script exits nonzero if any
+matched benchmark regressed by more than PCT percent — CI runs it
+report-only by default so a noisy shared runner cannot block a merge.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as f:
+        record = json.load(f)
+    results = {}
+    for entry in record.get("results", []):
+        name = entry.get("name")
+        if name:
+            results[name] = entry
+    return record.get("bench", "?"), results
+
+
+def fmt_rate(value):
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.1f}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any matched benchmark regressed more than PCT%%",
+    )
+    args = parser.parse_args()
+
+    base_kind, base = load_results(args.baseline)
+    cur_kind, cur = load_results(args.current)
+
+    print(f"baseline: {args.baseline} ({base_kind}, {len(base)} entries)")
+    print(f"current:  {args.current} ({cur_kind}, {len(cur)} entries)")
+    print()
+
+    matched = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    worst = 0.0
+    if matched:
+        width = max(len(name) for name in matched)
+        print(f"{'benchmark':<{width}}  {'base':>10}  {'current':>10}  delta")
+        for name in matched:
+            b = base[name].get("items_per_s")
+            c = cur[name].get("items_per_s")
+            if b and c and b > 0:
+                pct = 100.0 * (c - b) / b
+                worst = min(worst, pct)
+                delta = f"{pct:+.1f}%"
+            else:
+                delta = "-"
+            print(f"{name:<{width}}  {fmt_rate(b):>10}  {fmt_rate(c):>10}  "
+                  f"{delta}")
+        print()
+
+    if only_base:
+        print(f"only in baseline ({len(only_base)}):")
+        for name in only_base:
+            print(f"  {name}")
+    if only_cur:
+        print(f"only in current ({len(only_cur)}):")
+        for name in only_cur:
+            print(f"  {name}")
+
+    if args.fail_below is not None and worst < -args.fail_below:
+        print(f"\nFAIL: worst regression {worst:.1f}% exceeds "
+              f"-{args.fail_below:.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,13 @@ NocSpec parse_spec(const std::string& text) {
       } catch (const Error&) {
         fail(lineno, "unknown flow '" + tokens[1] + "'");
       }
+    } else if (key == "vcs") {
+      need(2);
+      spec.net.vcs = parse_u64(tokens[1], lineno);
+      if (spec.net.vcs < 1 || spec.net.vcs > link::kMaxVcs) {
+        fail(lineno, "vcs must be in [1, " +
+                         std::to_string(link::kMaxVcs) + "]");
+      }
     } else if (key == "extra_pipeline") {
       need(2);
       spec.net.extra_switch_pipeline = parse_u64(tokens[1], lineno);
@@ -198,6 +205,9 @@ std::string write_spec(const NocSpec& spec) {
   os << "crc " << crc_name(spec.net.crc) << "\n";
   if (spec.net.flow != link::FlowControl::kAckNack) {
     os << "flow " << link::flow_control_name(spec.net.flow) << "\n";
+  }
+  if (spec.net.vcs != 1) {
+    os << "vcs " << spec.net.vcs << "\n";
   }
   if (spec.net.extra_switch_pipeline != 0) {
     os << "extra_pipeline " << spec.net.extra_switch_pipeline << "\n";

@@ -5,80 +5,126 @@
 namespace xpl::link {
 
 CreditSender::CreditSender(LinkWires wires, const ProtocolConfig& config)
-    : wires_(wires), config_(config), credits_(config.window) {
+    : wires_(wires), config_(config) {
   config_.validate();
-  buffer_.reserve(config_.window);  // can_accept bounds it at window
+  lanes_.resize(config_.vcs);
+  for (Lane& lane : lanes_) {
+    lane.credits = config_.window;
+    lane.buffer.reserve(config_.window);  // can_accept bounds it at window
+  }
 }
 
 void CreditSender::begin_cycle() {
   XPL_ASSERT(wires_.rev != nullptr);
   const AckBeat beat = wires_.rev->read();
   if (beat.valid) {
-    // One valid reverse beat = one credit returned (ack/seqno unused).
-    XPL_ASSERT(credits_ < config_.window);
-    ++credits_;
+    // One valid reverse beat = one credit returned for lane beat.vc
+    // (ack/seqno unused).
+    XPL_ASSERT(beat.vc < lanes_.size());
+    Lane& lane = lanes_[beat.vc];
+    XPL_ASSERT(lane.credits < config_.window);
+    ++lane.credits;
   }
 }
 
-bool CreditSender::can_accept() const {
-  // Bound total outstanding (staged + sent-but-uncredited) at window,
-  // the same occupancy contract as GoBackNSender's retransmission
-  // buffer — so a flow-control comparison measures protocol behaviour,
-  // not a doubled per-hop buffer.
-  return in_flight() < config_.window;
+bool CreditSender::can_accept(std::size_t vc) const {
+  // Bound the lane's outstanding (staged + sent-but-uncredited) at
+  // window, the same occupancy contract as GoBackNSender's per-lane
+  // retransmission buffer — so a flow-control comparison measures
+  // protocol behaviour, not a doubled per-hop buffer.
+  XPL_ASSERT(vc < lanes_.size());
+  const Lane& lane = lanes_[vc];
+  return lane.buffer.size() + (config_.window - lane.credits) <
+         config_.window;
 }
 
 void CreditSender::accept(Flit flit) {
-  XPL_ASSERT(can_accept());
+  XPL_ASSERT(can_accept(flit.vc));
   // Reliable link: no seqno, no CRC seal — the receiver never checks.
-  buffer_.push_back(std::move(flit));
+  lanes_[flit.vc].buffer.push_back(std::move(flit));
 }
 
 void CreditSender::end_cycle() {
   XPL_ASSERT(wires_.fwd != nullptr);
-  if (!buffer_.empty()) {
-    // can_accept keeps buffer_.size() <= credits_, so a staged flit
-    // always has a credit to spend.
-    XPL_ASSERT(credits_ > 0);
-    --credits_;
-    wires_.fwd->write(FlitBeat{true, std::move(buffer_.front())});
-    buffer_.pop_front();
+  // One physical flit per cycle: serve lanes with staged flits
+  // round-robin. can_accept keeps each lane's staged count <= its
+  // credits, so a staged flit always has a credit to spend.
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    const std::size_t v = (next_lane_ + k) % lanes_.size();
+    Lane& lane = lanes_[v];
+    if (lane.buffer.empty()) continue;
+    XPL_ASSERT(lane.credits > 0);
+    --lane.credits;
+    wires_.fwd->write(FlitBeat{true, std::move(lane.buffer.front())});
+    lane.buffer.pop_front();
     ++flits_sent_;
-  } else {
-    // Credit starvation: the entire window is parked at the receiver
-    // awaiting drain, so nothing could have been staged this cycle.
-    if (credits_ == 0) ++credit_stalls_;
-    wires_.fwd->write(FlitBeat{});
+    next_lane_ = (v + 1) % lanes_.size();
+    return;
   }
+  // Credit starvation: nothing staged anywhere, and at least one lane's
+  // entire window is parked at the receiver awaiting drain.
+  for (const Lane& lane : lanes_) {
+    if (lane.credits == 0) {
+      ++credit_stalls_;
+      break;
+    }
+  }
+  wires_.fwd->write(FlitBeat{});
+}
+
+std::size_t CreditSender::in_flight() const {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.buffer.size() + (config_.window - lane.credits);
+  }
+  return total;
 }
 
 CreditReceiver::CreditReceiver(LinkWires wires, const ProtocolConfig& config)
     : wires_(wires), config_(config) {
   config_.validate();
-  buffer_.reserve(config_.window);
+  lanes_.resize(config_.vcs);
+  for (auto& lane : lanes_) lane.reserve(config_.window);
 }
 
-std::optional<Flit> CreditReceiver::begin_cycle(bool can_take) {
+std::optional<Flit> CreditReceiver::begin_cycle(std::uint32_t can_take_mask) {
   XPL_ASSERT(wires_.fwd != nullptr);
   const FlitBeat& beat = wires_.fwd->read();
   if (beat.valid) {
-    // The sender spent a credit for this slot; overflow is a protocol
-    // wiring bug, not a runtime condition.
-    XPL_ASSERT(buffer_.size() < config_.window);
-    buffer_.push_back(beat.flit);
+    // The sender spent one of this lane's credits for the slot; overflow
+    // is a protocol wiring bug, not a runtime condition.
+    XPL_ASSERT(beat.flit.vc < lanes_.size());
+    auto& lane = lanes_[beat.flit.vc];
+    XPL_ASSERT(lane.size() < config_.window);
+    lane.push_back(beat.flit);
   }
-  if (buffer_.empty() || !can_take) return std::nullopt;
-  Flit flit = std::move(buffer_.front());
-  buffer_.pop_front();
-  pending_credit_ = true;  // slot freed: return exactly one credit
-  ++flits_accepted_;
-  return flit;
+  // Drain at most one flit from a takeable lane, round-robin.
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    const std::size_t v = (drain_next_ + k) % lanes_.size();
+    auto& lane = lanes_[v];
+    if (lane.empty() || (can_take_mask >> v & 1u) == 0) continue;
+    Flit flit = std::move(lane.front());
+    lane.pop_front();
+    pending_credit_ = true;  // slot freed: return exactly one credit
+    pending_credit_vc_ = static_cast<std::uint8_t>(v);
+    ++flits_accepted_;
+    drain_next_ = (v + 1) % lanes_.size();
+    return flit;
+  }
+  return std::nullopt;
 }
 
 void CreditReceiver::end_cycle() {
   XPL_ASSERT(wires_.rev != nullptr);
-  wires_.rev->write(AckBeat{pending_credit_, /*ack=*/true, 0});
+  wires_.rev->write(
+      AckBeat{pending_credit_, /*ack=*/true, 0, pending_credit_vc_});
   pending_credit_ = false;
+}
+
+std::size_t CreditReceiver::buffered() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.size();
+  return total;
 }
 
 }  // namespace xpl::link

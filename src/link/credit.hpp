@@ -12,19 +12,28 @@
 // tolerance with retransmission buffers and nACK thrash at saturation;
 // credits buy a leaner hot path but no error story. See DESIGN.md.
 //
+// Like the go-back-N endpoints, both ends are lane-generic: each of the
+// link's `vcs` virtual channels has its own credit counter and its own
+// credited buffer, so one stalled lane parks only its own window while
+// other lanes keep moving (the per-VC flow control that makes dateline
+// deadlock avoidance sound). Flits and credit returns carry the lane tag;
+// one flit crosses per cycle, lanes served round-robin. vcs == 1 is the
+// seed's single-lane protocol unchanged.
+//
 // CreditSender and CreditReceiver mirror the go-back-N endpoints' call
 // shape exactly (begin_cycle / can_accept / accept / end_cycle on the
-// sender, begin_cycle(can_take) / end_cycle on the receiver) so the
+// sender, begin_cycle(can_take_mask) / end_cycle on the receiver) so the
 // link-protocol seam (flow.hpp) can swap protocols per network. They
-// share ProtocolConfig: `window` doubles as the credit count, sized by
-// ProtocolConfig::for_link to cover the link round trip so a clean link
-// sustains one flit per cycle in either protocol. The reverse channel
-// reuses AckBeat wires: a valid beat means "one credit returned"
-// (ack/seqno are ignored).
+// share ProtocolConfig: `window` doubles as the per-lane credit count,
+// sized by ProtocolConfig::for_link to cover the link round trip so a
+// clean link sustains one flit per cycle in either protocol. The reverse
+// channel reuses AckBeat wires: a valid beat means "one credit returned
+// for lane `vc`" (ack/seqno are ignored).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/common/ring.hpp"
 #include "src/link/goback_n.hpp"
@@ -43,67 +52,78 @@ class CreditSender {
   /// owner's tick().
   void begin_cycle();
 
-  /// True if a new flit can be staged this cycle: total outstanding
-  /// flits (staged + credit not yet returned) stay below the window,
-  /// mirroring the go-back-N sender's occupancy bound.
-  bool can_accept() const;
+  /// True if a new flit can be staged on lane `vc` this cycle: that
+  /// lane's outstanding flits (staged + credit not yet returned) stay
+  /// below the window, mirroring the go-back-N sender's occupancy bound.
+  bool can_accept(std::size_t vc = 0) const;
 
-  /// Stages `flit` for transmission. Requires can_accept().
+  /// Stages `flit` for transmission on lane flit.vc. Requires
+  /// can_accept(flit.vc).
   void accept(Flit flit);
 
-  /// Transmits at most one flit (credit permitting) and drives the wire.
-  /// Call last in the owner's tick().
+  /// Transmits at most one flit (lanes served round-robin, credit
+  /// permitting) and drives the wire. Call last in the owner's tick().
   void end_cycle();
 
   /// Flits staged locally plus flits whose credit has not returned yet
-  /// (in flight on the link or buffered at the receiver).
-  std::size_t in_flight() const {
-    return buffer_.size() + (config_.window - credits_);
-  }
+  /// (in flight on the link or buffered at the receiver), over all lanes.
+  std::size_t in_flight() const;
   bool idle() const { return in_flight() == 0; }
 
   std::uint64_t flits_sent() const { return flits_sent_; }
-  /// Credit-starvation cycles: cycles spent at zero credits, i.e. with
-  /// the entire window parked at the receiver awaiting drain — the
-  /// credit protocol's back-pressure signal (the counterpart of
-  /// go-back-N's flow-control retransmissions).
+  /// Credit-starvation cycles: cycles in which nothing was transmitted
+  /// while some lane sat at zero credits, i.e. with its entire window
+  /// parked at the receiver awaiting drain — the credit protocol's
+  /// back-pressure signal (the counterpart of go-back-N's flow-control
+  /// retransmissions).
   std::uint64_t credit_stalls() const { return credit_stalls_; }
-  std::size_t credits() const { return credits_; }
+  std::size_t credits(std::size_t vc = 0) const {
+    return lanes_.at(vc).credits;
+  }
 
  private:
+  struct Lane {
+    Ring<Flit> buffer;         ///< staged flits, oldest first (<= window)
+    std::size_t credits = 0;   ///< free receiver slots (starts at window)
+  };
+
   LinkWires wires_{};
   ProtocolConfig config_{};
-  Ring<Flit> buffer_;        ///< staged flits, oldest first (<= window)
-  std::size_t credits_ = 0;  ///< free receiver slots (starts at window)
+  std::vector<Lane> lanes_;
+  std::size_t next_lane_ = 0;  ///< transmit rotation over lanes
 
   std::uint64_t flits_sent_ = 0;
   std::uint64_t credit_stalls_ = 0;
 };
 
-/// Receiver endpoint: owns the credited buffer and returns credits as
-/// its owner drains flits.
+/// Receiver endpoint: owns the per-lane credited buffers and returns
+/// credits as its owner drains flits.
 class CreditReceiver {
  public:
   CreditReceiver() = default;
   CreditReceiver(LinkWires wires, const ProtocolConfig& config);
 
-  /// Latches an arriving flit into the credited buffer (space is
-  /// guaranteed by the sender's credit accounting) and, when `can_take`,
-  /// hands the oldest buffered flit to the owner — scheduling one credit
-  /// return. Call first in the owner's tick().
-  std::optional<Flit> begin_cycle(bool can_take);
+  /// Latches an arriving flit into its lane's credited buffer (space is
+  /// guaranteed by the sender's credit accounting) and hands the owner at
+  /// most one buffered flit from a lane whose bit is set in
+  /// `can_take_mask` (lanes drained round-robin) — scheduling one credit
+  /// return for that lane. Call first in the owner's tick(). (A bool
+  /// converts to the right mask for single-lane owners.)
+  std::optional<Flit> begin_cycle(std::uint32_t can_take_mask);
 
   /// Drives the credit-return wire. Call last in the owner's tick().
   void end_cycle();
 
   std::uint64_t flits_accepted() const { return flits_accepted_; }
-  std::size_t buffered() const { return buffer_.size(); }
+  std::size_t buffered() const;
 
  private:
   LinkWires wires_{};
   ProtocolConfig config_{};
-  Ring<Flit> buffer_;            ///< credited slots (capacity = window)
-  bool pending_credit_ = false;  ///< return one credit at end_cycle
+  std::vector<Ring<Flit>> lanes_;  ///< credited slots (capacity = window)
+  std::size_t drain_next_ = 0;     ///< drain rotation over lanes
+  bool pending_credit_ = false;    ///< return one credit at end_cycle
+  std::uint8_t pending_credit_vc_ = 0;
 
   std::uint64_t flits_accepted_ = 0;
 };

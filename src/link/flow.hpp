@@ -13,10 +13,13 @@
 //     assembly enforces bit_error_rate == 0), never retransmits.
 //
 // Both protocols share LinkWires and ProtocolConfig (`window` = go-back-N
-// window or credit count, sized to the link round trip either way), so a
-// port's endpoints are interchangeable. Dispatch is one predictable
-// branch on the enum per call — no virtual functions on the hot path,
-// matching the devirtualized kernel design (DESIGN.md §2).
+// window or credit count per lane, sized to the link round trip either
+// way), so a port's endpoints are interchangeable, and both are
+// lane-generic: ProtocolConfig::vcs virtual channels share the physical
+// wire pair with per-lane buffering, sequencing and credits (see
+// goback_n.hpp / credit.hpp). Dispatch is one predictable branch on the
+// enum per call — no virtual functions on the hot path, matching the
+// devirtualized kernel design (DESIGN.md §2).
 #pragma once
 
 #include <cstdint>
@@ -58,9 +61,10 @@ class LinkSender {
     flow_ == FlowControl::kAckNack ? ack_.begin_cycle()
                                    : credit_.begin_cycle();
   }
-  bool can_accept() const {
-    return flow_ == FlowControl::kAckNack ? ack_.can_accept()
-                                          : credit_.can_accept();
+  /// Room on lane `vc` (the accepted flit's vc field picks the lane).
+  bool can_accept(std::size_t vc = 0) const {
+    return flow_ == FlowControl::kAckNack ? ack_.can_accept(vc)
+                                          : credit_.can_accept(vc);
   }
   void accept(Flit flit) {
     flow_ == FlowControl::kAckNack ? ack_.accept(std::move(flit))
@@ -111,9 +115,12 @@ class LinkReceiver {
     }
   }
 
-  std::optional<Flit> begin_cycle(bool can_take) {
-    return flow_ == FlowControl::kAckNack ? ack_.begin_cycle(can_take)
-                                          : credit_.begin_cycle(can_take);
+  /// Bit vc of `can_take_mask` = owner has space for lane vc this cycle
+  /// (a bool converts to the right mask for single-lane owners).
+  std::optional<Flit> begin_cycle(std::uint32_t can_take_mask) {
+    return flow_ == FlowControl::kAckNack
+               ? ack_.begin_cycle(can_take_mask)
+               : credit_.begin_cycle(can_take_mask);
   }
   void end_cycle() {
     flow_ == FlowControl::kAckNack ? ack_.end_cycle() : credit_.end_cycle();

@@ -23,6 +23,9 @@ void ProtocolConfig::validate() const {
   // stale retransmission can never alias a new flit.
   require((std::size_t{1} << seq_bits) > window,
           "ProtocolConfig: sequence space must exceed window");
+  require(vcs >= 1 && vcs <= kMaxVcs,
+          "ProtocolConfig: vcs must be in [1, " + std::to_string(kMaxVcs) +
+              "]");
 }
 
 GoBackNSender::GoBackNSender(LinkWires wires, const ProtocolConfig& config)
@@ -30,60 +33,81 @@ GoBackNSender::GoBackNSender(LinkWires wires, const ProtocolConfig& config)
       config_(config),
       seq_mask_(static_cast<std::uint8_t>((1u << config.seq_bits) - 1)) {
   config_.validate();
-  buffer_.reserve(config_.window);  // can_accept bounds it at window
+  lanes_.resize(config_.vcs);
+  for (Lane& lane : lanes_) {
+    lane.buffer.reserve(config_.window);  // can_accept bounds it at window
+  }
 }
 
 void GoBackNSender::begin_cycle() {
   XPL_ASSERT(wires_.rev != nullptr);
   const AckBeat ack = wires_.rev->read();
-  if (!ack.valid || buffer_.empty()) return;
-  const std::uint8_t base = buffer_.front().flit.seqno;
+  if (!ack.valid) return;
+  XPL_ASSERT(ack.vc < lanes_.size());
+  Lane& lane = lanes_[ack.vc];
+  if (lane.buffer.empty()) return;
+  const std::uint8_t base = lane.buffer.front().flit.seqno;
   const std::uint8_t offset = (ack.seqno - base) & seq_mask_;
   if (ack.ack) {
-    // Receivers acknowledge flits in order, one per cycle, so a live ACK
-    // always names the oldest unacknowledged flit; anything else is a
-    // stale duplicate from before a rewind and is ignored.
+    // Receivers acknowledge a lane's flits in order, one per cycle, so a
+    // live ACK always names the lane's oldest unacknowledged flit;
+    // anything else is a stale duplicate from before a rewind and is
+    // ignored.
     if (offset == 0) {
-      buffer_.pop_front();
-      if (resend_idx_ > 0) --resend_idx_;
+      lane.buffer.pop_front();
+      if (lane.resend_idx > 0) --lane.resend_idx;
     }
   } else {
-    // nACK(seq): receiver wants everything from `seq` again.
-    if (offset < buffer_.size()) {
-      resend_idx_ = offset;
+    // nACK(seq): receiver wants everything on this lane from `seq` again.
+    if (offset < lane.buffer.size()) {
+      lane.resend_idx = offset;
     }
   }
 }
 
-bool GoBackNSender::can_accept() const {
-  return buffer_.size() < config_.window;
+bool GoBackNSender::can_accept(std::size_t vc) const {
+  XPL_ASSERT(vc < lanes_.size());
+  return lanes_[vc].buffer.size() < config_.window;
 }
 
 void GoBackNSender::accept(Flit flit) {
-  XPL_ASSERT(can_accept());
-  flit.seqno = next_seq_;
-  next_seq_ = (next_seq_ + 1) & seq_mask_;
+  XPL_ASSERT(can_accept(flit.vc));
+  Lane& lane = lanes_[flit.vc];
+  flit.seqno = lane.next_seq;
+  lane.next_seq = (lane.next_seq + 1) & seq_mask_;
   // Seal once on entry: the buffered flit is immutable until retired, so
   // retransmissions reuse the same checksum instead of recomputing it.
   flit_seal(flit, config_.crc);
-  buffer_.push_back(Entry{std::move(flit), /*sent=*/false});
+  lane.buffer.push_back(Entry{std::move(flit), /*sent=*/false});
 }
 
 void GoBackNSender::end_cycle() {
   XPL_ASSERT(wires_.fwd != nullptr);
-  if (resend_idx_ < buffer_.size()) {
-    Entry& entry = buffer_[resend_idx_];
+  // One physical flit per cycle: serve lanes with pending (re)transmit
+  // work round-robin from next_lane_.
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    const std::size_t v = (next_lane_ + k) % lanes_.size();
+    Lane& lane = lanes_[v];
+    if (lane.resend_idx >= lane.buffer.size()) continue;
+    Entry& entry = lane.buffer[lane.resend_idx];
     if (entry.sent) {
       ++retransmissions_;
     } else {
       entry.sent = true;
     }
     wires_.fwd->write(FlitBeat{true, entry.flit});
-    ++resend_idx_;
+    ++lane.resend_idx;
     ++flits_sent_;
-  } else {
-    wires_.fwd->write(FlitBeat{});
+    next_lane_ = (v + 1) % lanes_.size();
+    return;
   }
+  wires_.fwd->write(FlitBeat{});
+}
+
+std::size_t GoBackNSender::in_flight() const {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.buffer.size();
+  return total;
 }
 
 GoBackNReceiver::GoBackNReceiver(LinkWires wires,
@@ -92,34 +116,38 @@ GoBackNReceiver::GoBackNReceiver(LinkWires wires,
       config_(config),
       seq_mask_(static_cast<std::uint8_t>((1u << config.seq_bits) - 1)) {
   config_.validate();
+  expected_seq_.assign(config_.vcs, 0);
 }
 
-std::optional<Flit> GoBackNReceiver::begin_cycle(bool can_take) {
+std::optional<Flit> GoBackNReceiver::begin_cycle(
+    std::uint32_t can_take_mask) {
   XPL_ASSERT(wires_.fwd != nullptr);
   pending_ack_ = AckBeat{};
   const FlitBeat& beat = wires_.fwd->read();
   if (!beat.valid) return std::nullopt;
+  const std::uint8_t vc = beat.flit.vc;
+  XPL_ASSERT(vc < expected_seq_.size());
 
   if (!flit_verify(beat.flit, config_.crc)) {
     // Corrupted in flight: ask the sender to go back to what we expect.
     ++crc_rejections_;
-    pending_ack_ = AckBeat{true, /*ack=*/false, expected_seq_};
+    pending_ack_ = AckBeat{true, /*ack=*/false, expected_seq_[vc], vc};
     return std::nullopt;
   }
-  if ((beat.flit.seqno & seq_mask_) != expected_seq_) {
+  if ((beat.flit.seqno & seq_mask_) != expected_seq_[vc]) {
     // Stale flit racing a rewind; drop silently (the sender is already
     // resending from expected_seq_, nACKing again would only thrash).
     return std::nullopt;
   }
-  if (!can_take) {
-    // Flow control: intact and in order, but no room. nACK so the sender
-    // retries; expected_seq_ stays put.
+  if ((can_take_mask >> vc & 1u) == 0) {
+    // Flow control: intact and in order, but no room on this lane. nACK
+    // so the sender retries; expected_seq_ stays put.
     ++flow_rejections_;
-    pending_ack_ = AckBeat{true, /*ack=*/false, expected_seq_};
+    pending_ack_ = AckBeat{true, /*ack=*/false, expected_seq_[vc], vc};
     return std::nullopt;
   }
-  pending_ack_ = AckBeat{true, /*ack=*/true, expected_seq_};
-  expected_seq_ = (expected_seq_ + 1) & seq_mask_;
+  pending_ack_ = AckBeat{true, /*ack=*/true, expected_seq_[vc], vc};
+  expected_seq_[vc] = (expected_seq_[vc] + 1) & seq_mask_;
   ++flits_accepted_;
   return beat.flit;
 }

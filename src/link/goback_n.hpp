@@ -8,6 +8,14 @@
 // until acknowledged, sized to cover the link round trip so a clean link
 // sustains one flit per cycle.
 //
+// Every endpoint is lane-generic: a link carries `vcs` virtual channels
+// over one physical wire pair, each lane with its own sequence space,
+// retransmission buffer and ACK stream (flits and ACK beats carry the
+// lane tag). One flit crosses the wire per cycle regardless of lane
+// count; the sender round-robins among lanes with pending work. With
+// vcs == 1 (the default) all of this collapses to the seed's single-lane
+// protocol, operation for operation.
+//
 // GoBackNSender and GoBackNReceiver are building blocks *embedded* in the
 // switch and NI modules (they are not kernel modules themselves); the
 // owner calls begin_cycle / end_cycle from its tick().
@@ -15,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/common/crc.hpp"
 #include "src/common/ring.hpp"
@@ -23,11 +32,16 @@
 
 namespace xpl::link {
 
+/// Upper bound on lanes per link (the lane tag and the receiver drain
+/// masks are sized for it).
+inline constexpr std::size_t kMaxVcs = 8;
+
 /// Shared parameters of one link's protocol endpoints.
 struct ProtocolConfig {
-  std::size_t window = 8;              ///< max unacknowledged flits
-  std::size_t seq_bits = 5;            ///< sequence number width
+  std::size_t window = 8;              ///< max unacknowledged flits per lane
+  std::size_t seq_bits = 5;            ///< sequence number width (per lane)
   CrcKind crc = CrcKind::kCrc8;        ///< per-flit check code
+  std::size_t vcs = 1;                 ///< virtual channels (lanes)
 
   /// Sizes window and sequence space to keep an N-stage pipelined link
   /// fully busy: round trip is 2*(stages+1) kernel hops plus endpoint
@@ -38,7 +52,7 @@ struct ProtocolConfig {
   void validate() const;
 };
 
-/// Sender endpoint: owns the retransmission buffer.
+/// Sender endpoint: owns the per-lane retransmission buffers.
 class GoBackNSender {
  public:
   GoBackNSender() = default;
@@ -47,19 +61,21 @@ class GoBackNSender {
   /// Processes incoming ACK/nACK. Call first in the owner's tick().
   void begin_cycle();
 
-  /// True if a new flit can be queued this cycle (window has room).
-  bool can_accept() const;
+  /// True if a new flit can be queued on lane `vc` this cycle (that
+  /// lane's window has room).
+  bool can_accept(std::size_t vc = 0) const;
 
-  /// Queues `flit` for (re)transmission; assigns its sequence number.
-  /// Requires can_accept().
+  /// Queues `flit` for (re)transmission on lane flit.vc; assigns its
+  /// sequence number. Requires can_accept(flit.vc).
   void accept(Flit flit);
 
-  /// Transmits at most one flit and drives the wire. Call last in tick().
+  /// Transmits at most one flit (lanes served round-robin) and drives the
+  /// wire. Call last in tick().
   void end_cycle();
 
-  /// In-flight (sent or queued, unacknowledged) flits.
-  std::size_t in_flight() const { return buffer_.size(); }
-  bool idle() const { return buffer_.empty(); }
+  /// In-flight (sent or queued, unacknowledged) flits over all lanes.
+  std::size_t in_flight() const;
+  bool idle() const { return in_flight() == 0; }
 
   std::uint64_t flits_sent() const { return flits_sent_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
@@ -73,25 +89,31 @@ class GoBackNSender {
     Flit flit;
     bool sent = false;  ///< transmitted at least once (retx accounting)
   };
-  Ring<Entry> buffer_;           ///< unacked flits, oldest first (<= window)
-  std::size_t resend_idx_ = 0;   ///< next buffer index to transmit
-  std::uint8_t next_seq_ = 0;    ///< seqno for the next accepted flit
+  struct Lane {
+    Ring<Entry> buffer;          ///< unacked flits, oldest first (<= window)
+    std::size_t resend_idx = 0;  ///< next buffer index to transmit
+    std::uint8_t next_seq = 0;   ///< seqno for the next accepted flit
+  };
+  std::vector<Lane> lanes_;
+  std::size_t next_lane_ = 0;  ///< transmit rotation over lanes
 
   std::uint64_t flits_sent_ = 0;
   std::uint64_t retransmissions_ = 0;
 };
 
-/// Receiver endpoint: verifies CRC and sequence, produces ACK/nACK.
+/// Receiver endpoint: verifies CRC and per-lane sequence, produces
+/// ACK/nACK tagged with the lane.
 class GoBackNReceiver {
  public:
   GoBackNReceiver() = default;
   GoBackNReceiver(LinkWires wires, const ProtocolConfig& config);
 
-  /// Examines the arriving flit. `can_take` tells the receiver whether the
-  /// owner has buffer space this cycle; without space the flit is nACKed
-  /// (flow control). Returns the flit when it is accepted in order and
-  /// intact. Call first in the owner's tick().
-  std::optional<Flit> begin_cycle(bool can_take);
+  /// Examines the arriving flit. Bit vc of `can_take_mask` tells the
+  /// receiver whether the owner has buffer space for lane vc this cycle;
+  /// without space the flit is nACKed (flow control). Returns the flit
+  /// when it is accepted in order and intact. Call first in the owner's
+  /// tick(). (A bool converts to the right mask for single-lane owners.)
+  std::optional<Flit> begin_cycle(std::uint32_t can_take_mask);
 
   /// Drives the ACK wire. Call last in the owner's tick().
   void end_cycle();
@@ -105,7 +127,7 @@ class GoBackNReceiver {
   ProtocolConfig config_{};
   std::uint8_t seq_mask_ = 0;
 
-  std::uint8_t expected_seq_ = 0;
+  std::vector<std::uint8_t> expected_seq_;  ///< per lane
   AckBeat pending_ack_{};
 
   std::uint64_t flits_accepted_ = 0;

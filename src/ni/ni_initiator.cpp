@@ -16,6 +16,11 @@ void InitiatorConfig::validate() const {
   require(max_outstanding <= txn_space,
           "InitiatorConfig: max_outstanding exceeds txn id space");
   protocol.validate();
+  require(vcs >= 1 && vcs <= link::kMaxVcs,
+          "InitiatorConfig: vcs must be in [1, " +
+              std::to_string(link::kMaxVcs) + "]");
+  require(protocol.vcs == vcs,
+          "InitiatorConfig: protocol lane count differs from vcs");
 }
 
 InitiatorNi::InitiatorNi(std::string name, const InitiatorConfig& config,
@@ -27,9 +32,12 @@ InitiatorNi::InitiatorNi(std::string name, const InitiatorConfig& config,
       ocp_req_(ocp.req, config.ocp_req_fifo),
       ocp_resp_(ocp.resp, config.ocp_resp_credits),
       tx_(config.flow, net_out, config.protocol),
-      rx_(config.flow, net_in, config.protocol),
-      depack_(config.format) {
+      rx_(config.flow, net_in, config.protocol) {
   config_.validate();
+  depack_.reserve(config_.vcs);
+  for (std::size_t v = 0; v < config_.vcs; ++v) {
+    depack_.emplace_back(config_.format);
+  }
   // Steady-state bounds: flit_out_ holds one packetized request (a new
   // transaction starts only when it is empty); resp_out_ is capped by
   // resp_queue_depth plus the beats of the response(s) released by one
@@ -110,7 +118,16 @@ void InitiatorNi::finish_packet() {
   packet.header = building_->header;
   packet.beats = std::move(building_->beats);
   auto flits = packetize(packet, config_.format);
-  for (Flit& flit : flits) flit_out_.push_back(std::move(flit));
+  // Whole packets ride one injection lane keyed by OCP thread: threads
+  // are the protocol's ordering domain, so same-thread requests stay
+  // FIFO on one lane while independent threads spread over the lanes
+  // (vcs == 1: always lane 0, the seed behaviour).
+  const std::uint8_t vc =
+      static_cast<std::uint8_t>(packet.header.thread_id % config_.vcs);
+  for (Flit& flit : flits) {
+    flit.vc = vc;
+    flit_out_.push_back(std::move(flit));
+  }
   building_.reset();
   ++packets_sent_;
 }
@@ -166,7 +183,7 @@ void InitiatorNi::tick(sim::Kernel& kernel) {
   tx_.begin_cycle();
 
   // Network transmit: one flit per cycle from the packetizer output.
-  if (!flit_out_.empty() && tx_.can_accept()) {
+  if (!flit_out_.empty() && tx_.can_accept(flit_out_.front().vc)) {
     tx_.accept(std::move(flit_out_.front()));
     flit_out_.pop_front();
   }
@@ -204,10 +221,15 @@ void InitiatorNi::tick(sim::Kernel& kernel) {
     }
   }
 
-  // Network receive: response flits reassemble into packets.
+  // Network receive: response flits reassemble into packets, one
+  // reassembler per lane (any lane may be drained — the shared response
+  // queue gates them all alike).
   const bool can_take = resp_out_.size() < config_.resp_queue_depth;
-  if (auto flit = rx_.begin_cycle(can_take)) {
-    if (auto packet = depack_.push(*flit)) {
+  const std::uint32_t take_mask =
+      can_take ? (1u << config_.vcs) - 1 : 0u;
+  if (auto flit = rx_.begin_cycle(take_mask)) {
+    XPL_ASSERT(flit->vc < config_.vcs);
+    if (auto packet = depack_[flit->vc].push(*flit)) {
       deliver_response(*packet);
     }
   }
@@ -225,9 +247,12 @@ void InitiatorNi::tick(sim::Kernel& kernel) {
 }
 
 bool InitiatorNi::idle() const {
+  for (const Depacketizer& d : depack_) {
+    if (!d.idle()) return false;
+  }
   return !building_.has_value() && flit_out_.empty() && resp_out_.empty() &&
          outstanding_.empty() && reorder_.empty() && tx_.idle() &&
-         depack_.idle() && ocp_req_.empty();
+         ocp_req_.empty();
 }
 
 }  // namespace xpl::ni

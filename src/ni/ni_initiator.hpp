@@ -38,6 +38,12 @@ struct InitiatorConfig {
   std::size_t max_outstanding = 8;  ///< response-expecting txns in flight
   link::FlowControl flow = link::FlowControl::kAckNack;
   link::ProtocolConfig protocol{};  ///< network-port link parameters
+  /// Virtual channels on the network ports. Request packets ride the
+  /// lane of their OCP thread (thread_id % vcs): threads are the
+  /// protocol's ordering domain, so same-thread requests stay FIFO on
+  /// one lane while independent threads spread over the lanes. Response
+  /// flits are drained from every lane.
+  std::size_t vcs = 1;
 
   void validate() const;
 };
@@ -93,7 +99,9 @@ class InitiatorNi : public sim::Module {
   std::optional<Building> building_;
   Ring<Flit> flit_out_;  ///< packetizer output, drains 1 flit/cycle
 
-  Depacketizer depack_;
+  /// One reassembler per lane: response packets interleave across lanes
+  /// on the wire, but arrive in order within a lane.
+  std::vector<Depacketizer> depack_;
   Ring<ocp::RespBeat> resp_out_;  ///< decoded beats toward the core
 
   std::unordered_map<std::uint32_t, Outstanding> outstanding_;

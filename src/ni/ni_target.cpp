@@ -11,6 +11,11 @@ void TargetConfig::validate() const {
           "data path");
   require(job_queue_depth >= 1, "TargetConfig: job_queue_depth >= 1");
   protocol.validate();
+  require(vcs >= 1 && vcs <= link::kMaxVcs,
+          "TargetConfig: vcs must be in [1, " +
+              std::to_string(link::kMaxVcs) + "]");
+  require(protocol.vcs == vcs,
+          "TargetConfig: protocol lane count differs from vcs");
 }
 
 TargetNi::TargetNi(std::string name, const TargetConfig& config,
@@ -21,9 +26,12 @@ TargetNi::TargetNi(std::string name, const TargetConfig& config,
       rx_(config.flow, net_in, config.protocol),
       tx_(config.flow, net_out, config.protocol),
       ocp_req_(ocp.req, config.ocp_req_credits),
-      ocp_resp_(ocp.resp, config.ocp_resp_fifo),
-      depack_(config.format) {
+      ocp_resp_(ocp.resp, config.ocp_resp_fifo) {
   config_.validate();
+  depack_.reserve(config_.vcs);
+  for (std::size_t v = 0; v < config_.vcs; ++v) {
+    depack_.emplace_back(config_.format);
+  }
   jobs_.reserve(config_.job_queue_depth);  // rx_ can_take bounds it
   // One packetized response in flight (complete_response fires only when
   // flit_out_ has drained); grows once if a longer burst shows up.
@@ -46,7 +54,14 @@ void TargetNi::complete_response(RespBuild build) {
   packet.header.interrupt = build.interrupt;
   packet.beats = std::move(build.beats);
   auto flits = packetize(packet, config_.format);
-  for (Flit& flit : flits) flit_out_.push_back(std::move(flit));
+  // Responses take the lane of their OCP thread, mirroring the
+  // initiator's request lane assignment.
+  const std::uint8_t vc =
+      static_cast<std::uint8_t>(build.meta.thread_id % config_.vcs);
+  for (Flit& flit : flits) {
+    flit.vc = vc;
+    flit_out_.push_back(std::move(flit));
+  }
   ++packets_sent_;
 }
 
@@ -56,7 +71,7 @@ void TargetNi::tick(sim::Kernel&) {
   ocp_resp_.begin_cycle();
 
   // Network transmit: drain the response packetizer.
-  if (!flit_out_.empty() && tx_.can_accept()) {
+  if (!flit_out_.empty() && tx_.can_accept(flit_out_.front().vc)) {
     tx_.accept(std::move(flit_out_.front()));
     flit_out_.pop_front();
   }
@@ -95,7 +110,21 @@ void TargetNi::tick(sim::Kernel&) {
   }
 
   // OCP request side: replay the next decoded packet beat by beat.
-  if (!issuing_.has_value() && !jobs_.empty() && flit_out_.empty()) {
+  //
+  // Single-lane networks keep the seed's conservative gate: the next job
+  // issues only once the previous response has fully left (flit_out_
+  // holds at most one packetized response). Multi-lane networks drop the
+  // gate — the job queue then drains at the slave's rate even while
+  // response injection is back-pressured, which breaks the
+  // request-reply coupling cycle (target ejection waiting on response
+  // injection waiting on channels held by requests waiting on target
+  // ejection) that can wedge a saturated shared-lane network. The
+  // response staging this pipelining needs is bounded by protocol
+  // invariant: every response-expecting request holds one of its
+  // initiator's max_outstanding txn slots, so at most
+  // sum(max_outstanding) responses can ever be pending at one target.
+  const bool response_drained = config_.vcs == 1 ? flit_out_.empty() : true;
+  if (!issuing_.has_value() && !jobs_.empty() && response_drained) {
     issuing_ = std::move(jobs_.front());
     jobs_.pop_front();
     issue_beat_ = 0;
@@ -141,10 +170,14 @@ void TargetNi::tick(sim::Kernel&) {
     }
   }
 
-  // Network receive: depacketize request flits.
+  // Network receive: depacketize request flits, any lane (the shared job
+  // queue gates every lane alike).
   const bool can_take = jobs_.size() < config_.job_queue_depth;
-  if (auto flit = rx_.begin_cycle(can_take)) {
-    if (auto packet = depack_.push(*flit)) {
+  const std::uint32_t take_mask =
+      can_take ? (1u << config_.vcs) - 1 : 0u;
+  if (auto flit = rx_.begin_cycle(take_mask)) {
+    XPL_ASSERT(flit->vc < config_.vcs);
+    if (auto packet = depack_[flit->vc].push(*flit)) {
       require(packet->header.cmd != PacketCmd::kResponse,
               "TargetNi: response packet arrived at target");
       ++packets_received_;
@@ -159,9 +192,12 @@ void TargetNi::tick(sim::Kernel&) {
 }
 
 bool TargetNi::idle() const {
+  for (const Depacketizer& d : depack_) {
+    if (!d.idle()) return false;
+  }
   return jobs_.empty() && !issuing_.has_value() && pending_.empty() &&
          collecting_.empty() && flit_out_.empty() && tx_.idle() &&
-         depack_.idle() && ocp_resp_.empty();
+         ocp_resp_.empty();
 }
 
 }  // namespace xpl::ni

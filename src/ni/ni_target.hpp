@@ -35,6 +35,13 @@ struct TargetConfig {
   std::size_t ocp_resp_fifo = 8;     ///< front-end response buffer (beats)
   link::FlowControl flow = link::FlowControl::kAckNack;
   link::ProtocolConfig protocol{};
+  /// Virtual channels on the network ports. Request flits are drained
+  /// from every lane (one reassembler per lane); response packets ride
+  /// the lane of their OCP thread, mirroring the initiator. With vcs > 1
+  /// the job pipeline also decouples request ejection from response
+  /// injection (see tick()), removing the request-reply wedge a
+  /// saturated shared-lane network can otherwise hit.
+  std::size_t vcs = 1;
 
   void validate() const;
 };
@@ -84,7 +91,8 @@ class TargetNi : public sim::Module {
   sim::StreamProducer<ocp::ReqBeat> ocp_req_;
   sim::StreamConsumer<ocp::RespBeat> ocp_resp_;
 
-  Depacketizer depack_;
+  /// One reassembler per lane: request packets interleave across lanes.
+  std::vector<Depacketizer> depack_;
   Ring<Packet> jobs_;                   ///< decoded requests awaiting issue
   std::optional<Packet> issuing_;       ///< request being beat-streamed
   std::uint32_t issue_beat_ = 0;

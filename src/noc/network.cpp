@@ -31,12 +31,23 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
               config.bit_error_rate == 0.0,
           "Network: credit flow control requires reliable links "
           "(bit_error_rate == 0)");
+  require(config.vcs >= 1 && config.vcs <= link::kMaxVcs,
+          "Network: vcs must be in [1, " + std::to_string(link::kMaxVcs) +
+              "]");
   routes_ = topology::compute_all_routes(topo_, config.routing);
-  deadlock_ = topology::check_deadlock(topo_, routes_);
+  // Lane policy: dateline discipline exactly when minimal routes meet
+  // dateline-marked links with more than one lane; otherwise packets keep
+  // their initiator-chosen lane. The checker analyses the same channels
+  // the switches will use.
+  const topology::VcPolicy vc_policy =
+      topology::make_vc_policy(topo_, config.routing, config.vcs);
+  deadlock_ = topology::check_deadlock(topo_, routes_, vc_policy);
   if (config.require_deadlock_free) {
     require(deadlock_.deadlock_free,
             "Network: routing tables can deadlock (" +
-                deadlock_.to_string(topo_) + "); use XY routing or set "
+                deadlock_.to_string(topo_) + "); use XY/up-down routing, "
+                "add virtual channels (vcs >= 2 enables dateline minimal "
+                "routing on rings/tori/spidergons), or set "
                 "require_deadlock_free = false");
   }
 
@@ -47,20 +58,32 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
       topo_.max_radix_out(), topo_.num_nis(), routes_.max_hops(),
       bits_for(config.target_window), config.max_burst, config.num_threads);
   format_.validate();
+  // Route-field consistency against the topology actually instantiated:
+  // an undersized port or hop budget would silently truncate selectors
+  // when headers are packed (SwitchConfig::validate() checks the
+  // switch-local half of this invariant).
+  require(std::size_t{1} << format_.header.port_bits >=
+              topo_.max_radix_out(),
+          "Network: header port_bits cannot address the widest switch");
+  require(format_.header.max_hops >= routes_.max_hops(),
+          "Network: header route field shorter than the longest route");
 
   // Per-link protocol sizing: each link's go-back-N window covers *its*
   // round trip (the compiler's per-instance buffer optimization); NI
   // attachment links are local and get the minimum window. The uniform
   // worst-case config is kept for reference in the switch configs'
   // `protocol` field.
-  const link::ProtocolConfig protocol =
+  link::ProtocolConfig protocol =
       link::ProtocolConfig::for_link(max_link_stages(topo_), config.crc);
-  const link::ProtocolConfig ni_protocol =
+  protocol.vcs = config.vcs;
+  link::ProtocolConfig ni_protocol =
       link::ProtocolConfig::for_link(0, config.crc);
+  ni_protocol.vcs = config.vcs;
   std::vector<link::ProtocolConfig> link_protocol;
   for (std::uint32_t l = 0; l < topo_.num_links(); ++l) {
     link_protocol.push_back(
         link::ProtocolConfig::for_link(topo_.link(l).stages, config.crc));
+    link_protocol.back().vcs = config.vcs;
   }
   auto protocol_for = [&](const topology::PortRef& ref) {
     return ref.kind == topology::PortRef::Kind::kLink
@@ -146,11 +169,24 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
     scfg.arbiter = config.arbiter;
     scfg.flow = config.flow;
     scfg.protocol = protocol;
+    scfg.vcs = config.vcs;
+    scfg.vc_map = vc_policy.dateline ? switchlib::VcMap::kDateline
+                                     : switchlib::VcMap::kInherit;
     for (const auto& ref : in_ports) {
       scfg.input_protocols.push_back(protocol_for(ref));
+      scfg.input_vc_class.push_back(
+          ref.kind == topology::PortRef::Kind::kLink
+              ? topo_.link(ref.id).vc_class
+              : switchlib::SwitchConfig::kNiClass);
     }
     for (const auto& ref : out_ports) {
       scfg.output_protocols.push_back(protocol_for(ref));
+      const bool is_link = ref.kind == topology::PortRef::Kind::kLink;
+      scfg.output_vc_class.push_back(
+          is_link ? topo_.link(ref.id).vc_class
+                  : switchlib::SwitchConfig::kNiClass);
+      scfg.output_dateline.push_back(is_link &&
+                                     topo_.link(ref.id).dateline);
     }
     switches_.push_back(std::make_unique<switchlib::Switch>(
         topo_.switch_node(s).name, scfg, std::move(in_wires),
@@ -175,6 +211,7 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
     icfg.max_outstanding = config.max_outstanding;
     icfg.flow = config.flow;
     icfg.protocol = ni_protocol;
+    icfg.vcs = config.vcs;
     auto ni_mod = std::make_unique<ni::InitiatorNi>(
         topo_.ni(node).name, icfg, ocp_wires, ni_in_wires[node].up,
         ni_out_wires[node].down);
@@ -205,6 +242,7 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
     tcfg.ocp_resp_fifo = scfg.resp_credits;
     tcfg.flow = config.flow;
     tcfg.protocol = ni_protocol;
+    tcfg.vcs = config.vcs;
     auto ni_mod = std::make_unique<ni::TargetNi>(
         topo_.ni(node).name, tcfg, ocp_wires, ni_out_wires[node].down,
         ni_in_wires[node].up);

@@ -36,6 +36,14 @@ struct NetworkConfig {
       topology::RoutingAlgorithm::kShortestPath;
   bool require_deadlock_free = true;  ///< throw if routes can deadlock
 
+  /// Virtual channels (lanes) per link. With vcs > 1 every port gets
+  /// per-lane buffers and per-lane flow control; minimal routing on
+  /// dateline-marked topologies (ring/torus/spidergon generators) then
+  /// uses the dateline lane discipline, which the VC-aware deadlock
+  /// checker proves cycle-free. vcs == 1 is the seed single-lane
+  /// microarchitecture, bit for bit.
+  std::size_t vcs = 1;
+
   switchlib::ArbiterKind arbiter = switchlib::ArbiterKind::kRoundRobin;
   std::size_t input_fifo_depth = 2;
   std::size_t output_fifo_depth = 4;

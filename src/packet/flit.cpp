@@ -6,8 +6,9 @@ namespace xpl {
 
 std::string Flit::to_string() const {
   std::ostringstream os;
-  os << (head ? "H" : "-") << (tail ? "T" : "-") << " seq=" << int(seqno)
-     << " payload=" << payload.to_string();
+  os << (head ? "H" : "-") << (tail ? "T" : "-") << " seq=" << int(seqno);
+  if (vc != 0) os << " vc=" << int(vc);
+  os << " payload=" << payload.to_string();
   return os.str();
 }
 
@@ -29,8 +30,8 @@ bool flit_verify(const Flit& flit, CrcKind kind) {
 }
 
 std::size_t flit_wire_width(std::size_t flit_width, std::size_t seq_bits,
-                            CrcKind kind) {
-  return flit_width + 2 + seq_bits + crc_width(kind);
+                            CrcKind kind, std::size_t vc_bits) {
+  return flit_width + 2 + vc_bits + seq_bits + crc_width(kind);
 }
 
 }  // namespace xpl

@@ -5,10 +5,15 @@
 // width is small), zero or more body flits (payload register contents), and
 // a tail marker releasing the wormhole path. On the wire each flit carries:
 //
-//   payload (flit_width bits) | head | tail | link seqno | CRC
+//   payload (flit_width bits) | head | tail | vc | link seqno | CRC
 //
 // The seqno and CRC belong to the link-level ACK/nACK retransmission
-// protocol; switches regenerate them hop by hop.
+// protocol; switches regenerate them hop by hop. The vc field is the
+// virtual-channel (lane) tag: it selects which of the link's lanes the
+// flit travels on, so per-lane buffers and per-lane flow control can
+// interleave packets on one physical wire. With one lane (vcs == 1) the
+// tag is zero bits wide on the wire and every struct field below is 0 —
+// the single-lane seed microarchitecture falls out unchanged.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +29,8 @@ struct Flit {
   BitVector payload;          ///< flit_width data bits
   bool head = false;          ///< first flit of a packet
   bool tail = false;          ///< last flit of a packet
-  std::uint8_t seqno = 0;     ///< link-level go-back-N sequence number
+  std::uint8_t vc = 0;        ///< virtual-channel (lane) tag
+  std::uint8_t seqno = 0;     ///< per-lane go-back-N sequence number
   std::uint16_t checksum = 0; ///< CRC over payload+head+tail+seqno
 
   Flit() = default;
@@ -36,7 +42,10 @@ struct Flit {
 /// Bits protected by the flit checksum, in a canonical order. Both the
 /// sender (to generate) and receiver (to verify) use this exact view, so a
 /// corruption anywhere in the protected fields is detected with the code's
-/// guarantees.
+/// guarantees. The vc tag is not part of the view: like the reverse ACK
+/// wires it is modelled reliable (error injection never touches it), which
+/// keeps the protected word — and every CRC value — identical to the
+/// single-lane wire format.
 BitVector flit_protected_bits(const Flit& flit);
 
 /// Computes and installs the checksum for `kind`.
@@ -46,9 +55,10 @@ void flit_seal(Flit& flit, CrcKind kind);
 bool flit_verify(const Flit& flit, CrcKind kind);
 
 /// Physical wire width of one flit beat for synthesis accounting:
-/// payload + 2 control bits + seqno bits + CRC bits.
+/// payload + 2 control bits + vc bits + seqno bits + CRC bits. `vc_bits`
+/// is 0 for a single-lane link (the seed wire format).
 std::size_t flit_wire_width(std::size_t flit_width, std::size_t seq_bits,
-                            CrcKind kind);
+                            CrcKind kind, std::size_t vc_bits = 0);
 
 /// Valid/flit pair carried on a forward link signal.
 struct FlitBeat {
@@ -57,11 +67,14 @@ struct FlitBeat {
 };
 
 /// ACK/nACK beat carried on a reverse link signal. `ack == false` means
-/// nACK: the receiver asks the sender to go back to `seqno`.
+/// nACK: the receiver asks the sender to go back to `seqno`. `vc` names
+/// the lane the beat belongs to (credit mode: the lane whose slot was
+/// freed); like the rest of the reverse channel it is modelled reliable.
 struct AckBeat {
   bool valid = false;
   bool ack = true;
   std::uint8_t seqno = 0;
+  std::uint8_t vc = 0;
 };
 
 }  // namespace xpl

@@ -100,14 +100,23 @@ bool ResultTable::has_flow_axis() const {
   return false;
 }
 
+bool ResultTable::has_vcs_axis() const {
+  if (vcs_axis_) return true;
+  for (const auto& r : rows_) {
+    if (r.point.net.vcs != 1) return true;
+  }
+  return false;
+}
+
 std::string ResultTable::to_csv() const {
-  // The flow columns appear only when the campaign swept the flow axis,
-  // so legacy (all-ack_nack) exports stay byte-identical — the same
-  // discipline as label()'s conditional suffixes.
+  // The flow/vcs columns appear only when the campaign swept those axes,
+  // so legacy exports stay byte-identical — the same discipline as
+  // label()'s conditional suffixes.
   const bool flow = has_flow_axis();
+  const bool vcs = has_vcs_axis();
   std::ostringstream os;
   os << "index,label,topology,width,height,switches,flit_width,fifo_depth,"
-     << (flow ? "flow," : "")
+     << (vcs ? "vcs," : "") << (flow ? "flow," : "")
      << "pattern,injection_rate,burstiness,warmup,cycles,ok,transactions,"
         "avg_latency_cycles,p95_latency_cycles,throughput_tpc,link_flits,"
         "retransmissions,"
@@ -119,6 +128,7 @@ std::string ResultTable::to_csv() const {
     os << p.index << "," << p.label() << "," << p.topology << "," << p.width
        << "," << p.height << "," << p.num_switches() << ","
        << p.net.flit_width << "," << p.net.output_fifo_depth << ",";
+    if (vcs) os << p.net.vcs << ",";
     if (flow) os << link::flow_control_name(p.net.flow) << ",";
     os << p.pattern_label() << ","
        << fmt_double(p.traffic.injection_rate) << ","
@@ -138,6 +148,7 @@ std::string ResultTable::to_csv() const {
 
 std::string ResultTable::to_json() const {
   const bool flow = has_flow_axis();
+  const bool vcs = has_vcs_axis();
   std::ostringstream os;
   os << "[\n";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -149,6 +160,7 @@ std::string ResultTable::to_json() const {
        << ", \"switches\": " << p.num_switches()
        << ", \"flit_width\": " << p.net.flit_width
        << ", \"fifo_depth\": " << p.net.output_fifo_depth;
+    if (vcs) os << ", \"vcs\": " << p.net.vcs;
     if (flow) {
       os << ", \"flow\": \"" << link::flow_control_name(p.net.flow) << "\"";
     }

@@ -60,6 +60,10 @@ class ResultTable {
   /// sets this from the spec.
   void mark_flow_axis() { flow_axis_ = true; }
 
+  /// Same schema discipline for the virtual-channel axis: forces the
+  /// exporters' vcs column.
+  void mark_vcs_axis() { vcs_axis_ = true; }
+
   std::size_t num_ok() const;
 
   /// Indices of the Pareto-efficient successful rows under minimize
@@ -91,9 +95,13 @@ class ResultTable {
   /// row departs from the default ack_nack flow control — the trigger
   /// for the exporters' flow/credit_stalls columns.
   bool has_flow_axis() const;
+  /// Same trigger for the vcs column (mark_vcs_axis or any row with
+  /// vcs != 1).
+  bool has_vcs_axis() const;
 
   std::vector<SweepResult> rows_;
   bool flow_axis_ = false;
+  bool vcs_axis_ = false;
 };
 
 }  // namespace xpl::sweep

@@ -155,9 +155,12 @@ ResultTable SweepRunner::run(const SweepSpec& spec) const {
   ResultTable table(points.size());
   // Export schema follows the *spec*, not the drawn points: a sampled
   // flow campaign keeps its flow/credit_stalls columns even when the
-  // draw happens to contain only ack_nack points.
+  // draw happens to contain only ack_nack points; likewise for vcs.
   if (spec.flows.size() > 1 || spec.flows.front() != "ack_nack") {
     table.mark_flow_axis();
+  }
+  if (spec.vcss.size() > 1 || spec.vcss.front() != 1) {
+    table.mark_vcs_axis();
   }
 
   std::mutex table_mutex;

@@ -94,6 +94,12 @@ const std::set<std::string>& known_topologies() {
   return kinds;
 }
 
+const std::set<std::string>& known_routings() {
+  static const std::set<std::string> kinds{"auto", "minimal", "xy",
+                                           "updown"};
+  return kinds;
+}
+
 }  // namespace
 
 std::uint64_t derive_seed(std::uint64_t spec_seed, std::uint64_t salt) {
@@ -144,6 +150,7 @@ std::string SweepPoint::label() const {
      << "_r" << fmt_double(traffic.injection_rate);
   if (traffic.burstiness > 0) os << "_b" << fmt_double(traffic.burstiness);
   if (warmup > 0) os << "_w" << warmup;
+  if (net.vcs > 1) os << "_v" << net.vcs;
   if (net.flow != link::FlowControl::kAckNack) {
     os << "_" << link::flow_control_name(net.flow);
   }
@@ -152,9 +159,9 @@ std::string SweepPoint::label() const {
 
 std::size_t SweepSpec::grid_size() const {
   return topologies.size() * widths.size() * heights.size() *
-         flit_widths.size() * fifo_depths.size() * flows.size() *
-         patterns.size() * warmups.size() * burstinesses.size() *
-         injection_rates.size();
+         flit_widths.size() * fifo_depths.size() * vcss.size() *
+         flows.size() * patterns.size() * warmups.size() *
+         burstinesses.size() * injection_rates.size();
 }
 
 std::size_t SweepSpec::num_points() const {
@@ -171,6 +178,7 @@ void SweepSpec::validate() const {
   non_empty("height", heights.size());
   non_empty("flit_width", flit_widths.size());
   non_empty("fifo_depth", fifo_depths.size());
+  non_empty("vcs", vcss.size());
   non_empty("flow", flows.size());
   non_empty("pattern", patterns.size());
   non_empty("warmup", warmups.size());
@@ -179,6 +187,14 @@ void SweepSpec::validate() const {
   for (const auto& t : topologies) {
     require(known_topologies().count(t) != 0,
             "sweep: unknown topology '" + t + "'");
+  }
+  require(known_routings().count(routing) != 0,
+          "sweep: unknown routing '" + routing +
+              "' (expected auto | minimal | xy | updown)");
+  for (const std::size_t v : vcss) {
+    require(v >= 1 && v <= link::kMaxVcs,
+            "sweep: vcs must be in [1, " + std::to_string(link::kMaxVcs) +
+                "]");
   }
   for (const auto& f : flows) link::parse_flow_control(f);  // throws
   for (const auto& p : patterns) check_pattern_token(p, 0);
@@ -226,6 +242,7 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
   const std::size_t warmup_i = take(warmups.size());
   const std::size_t pattern_i = take(patterns.size());
   const std::size_t flow_i = take(flows.size());
+  const std::size_t vcs_i = take(vcss.size());
   const std::size_t fifo_i = take(fifo_depths.size());
   const std::size_t flit_i = take(flit_widths.size());
   const std::size_t height_i = take(heights.size());
@@ -243,12 +260,22 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
 
   p.net.flit_width = flit_widths[flit_i];
   p.net.output_fifo_depth = fifo_depths[fifo_i];
+  p.net.vcs = vcss[vcs_i];
   p.net.flow = link::parse_flow_control(flows[flow_i]);
   p.net.input_fifo_depth = 2;
   p.net.max_burst = std::max<std::size_t>(p.net.max_burst, max_burst);
   p.net.target_window = 1 << 12;
-  p.net.routing = p.topology == "mesh" ? topology::RoutingAlgorithm::kXY
-                                       : topology::RoutingAlgorithm::kUpDown;
+  if (routing == "minimal") {
+    p.net.routing = topology::RoutingAlgorithm::kShortestPath;
+  } else if (routing == "xy") {
+    p.net.routing = topology::RoutingAlgorithm::kXY;
+  } else if (routing == "updown") {
+    p.net.routing = topology::RoutingAlgorithm::kUpDown;
+  } else {  // "auto": the seed rule
+    p.net.routing = p.topology == "mesh"
+                        ? topology::RoutingAlgorithm::kXY
+                        : topology::RoutingAlgorithm::kUpDown;
+  }
   // Seeds derive from the *grid* cell, never from scheduling order:
   // bit-identical results for any --jobs value.
   p.net.seed = derive_seed(seed, grid_index * 2 + 0);
@@ -352,6 +379,13 @@ SweepSpec parse_sweep(const std::string& text) {
       need(2);
       spec.max_burst =
           static_cast<std::uint32_t>(parse_u64(tokens[1], lineno));
+    } else if (key == "routing") {
+      need(2);
+      if (!known_routings().count(tokens[1])) {
+        fail(lineno, "unknown routing '" + tokens[1] +
+                         "' (expected auto | minimal | xy | updown)");
+      }
+      spec.routing = tokens[1];
     } else if (key == "topology") {
       need_values();
       spec.topologies.assign(tokens.begin() + 1, tokens.end());
@@ -372,6 +406,9 @@ SweepSpec parse_sweep(const std::string& text) {
     } else if (key == "fifo_depth") {
       need_values();
       spec.fifo_depths = u64_list();
+    } else if (key == "vcs") {
+      need_values();
+      spec.vcss = u64_list();
     } else if (key == "flow") {
       need_values();
       for (std::size_t t = 1; t < tokens.size(); ++t) {
@@ -426,6 +463,7 @@ std::string write_sweep(const SweepSpec& spec) {
   os << "target_mhz " << fmt_double(spec.target_mhz) << "\n";
   os << "read_fraction " << fmt_double(spec.read_fraction) << "\n";
   os << "max_burst " << spec.max_burst << "\n";
+  os << "routing " << spec.routing << "\n";
   auto write_list = [&os](const char* key, const auto& values) {
     os << key;
     for (const auto& v : values) os << " " << v;
@@ -436,6 +474,7 @@ std::string write_sweep(const SweepSpec& spec) {
   write_list("height", spec.heights);
   write_list("flit_width", spec.flit_widths);
   write_list("fifo_depth", spec.fifo_depths);
+  write_list("vcs", spec.vcss);
   write_list("flow", spec.flows);
   write_list("pattern", spec.patterns);
   write_list("warmup", spec.warmups);

@@ -31,11 +31,13 @@
 //   target_mhz 800         # synthesis target for area/power estimates
 //   read_fraction 0.5
 //   max_burst 2
+//   routing auto           # campaign-wide: auto | minimal | xy | updown
 //   topology mesh          # axis: mesh | torus | ring | star | spidergon
 //   width 4 6 8            # axis: mesh/torus width (node count otherwise)
 //   height 4               # axis: mesh/torus height (ignored otherwise)
 //   flit_width 32 64       # axis
 //   fifo_depth 4           # axis: switch output queue depth
+//   vcs 1 2 4              # axis: virtual channels per link
 //   flow ack_nack credit   # axis: link-level flow control
 //   pattern uniform        # axis: uniform | hotspot | permutation
 //                          #       | app:mpeg4 | app:vopd | app:mwd
@@ -47,6 +49,14 @@
 // runs the named embedded SoC benchmark (src/workload/benchmarks.hpp):
 // the point's core graph is placed on its topology deterministically and
 // the resulting bandwidth matrix drives Pattern::kWeighted traffic.
+//
+// `routing` selects the routing algorithm for every point: `auto` (the
+// default — XY on meshes, up*/down* elsewhere), `minimal` (shortest
+// path; on rings/tori/spidergons with vcs >= 2 this engages dateline
+// virtual-channel assignment, and with vcs == 1 the deadlock checker
+// fails such points fast instead of letting them hang), `xy`, `updown`.
+// `vcs` is an axis like `flow`: its CSV/JSON column appears only when
+// the axis is actually swept, so legacy exports stay byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -98,8 +108,8 @@ struct SweepPoint {
 
   /// Compact human identifier, e.g. "mesh_4x4_f32_q4_uniform_r0.02";
   /// app points read e.g. "mesh_4x3_f32_q4_mpeg4_r0.02", non-default
-  /// burstiness / warmup append "_b<val>" / "_w<val>", and credit-mode
-  /// points append "_credit".
+  /// burstiness / warmup append "_b<val>" / "_w<val>", multi-lane points
+  /// append "_v<vcs>", and credit-mode points append "_credit".
   std::string label() const;
 };
 
@@ -115,6 +125,9 @@ struct SweepSpec {
   double target_mhz = 800.0;
   double read_fraction = 0.5;
   std::uint32_t max_burst = 2;
+  /// Campaign-wide routing selection: "auto" | "minimal" | "xy" |
+  /// "updown" (see file comment).
+  std::string routing = "auto";
 
   // Axes. The grid is the cross product in this (fixed) order, topology
   // outermost, injection rate innermost.
@@ -123,6 +136,8 @@ struct SweepSpec {
   std::vector<std::size_t> heights = {4};
   std::vector<std::size_t> flit_widths = {32};
   std::vector<std::size_t> fifo_depths = {4};
+  /// Virtual channels per link (noc::NetworkConfig::vcs).
+  std::vector<std::size_t> vcss = {1};
   /// Link-level flow control: "ack_nack" and/or "credit" (flow.hpp).
   std::vector<std::string> flows = {"ack_nack"};
   /// Synthetic pattern names and/or "app:<benchmark>" values.

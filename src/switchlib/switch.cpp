@@ -1,6 +1,7 @@
 #include "src/switchlib/switch.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "src/common/error.hpp"
 #include "src/packet/header.hpp"
@@ -15,16 +16,42 @@ void SwitchConfig::validate() const {
   require(route_bits <= flit_width,
           "SwitchConfig: route field must fit in one flit");
   require(port_bits <= route_bits, "SwitchConfig: route field too small");
+  // An undersized or misaligned route field would silently shift
+  // non-route header bits into the hop selectors as the route is
+  // consumed; insist on whole hop slots here and let the network
+  // assembly check the slot count against the topology's routes.
+  require(route_bits % port_bits == 0,
+          "SwitchConfig: route_bits must hold a whole number of "
+          "port_bits-wide hop selectors");
   require(input_fifo_depth >= 1, "SwitchConfig: input fifo depth >= 1");
   require(output_fifo_depth >= 1, "SwitchConfig: output fifo depth >= 1");
+  require(vcs >= 1 && vcs <= link::kMaxVcs,
+          "SwitchConfig: vcs must be in [1, " +
+              std::to_string(link::kMaxVcs) + "]");
   protocol.validate();
+  require(protocol.vcs == vcs, "SwitchConfig: protocol lane count differs "
+                               "from the switch's vcs");
   require(input_protocols.empty() || input_protocols.size() == num_inputs,
           "SwitchConfig: input_protocols size mismatch");
   require(output_protocols.empty() ||
               output_protocols.size() == num_outputs,
           "SwitchConfig: output_protocols size mismatch");
-  for (const auto& p : input_protocols) p.validate();
-  for (const auto& p : output_protocols) p.validate();
+  for (const auto& p : input_protocols) {
+    p.validate();
+    require(p.vcs == vcs, "SwitchConfig: input protocol lane count differs "
+                          "from the switch's vcs");
+  }
+  for (const auto& p : output_protocols) {
+    p.validate();
+    require(p.vcs == vcs, "SwitchConfig: output protocol lane count "
+                          "differs from the switch's vcs");
+  }
+  require(input_vc_class.empty() || input_vc_class.size() == num_inputs,
+          "SwitchConfig: input_vc_class size mismatch");
+  require(output_vc_class.empty() || output_vc_class.size() == num_outputs,
+          "SwitchConfig: output_vc_class size mismatch");
+  require(output_dateline.empty() || output_dateline.size() == num_outputs,
+          "SwitchConfig: output_dateline size mismatch");
 }
 
 Switch::Switch(std::string name, const SwitchConfig& config,
@@ -41,53 +68,88 @@ Switch::Switch(std::string name, const SwitchConfig& config,
     InputPort port;
     port.rx = link::LinkReceiver(config_.flow, input_wires[i],
                                  config_.input_protocol(i));
-    port.fifo.reserve(config_.input_fifo_depth);
+    port.lanes.resize(config_.vcs);
+    for (InLane& lane : port.lanes) {
+      lane.fifo.reserve(config_.input_fifo_depth);
+    }
     inputs_.push_back(std::move(port));
   }
   outputs_.reserve(config.num_outputs);
   for (std::size_t o = 0; o < config.num_outputs; ++o) {
-    OutputPort port(config.arbiter, config.num_inputs);
+    OutputPort port(config.arbiter, config.num_inputs * config_.vcs);
     port.tx = link::LinkSender(config_.flow, output_wires[o],
                                config_.output_protocol(o));
-    port.fifo.reserve(config_.output_fifo_depth);
-    if (config_.extra_pipeline > 0) {
-      port.pipe.reserve(config_.output_fifo_depth);
+    port.lanes.resize(config_.vcs);
+    for (OutLane& lane : port.lanes) {
+      lane.fifo.reserve(config_.output_fifo_depth);
+      if (config_.extra_pipeline > 0) {
+        lane.pipe.reserve(config_.output_fifo_depth);
+      }
     }
     outputs_.push_back(std::move(port));
   }
   packets_out_.assign(config.num_outputs, 0);
-  req_cache_.assign(config.num_inputs, kNoPort);
-  req_cache_valid_.assign(config.num_inputs, false);
-  req_scratch_.assign(config.num_inputs, false);
+  req_cache_.assign(config.num_inputs * config_.vcs, kNoPort);
+  req_cache_valid_.assign(config.num_inputs * config_.vcs, false);
+  req_scratch_.assign(config.num_inputs * config_.vcs, false);
 }
 
 std::optional<std::size_t> Switch::requested_output(
-    const InputPort& in) const {
-  if (in.fifo.empty()) return std::nullopt;
-  if (in.locked_output != kNoPort) return in.locked_output;
-  const Flit& flit = in.fifo.front();
-  XPL_ASSERT(flit.head);  // unlocked input must present a head flit
+    const InLane& lane) const {
+  if (lane.fifo.empty()) return std::nullopt;
+  if (lane.locked_output != kNoPort) return lane.locked_output;
+  const Flit& flit = lane.fifo.front();
+  XPL_ASSERT(flit.head);  // unlocked lane must present a head flit
   const std::size_t port = peek_route_port(flit.payload, config_.port_bits);
   require(port < config_.num_outputs,
           "Switch: head flit requests a nonexistent output port");
   return port;
 }
 
+std::uint8_t Switch::out_vc(std::size_t in_port, std::uint8_t in_vc,
+                            std::size_t out_port) const {
+  if (config_.vcs == 1 || config_.vc_map == VcMap::kInherit) return in_vc;
+  // Dateline rule — the local mirror of topology::dateline_route_vcs.
+  const std::uint8_t in_class = config_.input_vc_class.empty()
+                                    ? 0
+                                    : config_.input_vc_class[in_port];
+  const std::uint8_t out_class = config_.output_vc_class.empty()
+                                     ? 0
+                                     : config_.output_vc_class[out_port];
+  if (out_class == SwitchConfig::kNiClass) return in_vc;  // ejection
+  std::uint8_t vc = (in_class == out_class) ? in_vc : 0;
+  if (!config_.output_dateline.empty() &&
+      config_.output_dateline[out_port]) {
+    ++vc;
+  }
+  require(vc < config_.vcs,
+          "Switch: dateline lane assignment needs more VCs than configured");
+  return vc;
+}
+
 void Switch::tick(sim::Kernel& kernel) {
   // ---- Reverse order of the pipeline so each flit advances exactly one
   // stage per cycle (see DESIGN.md: stage 1 = input latch, stage 2 =
-  // arbitration + crossbar + output-queue write, then link transmit).
+  // VC/switch allocation + crossbar + output-queue write, then link
+  // transmit).
+  const std::size_t vcs = config_.vcs;
 
-  // ACK/nACK bookkeeping first: senders retire or rewind.
+  // ACK/nACK / credit bookkeeping first: senders retire or rewind.
   for (OutputPort& out : outputs_) {
     out.tx.begin_cycle();
   }
 
-  // Link transmit: drain output queues into the go-back-N senders.
+  // Link transmit: drain one flit per output into its sender, serving
+  // output lanes round-robin (one physical wire per output).
   for (OutputPort& out : outputs_) {
-    if (!out.fifo.empty() && out.tx.can_accept()) {
-      out.tx.accept(std::move(out.fifo.front()));
-      out.fifo.pop_front();
+    for (std::size_t k = 0; k < vcs; ++k) {
+      const std::size_t v = (out.next_tx_lane + k) % vcs;
+      OutLane& lane = out.lanes[v];
+      if (lane.fifo.empty() || !out.tx.can_accept(v)) continue;
+      out.tx.accept(std::move(lane.fifo.front()));
+      lane.fifo.pop_front();
+      out.next_tx_lane = (v + 1) % vcs;
+      break;
     }
   }
 
@@ -95,97 +157,146 @@ void Switch::tick(sim::Kernel& kernel) {
   // entries that have spent extra_pipeline cycles in flight.
   if (config_.extra_pipeline > 0) {
     for (OutputPort& out : outputs_) {
-      if (!out.pipe.empty() &&
-          kernel.cycle() >= out.pipe.front().second + config_.extra_pipeline) {
-        out.fifo.push_back(std::move(out.pipe.front().first));
-        out.pipe.pop_front();
+      for (OutLane& lane : out.lanes) {
+        if (!lane.pipe.empty() &&
+            kernel.cycle() >=
+                lane.pipe.front().second + config_.extra_pipeline) {
+          lane.fifo.push_back(std::move(lane.pipe.front().first));
+          lane.pipe.pop_front();
+        }
       }
     }
   }
 
-  // Stage 2: arbitration + crossbar traversal. Each input's requested
-  // output is derived from its head flit at most once per cycle (the memo
-  // invalidates when the head flit changes); the arbiter request vector is
-  // a reused member, so this stage allocates nothing.
+  // Stage 2: VC allocation + switch allocation + crossbar traversal. Each
+  // input lane's requested output is derived from its head flit at most
+  // once per cycle (the memo invalidates when the head flit changes); the
+  // arbiter request vector is a reused member, so this stage allocates
+  // nothing. One flit traverses the crossbar per output per cycle.
   bool any_switched = false;
   std::fill(req_cache_valid_.begin(), req_cache_valid_.end(), false);
-  const auto request_of = [this](std::size_t i) {
-    if (!req_cache_valid_[i]) {
-      const auto req = requested_output(inputs_[i]);
-      req_cache_[i] = req.has_value() ? *req : kNoPort;
-      req_cache_valid_[i] = true;
+  const auto request_of = [this, vcs](std::size_t i, std::size_t v) {
+    const std::size_t idx = i * vcs + v;
+    if (!req_cache_valid_[idx]) {
+      const auto req = requested_output(inputs_[i].lanes[v]);
+      req_cache_[idx] = req.has_value() ? *req : kNoPort;
+      req_cache_valid_[idx] = true;
     }
-    return req_cache_[i];
+    return req_cache_[idx];
   };
   for (std::size_t o = 0; o < outputs_.size(); ++o) {
     OutputPort& out = outputs_[o];
-    // Space accounting covers both the queue and the in-flight delay line.
-    const std::size_t committed = out.fifo.size() + out.pipe.size();
-    if (committed >= config_.output_fifo_depth) continue;
 
-    std::size_t winner = kNoPort;
-    if (out.locked_input != kNoPort) {
-      // Wormhole in progress: only the owning input may proceed.
-      const InputPort& in = inputs_[out.locked_input];
-      if (!in.fifo.empty()) winner = out.locked_input;
-    } else {
+    std::size_t win_in = kNoPort;  // winning input port
+    std::uint8_t win_iv = 0;       // its lane
+    std::uint8_t win_ov = 0;       // output lane taken
+
+    // In-progress wormholes first (lanes rotate for fairness; at vcs == 1
+    // this is the seed's locked-input bypass, arbiter untouched).
+    for (std::size_t k = 0; k < vcs; ++k) {
+      const std::size_t w = (out.next_locked_lane + k) % vcs;
+      OutLane& ol = out.lanes[w];
+      if (ol.locked_input == kNoPort) continue;
+      // Space accounting covers both the queue and the in-flight delay
+      // line.
+      if (ol.fifo.size() + ol.pipe.size() >= config_.output_fifo_depth) {
+        continue;
+      }
+      const InLane& il = inputs_[ol.locked_input].lanes[ol.locked_in_vc];
+      if (il.fifo.empty()) continue;
+      win_in = ol.locked_input;
+      win_iv = ol.locked_in_vc;
+      win_ov = static_cast<std::uint8_t>(w);
+      out.next_locked_lane = (w + 1) % vcs;
+      break;
+    }
+
+    if (win_in == kNoPort) {
+      // New wormholes: arbitrate over unlocked input lanes whose head
+      // flit requests this output and whose allocated output lane is
+      // free with space.
       bool any = false;
       for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        // Only unlocked inputs with a head flit may open a new wormhole.
-        const bool wants = inputs_[i].locked_output == kNoPort &&
-                           request_of(i) == o;
-        req_scratch_[i] = wants;
-        any = any || wants;
+        for (std::size_t v = 0; v < vcs; ++v) {
+          bool wants = false;
+          if (inputs_[i].lanes[v].locked_output == kNoPort &&
+              request_of(i, v) == o) {
+            const std::uint8_t w =
+                out_vc(i, static_cast<std::uint8_t>(v), o);
+            const OutLane& ol = out.lanes[w];
+            wants = ol.locked_input == kNoPort &&
+                    ol.fifo.size() + ol.pipe.size() <
+                        config_.output_fifo_depth;
+          }
+          req_scratch_[i * vcs + v] = wants;
+          any = any || wants;
+        }
       }
       if (any) {
         const auto grant = out.arbiter.grant(req_scratch_);
         XPL_ASSERT(grant.has_value());
-        winner = *grant;
-        out.locked_input = winner;
-        inputs_[winner].locked_output = o;
+        win_in = *grant / vcs;
+        win_iv = static_cast<std::uint8_t>(*grant % vcs);
+        win_ov = out_vc(win_in, win_iv, o);
+        OutLane& ol = out.lanes[win_ov];
+        ol.locked_input = win_in;
+        ol.locked_in_vc = win_iv;
+        InLane& il = inputs_[win_in].lanes[win_iv];
+        il.locked_output = o;
+        il.locked_out_vc = win_ov;
         ++packets_out_[o];
       }
     }
 
-    if (winner == kNoPort) continue;
-    InputPort& in = inputs_[winner];
-    Flit flit = std::move(in.fifo.front());
-    in.fifo.pop_front();
+    if (win_in == kNoPort) continue;
+    InLane& il = inputs_[win_in].lanes[win_iv];
+    OutLane& ol = out.lanes[win_ov];
+    Flit flit = std::move(il.fifo.front());
+    il.fifo.pop_front();
     if (flit.head) {
       // Consume this hop's route selector.
       flit.payload = consume_route_port(flit.payload, config_.port_bits,
                                         config_.route_bits);
     }
+    flit.vc = win_ov;  // the lane the flit travels on toward the next hop
     if (flit.tail) {
       // Wormhole complete: release the path.
-      out.locked_input = kNoPort;
-      in.locked_output = kNoPort;
+      ol.locked_input = kNoPort;
+      il.locked_output = kNoPort;
     }
     if (config_.extra_pipeline > 0) {
-      out.pipe.emplace_back(std::move(flit), kernel.cycle());
+      ol.pipe.emplace_back(std::move(flit), kernel.cycle());
     } else {
-      out.fifo.push_back(std::move(flit));
+      ol.fifo.push_back(std::move(flit));
     }
-    // The input's head flit changed (and possibly its lock state):
+    // The input lane's head flit changed (and possibly its lock state):
     // recompute its request if a later output looks at it this cycle.
-    req_cache_valid_[winner] = false;
+    req_cache_valid_[win_in * vcs + win_iv] = false;
     ++flits_switched_;
     any_switched = true;
   }
   if (any_switched) ++active_cycles_;
 
-  // Stage 1: latch arriving flits into input buffers (with ACK/nACK).
+  // Stage 1: latch arriving flits into their lane's input buffer.
   for (InputPort& in : inputs_) {
-    const bool can_take = in.fifo.size() < config_.input_fifo_depth;
+    std::uint32_t can_take = 0;
+    for (std::size_t v = 0; v < vcs; ++v) {
+      if (in.lanes[v].fifo.size() < config_.input_fifo_depth) {
+        can_take |= 1u << v;
+      }
+    }
     if (auto flit = in.rx.begin_cycle(can_take)) {
-      // Wormhole protocol check: head flits only between packets.
-      if (in.expecting_body) {
+      XPL_ASSERT(flit->vc < vcs);
+      InLane& lane = in.lanes[flit->vc];
+      // Wormhole protocol check: head flits only between packets, per
+      // lane (packets on different lanes interleave on the wire).
+      if (lane.expecting_body) {
         require(!flit->head, "Switch: head flit arrived mid-packet");
       } else {
         require(flit->head, "Switch: body flit arrived with no wormhole");
       }
-      in.expecting_body = !flit->tail;
-      in.fifo.push_back(std::move(*flit));
+      lane.expecting_body = !flit->tail;
+      lane.fifo.push_back(std::move(*flit));
     }
   }
 
@@ -206,13 +317,45 @@ std::uint64_t Switch::credit_stalls() const {
   return total;
 }
 
+std::string Switch::debug_state() const {
+  std::ostringstream os;
+  os << name() << ":";
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    for (std::size_t v = 0; v < config_.vcs; ++v) {
+      const InLane& lane = inputs_[i].lanes[v];
+      if (lane.fifo.empty() && lane.locked_output == kNoPort) continue;
+      os << " in" << i << "v" << v << "[" << lane.fifo.size();
+      if (lane.locked_output != kNoPort) {
+        os << "->o" << lane.locked_output << "v" << int(lane.locked_out_vc);
+      }
+      os << "]";
+    }
+  }
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    for (std::size_t v = 0; v < config_.vcs; ++v) {
+      const OutLane& lane = outputs_[o].lanes[v];
+      if (lane.fifo.empty() && lane.locked_input == kNoPort) continue;
+      os << " out" << o << "v" << v << "[" << lane.fifo.size();
+      if (lane.locked_input != kNoPort) {
+        os << "<-i" << lane.locked_input << "v" << int(lane.locked_in_vc);
+      }
+      os << "]";
+    }
+    os << " tx" << o << "=" << outputs_[o].tx.in_flight();
+  }
+  return os.str();
+}
+
 bool Switch::idle() const {
   for (const InputPort& in : inputs_) {
-    if (!in.fifo.empty() || in.locked_output != kNoPort) return false;
+    for (const InLane& lane : in.lanes) {
+      if (!lane.fifo.empty() || lane.locked_output != kNoPort) return false;
+    }
   }
   for (const OutputPort& out : outputs_) {
-    if (!out.fifo.empty() || !out.pipe.empty() || !out.tx.idle()) {
-      return false;
+    if (!out.tx.idle()) return false;
+    for (const OutLane& lane : out.lanes) {
+      if (!lane.fifo.empty() || !lane.pipe.empty()) return false;
     }
   }
   return true;

@@ -13,15 +13,24 @@ double log2d(double x) { return std::log2(std::max(2.0, x)); }
 }  // namespace
 
 std::size_t wire_bits(std::size_t flit_width, const link::ProtocolConfig& p) {
-  return flit_wire_width(flit_width, p.seq_bits, p.crc);
+  // The lane tag rides the wire only when there is more than one lane.
+  const std::size_t vc_bits = p.vcs > 1 ? bits_for(p.vcs) : 0;
+  return flit_wire_width(flit_width, p.seq_bits, p.crc, vc_bits);
 }
 
 Netlist build_switch_netlist(const switchlib::SwitchConfig& config) {
   const std::size_t flit_store = config.flit_width + 2;  // payload+head+tail
+  const std::size_t vcs = config.vcs;
+  // Lock state: owned output (or input) index + valid bit + lane tag.
+  const std::size_t lane_tag = vcs > 1 ? bits_for(vcs) : 0;
   Netlist n;
 
   // ---- Per input port (protocol parameters may differ per port when the
-  // compiler sizes windows to each link's round trip).
+  // compiler sizes windows to each link's round trip). Buffering,
+  // sequencing and wormhole locks replicate per lane; the CRC forest and
+  // the request decode are shared (one flit arrives per cycle). The
+  // single-lane composition below is the seed model term for term; extra
+  // lanes append their replicated structures after it.
   for (std::size_t i = 0; i < config.num_inputs; ++i) {
     const auto& protocol = config.input_protocol(i);
     const std::size_t wire = wire_bits(config.flit_width, protocol);
@@ -39,21 +48,32 @@ Netlist build_switch_netlist(const switchlib::SwitchConfig& config) {
     // Wormhole lock: which output this input owns.
     n += dff_bank(static_cast<std::size_t>(log2d(
                       static_cast<double>(config.num_outputs))) + 1);
+    // Additional lanes: buffer, sequencing and lock per lane, plus the
+    // lane tag every lock grows.
+    for (std::size_t v = 1; v < vcs; ++v) {
+      n += fifo(config.input_fifo_depth, flit_store);
+      n += counter(protocol.seq_bits);
+      n += comparator(protocol.seq_bits);
+      n += dff_bank(protocol.seq_bits + 2);
+      n += dff_bank(static_cast<std::size_t>(log2d(
+                        static_cast<double>(config.num_outputs))) + 1);
+    }
+    n += dff_bank(vcs * lane_tag);
   }
 
   // ---- Per output port.
   for (std::size_t o = 0; o < config.num_outputs; ++o) {
     const auto& protocol = config.output_protocol(o);
     const std::size_t wire = wire_bits(config.flit_width, protocol);
-    // Crossbar column: num_inputs-to-1 mux over the stored flit.
-    n += mux(flit_store, config.num_inputs);
+    // Crossbar column: (num_inputs * vcs)-to-1 mux over the stored flit.
+    n += mux(flit_store, config.num_inputs * vcs);
     // Route-consume shifter sits after the crossbar (head flits only).
     n += const_shifter(config.route_bits);
-    // Arbiter + allocator lock.
+    // Arbiter over (input, lane) requests + allocator lock.
     if (config.arbiter == switchlib::ArbiterKind::kRoundRobin) {
-      n += rr_arbiter(config.num_inputs);
+      n += rr_arbiter(config.num_inputs * vcs);
     } else {
-      n += fixed_arbiter(config.num_inputs);
+      n += fixed_arbiter(config.num_inputs * vcs);
     }
     n += dff_bank(static_cast<std::size_t>(log2d(
                       static_cast<double>(config.num_inputs))) + 1);
@@ -69,6 +89,20 @@ Netlist build_switch_netlist(const switchlib::SwitchConfig& config) {
     n += crc_logic(wire, crc_width(protocol.crc));
     // Extra pipeline registers (old-xpipes 7-stage emulation).
     n += dff_bank(config.extra_pipeline * flit_store);
+    // Additional lanes: queue, retransmission window, sequencing, lock
+    // and pipeline registers per lane (CRC generation stays shared).
+    for (std::size_t v = 1; v < vcs; ++v) {
+      n += dff_bank(static_cast<std::size_t>(log2d(
+                        static_cast<double>(config.num_inputs))) + 1);
+      n += fifo(config.output_fifo_depth, flit_store);
+      n += fifo(protocol.window, flit_store);
+      n += counter(protocol.seq_bits);
+      n += counter(protocol.seq_bits);
+      n += counter(static_cast<std::size_t>(
+          log2d(static_cast<double>(protocol.window)) + 1));
+      n += dff_bank(config.extra_pipeline * flit_store);
+    }
+    n += dff_bank(vcs * lane_tag);
   }
 
   // ---- Control overhead (FSMs, valid trees, clock gating): 8%.
@@ -82,8 +116,10 @@ double switch_logic_levels(const switchlib::SwitchConfig& config) {
   // forest on the receive side. Calibrated so the macro (max-effort)
   // ceiling lands at the paper's clocks: 4x4 ~1.07 GHz, 6x4 ~980 MHz,
   // 5x5 ~1.0 GHz (and ~1.5 GHz full custom).
-  const double arb = 3.5 * log2d(static_cast<double>(config.num_inputs));
-  const double xbar = 2.0 * log2d(static_cast<double>(config.num_inputs));
+  const double arb =
+      3.5 * log2d(static_cast<double>(config.num_inputs * config.vcs));
+  const double xbar =
+      2.0 * log2d(static_cast<double>(config.num_inputs * config.vcs));
   const double out_sel = 2.0 * log2d(static_cast<double>(config.num_outputs));
   const double crc =
       config.protocol.crc == CrcKind::kNone ? 0.0 : 4.0;
@@ -144,6 +180,17 @@ Netlist build_initiator_ni_netlist(const ni::InitiatorConfig& config,
   n += crc_logic(wire, crc_width(config.protocol.crc));
   n += counter(config.protocol.seq_bits);
 
+  // Additional lanes: per-lane retransmission window + sequencing and a
+  // per-lane response reassembler (packets interleave across lanes).
+  for (std::size_t v = 1; v < config.vcs; ++v) {
+    n += fifo(config.protocol.window, flit_store);
+    n += counter(config.protocol.seq_bits);
+    n += counter(config.protocol.seq_bits);
+    n += counter(config.protocol.seq_bits);
+    n += dff_bank(header_bits);
+    n += dff_bank(fmt.beat_width);
+  }
+
   n.combinational *= 1.08;
   return n;
 }
@@ -197,6 +244,16 @@ Netlist build_target_ni_netlist(const ni::TargetConfig& config,
   n += crc_logic(wire, crc_width(config.protocol.crc));
   n += crc_logic(wire, crc_width(config.protocol.crc));
   n += counter(config.protocol.seq_bits);
+
+  // Additional lanes (mirror of the initiator's per-lane structures).
+  for (std::size_t v = 1; v < config.vcs; ++v) {
+    n += fifo(config.protocol.window, flit_store);
+    n += counter(config.protocol.seq_bits);
+    n += counter(config.protocol.seq_bits);
+    n += counter(config.protocol.seq_bits);
+    n += dff_bank(header_bits);
+    n += dff_bank(fmt.beat_width);
+  }
 
   n.combinational *= 1.08;
   return n;

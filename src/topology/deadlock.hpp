@@ -5,6 +5,19 @@
 // the routing tables before instantiating a network: XY routes on meshes
 // pass by construction; arbitrary shortest-path routes on rings/tori may
 // not, and the flow reports the offending cycle.
+//
+// The graph is virtual-channel aware: a channel is a (link, lane) pair,
+// so lane disciplines that break cycles — the dateline scheme minimal
+// ring/torus/spidergon routes use — are *proved* cycle-free here rather
+// than assumed. A VcPolicy describes how the network assigns lanes:
+//
+//  * dateline == false — every packet keeps the lane its initiator chose
+//    (round-robin spreading). The graph is vcs disjoint copies of the
+//    single-lane graph, so the verdict matches the seed checker exactly
+//    at vcs == 1.
+//  * dateline == true — lanes follow routing::dateline_route_vcs, the
+//    same local rule the switches apply (reset on vc_class change, bump
+//    on dateline links).
 #pragma once
 
 #include <cstdint>
@@ -16,19 +29,44 @@
 
 namespace xpl::topology {
 
+/// How the network maps packets onto virtual channels; the checker must
+/// analyse the same channels the switches will use.
+struct VcPolicy {
+  std::size_t vcs = 1;
+  /// true = dateline lane discipline (minimal routing on a topology with
+  /// dateline-marked links); false = initiator-chosen lane kept end to
+  /// end.
+  bool dateline = false;
+};
+
+/// The policy a Network assembles for `routing` with `vcs` lanes on
+/// `topo`: dateline discipline exactly when minimal routing meets
+/// dateline-marked links and more than one lane exists.
+VcPolicy make_vc_policy(const Topology& topo, RoutingAlgorithm routing,
+                        std::size_t vcs);
+
+/// One node of the channel dependency graph.
+struct Channel {
+  std::uint32_t link = 0;
+  std::uint8_t vc = 0;
+
+  bool operator==(const Channel&) const = default;
+};
+
 struct DeadlockReport {
   bool deadlock_free = true;
-  /// One cycle of link ids witnessing the problem (empty when free).
-  std::vector<std::uint32_t> cycle;
+  /// One cycle of channels witnessing the problem (empty when free).
+  std::vector<Channel> cycle;
 
   std::string to_string(const Topology& topo) const;
 };
 
-/// Builds the channel dependency graph induced by `tables` and searches it
-/// for cycles. Channels are the topology's switch-to-switch links (NI
-/// injection/ejection channels cannot participate in cycles and are
-/// excluded).
+/// Builds the channel dependency graph induced by `tables` under `policy`
+/// and searches it for cycles. Channels are (switch-to-switch link, lane)
+/// pairs (NI injection/ejection channels cannot participate in cycles and
+/// are excluded). The default policy is the seed's single-lane network.
 DeadlockReport check_deadlock(const Topology& topo,
-                              const RoutingTables& tables);
+                              const RoutingTables& tables,
+                              const VcPolicy& policy = {});
 
 }  // namespace xpl::topology

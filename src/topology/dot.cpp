@@ -37,11 +37,11 @@ std::string to_dot(const Topology& topo, const DotOptions& options) {
     bool duplex = false;
     if (options.collapse_duplex) {
       if (drawn.count({link.to, link.from})) continue;  // already drawn
-      // Is there a reverse link with the same depth?
+      // Is there a reverse link with the same depth and annotations?
       for (std::uint32_t r = 0; r < topo.num_links(); ++r) {
         const Link& rev = topo.link(r);
         if (rev.from == link.to && rev.to == link.from &&
-            rev.stages == link.stages) {
+            rev.stages == link.stages && rev.dateline == link.dateline) {
           duplex = true;
           break;
         }
@@ -50,10 +50,24 @@ std::string to_dot(const Topology& topo, const DotOptions& options) {
     drawn.insert({link.from, link.to});
     os << "  sw" << link.from << " -> sw" << link.to;
     os << " [";
-    if (duplex) os << "dir=both";
+    bool first = true;
+    auto attr = [&os, &first](const std::string& a) {
+      if (!first) os << ", ";
+      os << a;
+      first = false;
+    };
+    if (duplex) attr("dir=both");
+    // Label: pipeline depth and (when multi-lane) the per-link VC count.
+    std::string label;
     if (options.label_stages && link.stages > 0) {
-      os << (duplex ? ", " : "") << "label=\"" << link.stages << "\"";
+      label = std::to_string(link.stages);
     }
+    if (options.vcs > 1) {
+      if (!label.empty()) label += "/";
+      label += std::to_string(options.vcs) + "vc";
+    }
+    if (!label.empty()) attr("label=\"" + label + "\"");
+    if (options.show_datelines && link.dateline) attr("style=dashed");
     os << "];\n";
   }
   os << "}\n";

@@ -16,6 +16,13 @@ struct DotOptions {
   bool show_nis = true;          ///< draw NI nodes and attachment edges
   bool collapse_duplex = true;   ///< one edge per duplex pair
   bool label_stages = true;      ///< annotate pipelined links
+  /// Lanes per link (noc::NetworkConfig::vcs): when > 1 every link edge
+  /// is annotated with its VC count, so diagrams show the lane budget
+  /// datelines rely on.
+  std::size_t vcs = 1;
+  /// Render dateline links dashed (the torus/ring wrap links a minimal
+  /// route crosses with a lane bump).
+  bool show_datelines = true;
 };
 
 std::string to_dot(const Topology& topo, const DotOptions& options = {});

@@ -68,10 +68,39 @@ Topology make_torus(std::size_t width, std::size_t height, const NiPlan& plan,
   auto at = [width](std::size_t x, std::size_t y) {
     return static_cast<std::uint32_t>(y * width + x);
   };
+  // VC annotations for dateline minimal routing: x links are class 0, y
+  // links class 1 (minimal routes go x-then-y), and the wrap-around link
+  // of each ring direction is its dateline.
+  //
+  // Links are inserted one direction at a time (+x, -x, +y, -y) so that
+  // from every switch the positive direction carries the smaller link id:
+  // the deterministic router then resolves equal-distance ties to one
+  // uniform rotation, like a hardware DOR router's fixed tie bit. Mixed
+  // tie directions on even-sized tori can accidentally leave the no-VC
+  // channel-dependency graph acyclic, masking the wrap-cycle hazard the
+  // dateline lanes exist to break.
   for (std::size_t y = 0; y < height; ++y) {
     for (std::size_t x = 0; x < width; ++x) {
-      topo.add_duplex(at(x, y), at((x + 1) % width, y), link_stages);
-      topo.add_duplex(at(x, y), at(x, (y + 1) % height), link_stages);
+      topo.add_link(at(x, y), at((x + 1) % width, y), link_stages,
+                    /*vc_class=*/0, /*dateline=*/x + 1 == width);
+    }
+  }
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      topo.add_link(at((x + 1) % width, y), at(x, y), link_stages,
+                    /*vc_class=*/0, /*dateline=*/x + 1 == width);
+    }
+  }
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      topo.add_link(at(x, y), at(x, (y + 1) % height), link_stages,
+                    /*vc_class=*/1, /*dateline=*/y + 1 == height);
+    }
+  }
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      topo.add_link(at(x, (y + 1) % height), at(x, y), link_stages,
+                    /*vc_class=*/1, /*dateline=*/y + 1 == height);
     }
   }
   attach_plan(topo, plan);
@@ -83,9 +112,12 @@ Topology make_ring(std::size_t count, const NiPlan& plan,
   require(count >= 3, "make_ring: need at least 3 switches");
   Topology topo;
   for (std::size_t i = 0; i < count; ++i) topo.add_switch();
+  // The wrap-around pair closes both unidirectional ring cycles; mark it
+  // as the dateline so minimal routes can break them with a lane bump.
   for (std::size_t i = 0; i < count; ++i) {
     topo.add_duplex(static_cast<std::uint32_t>(i),
-                    static_cast<std::uint32_t>((i + 1) % count), link_stages);
+                    static_cast<std::uint32_t>((i + 1) % count), link_stages,
+                    /*vc_class=*/0, /*dateline=*/i + 1 == count);
   }
   attach_plan(topo, plan);
   return topo;
@@ -110,13 +142,20 @@ Topology make_spidergon(std::size_t count, const NiPlan& plan,
           "make_spidergon: need an even count >= 4");
   Topology topo;
   for (std::size_t i = 0; i < count; ++i) topo.add_switch();
+  // VC annotations mirror the classic spidergon "across-first" scheme:
+  // cross links are class 0 and ring links class 1, so minimal routes take
+  // the (at most one) cross hop before walking the ring, and ring wrap
+  // datelines break the two ring cycles exactly as in make_ring. Cross
+  // links then have no incoming ring dependencies and cannot cycle.
   for (std::size_t i = 0; i < count; ++i) {
     topo.add_duplex(static_cast<std::uint32_t>(i),
-                    static_cast<std::uint32_t>((i + 1) % count), link_stages);
+                    static_cast<std::uint32_t>((i + 1) % count), link_stages,
+                    /*vc_class=*/1, /*dateline=*/i + 1 == count);
   }
   for (std::size_t i = 0; i < count / 2; ++i) {
     topo.add_duplex(static_cast<std::uint32_t>(i),
-                    static_cast<std::uint32_t>(i + count / 2), link_stages);
+                    static_cast<std::uint32_t>(i + count / 2), link_stages,
+                    /*vc_class=*/0, /*dateline=*/false);
   }
   attach_plan(topo, plan);
   return topo;

@@ -24,47 +24,95 @@ namespace {
 // byte-identical to what the unindexed code produced. Built once per
 // compute_route / compute_all_routes call instead of rescanning all L
 // links for every visited switch (which made each route O(S*L) and
-// compute_all_routes worse than quadratic on large meshes).
-using Adjacency = std::vector<std::vector<std::uint32_t>>;
+// compute_all_routes worse than quadratic on large meshes). The sorted
+// distinct vc_class table rides along for the same reason: class-
+// monotone BFS needs it per path, not per all-pairs table.
+struct Adjacency {
+  std::vector<std::vector<std::uint32_t>> out;  ///< link ids per switch
+  std::vector<std::uint8_t> classes;            ///< sorted distinct classes
+};
 
 Adjacency build_adjacency(const Topology& topo) {
-  Adjacency adj(topo.num_switches());
+  Adjacency adj;
+  adj.out.resize(topo.num_switches());
   for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
-    adj[topo.link(l).from].push_back(l);
+    adj.out[topo.link(l).from].push_back(l);
+    adj.classes.push_back(topo.link(l).vc_class);
   }
+  std::sort(adj.classes.begin(), adj.classes.end());
+  adj.classes.erase(std::unique(adj.classes.begin(), adj.classes.end()),
+                    adj.classes.end());
   return adj;
 }
 
 // BFS over switches; returns the link ids of a shortest path from_sw ->
 // to_sw (empty if from_sw == to_sw). Deterministic: links are explored in
 // insertion order.
+//
+// Paths are *class-monotone*: links are traversed in non-decreasing
+// vc_class order, the structure the dateline lane discipline needs (torus
+// routes go x-then-y, spidergon routes take the cross link first). On a
+// topology whose links all share one class — every mesh, ring, star, tree
+// and custom topology without annotations — the phase dimension collapses
+// and this is byte-for-byte the plain BFS the seed shipped. On annotated
+// topologies (make_torus, make_spidergon) class-monotone shortest paths
+// have the same length as unconstrained ones: the dimensions of a torus
+// displace independently, and a spidergon cross hop commutes with ring
+// hops.
 std::vector<std::uint32_t> bfs_path(const Topology& topo,
                                     const Adjacency& adj,
                                     std::uint32_t from_sw,
                                     std::uint32_t to_sw) {
   const std::size_t n = topo.num_switches();
-  std::vector<std::int64_t> via_link(n, -1);
-  std::vector<bool> seen(n, false);
-  std::deque<std::uint32_t> queue{from_sw};
-  seen[from_sw] = true;
-  while (!queue.empty() && !seen[to_sw]) {
-    const std::uint32_t s = queue.front();
+
+  // Phase = index of the last-taken link's class in the precomputed
+  // distinct-class table. One class (the common case) keeps the state
+  // space at n.
+  const std::vector<std::uint8_t>& classes = adj.classes;
+  const std::size_t phases = std::max<std::size_t>(classes.size(), 1);
+  auto phase_of = [&](std::uint8_t cls) {
+    return static_cast<std::size_t>(
+        std::lower_bound(classes.begin(), classes.end(), cls) -
+        classes.begin());
+  };
+
+  auto idx = [&](std::uint32_t sw, std::size_t phase) {
+    return sw * phases + phase;
+  };
+  // -2 unseen, -1 start; otherwise packed (predecessor state, link).
+  std::vector<std::int64_t> via(n * phases, -2);
+  std::deque<std::pair<std::uint32_t, std::size_t>> queue;
+  queue.emplace_back(from_sw, 0);  // phase 0 = lowest class: allows any link
+  via[idx(from_sw, 0)] = -1;
+  std::int64_t final_state = -1;
+  while (!queue.empty()) {
+    const auto [s, phase] = queue.front();
     queue.pop_front();
-    for (const std::uint32_t l : adj[s]) {
+    if (s == to_sw) {
+      final_state = static_cast<std::int64_t>(idx(s, phase));
+      break;
+    }
+    for (const std::uint32_t l : adj.out[s]) {
       const Link& link = topo.link(l);
-      if (!seen[link.to]) {
-        seen[link.to] = true;
-        via_link[link.to] = l;
-        queue.push_back(link.to);
+      const std::size_t link_phase = phase_of(link.vc_class);
+      if (link_phase < phase) continue;  // class order is non-decreasing
+      if (via[idx(link.to, link_phase)] == -2) {
+        via[idx(link.to, link_phase)] =
+            static_cast<std::int64_t>(idx(s, phase)) * 0x100000000ll +
+            static_cast<std::int64_t>(l);
+        queue.emplace_back(link.to, link_phase);
       }
     }
   }
-  require(seen[to_sw], "compute_route: destination switch unreachable");
+  require(final_state >= 0,
+          "compute_route: destination switch unreachable by a "
+          "class-monotone path");
   std::vector<std::uint32_t> path;
-  for (std::uint32_t s = to_sw; s != from_sw;) {
-    const auto l = static_cast<std::uint32_t>(via_link[s]);
-    path.push_back(l);
-    s = topo.link(l).from;
+  std::int64_t state = final_state;
+  while (via[static_cast<std::size_t>(state)] != -1) {
+    const std::int64_t packed = via[static_cast<std::size_t>(state)];
+    path.push_back(static_cast<std::uint32_t>(packed & 0xFFFFFFFFll));
+    state = packed >> 32;
   }
   std::reverse(path.begin(), path.end());
   return path;
@@ -86,7 +134,7 @@ std::vector<std::uint32_t> xy_path(const Topology& topo,
     const int want = x_dim ? (goal.x > here.x ? 1 : goal.x < here.x ? -1 : 0)
                            : (goal.y > here.y ? 1 : goal.y < here.y ? -1 : 0);
     if (want == 0) return false;
-    for (const std::uint32_t l : adj[cur]) {
+    for (const std::uint32_t l : adj.out[cur]) {
       const Link& link = topo.link(l);
       const SwitchNode& next = topo.switch_node(link.to);
       const int dx = next.x - here.x;
@@ -130,7 +178,7 @@ std::vector<std::uint32_t> updown_path(const Topology& topo,
     while (!queue.empty()) {
       const std::uint32_t s = queue.front();
       queue.pop_front();
-      for (const std::uint32_t l : adj[s]) {
+      for (const std::uint32_t l : adj.out[s]) {
         const Link& link = topo.link(l);
         if (level[link.to] == static_cast<std::size_t>(-1)) {
           level[link.to] = level[s] + 1;
@@ -161,7 +209,7 @@ std::vector<std::uint32_t> updown_path(const Topology& topo,
       final_state = static_cast<std::int64_t>(idx(s, phase));
       break;
     }
-    for (const std::uint32_t l : adj[s]) {
+    for (const std::uint32_t l : adj.out[s]) {
       const Link& link = topo.link(l);
       const bool up = is_up(link);
       if (phase == 1 && up) continue;  // no up after down
@@ -264,6 +312,37 @@ RoutingTables compute_all_routes(const Topology& topo,
     }
   }
   return tables;
+}
+
+std::vector<std::uint8_t> dateline_route_vcs(const Topology& topo,
+                                             std::uint32_t src,
+                                             const Route& route,
+                                             std::size_t vcs) {
+  std::vector<std::uint8_t> lanes;
+  std::uint32_t cur = topo.ni(src).switch_id;
+  std::int64_t prev_link = -1;
+  std::uint8_t vc = 0;
+  for (std::size_t hop = 0; hop < route.size(); ++hop) {
+    const auto ports = topo.output_ports(cur);
+    require(route[hop] < ports.size(),
+            "dateline_route_vcs: selector out of range");
+    const PortRef& ref = ports[route[hop]];
+    if (ref.kind == PortRef::Kind::kNi) break;  // ejection keeps the lane
+    const Link& link = topo.link(ref.id);
+    if (prev_link < 0 ||
+        topo.link(static_cast<std::uint32_t>(prev_link)).vc_class !=
+            link.vc_class) {
+      vc = 0;  // injection or routing-phase change: back to lane 0
+    }
+    if (link.dateline) ++vc;
+    require(vc < vcs, "dateline_route_vcs: route needs lane " +
+                          std::to_string(int(vc)) + " but the network has " +
+                          std::to_string(vcs) + " lane(s)");
+    lanes.push_back(vc);
+    prev_link = ref.id;
+    cur = link.to;
+  }
+  return lanes;
 }
 
 std::vector<std::uint32_t> route_switch_path(const Topology& topo,

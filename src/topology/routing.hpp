@@ -58,4 +58,18 @@ std::vector<std::uint32_t> route_switch_path(const Topology& topo,
                                              std::uint32_t src,
                                              const Route& route);
 
+/// Lane (virtual channel) of each switch-to-switch link a route traverses
+/// under the dateline discipline: a packet starts on lane 0, resets to
+/// lane 0 whenever the link vc_class changes, and bumps one lane when it
+/// crosses a dateline link. This is the exact rule every switch applies
+/// locally (switchlib::SwitchConfig::VcMap::kDateline), so the deadlock
+/// checker can analyse the channels the hardware will actually use. The
+/// returned vector parallels the route's link hops (the final ejection
+/// hop, which exits to an NI, is excluded). Throws xpl::Error if any hop
+/// needs a lane >= vcs.
+std::vector<std::uint8_t> dateline_route_vcs(const Topology& topo,
+                                             std::uint32_t src,
+                                             const Route& route,
+                                             std::size_t vcs);
+
 }  // namespace xpl::topology

@@ -12,19 +12,28 @@ std::uint32_t Topology::add_switch(std::string name) {
 }
 
 std::uint32_t Topology::add_link(std::uint32_t from, std::uint32_t to,
-                                 std::size_t stages) {
+                                 std::size_t stages, std::uint8_t vc_class,
+                                 bool dateline) {
   require(from < switches_.size() && to < switches_.size(),
           "Topology::add_link: switch id out of range");
   require(from != to, "Topology::add_link: self-loops are not allowed");
   const auto id = static_cast<std::uint32_t>(links_.size());
-  links_.push_back(Link{from, to, stages});
+  links_.push_back(Link{from, to, stages, vc_class, dateline});
   return id;
 }
 
 void Topology::add_duplex(std::uint32_t a, std::uint32_t b,
-                          std::size_t stages) {
-  add_link(a, b, stages);
-  add_link(b, a, stages);
+                          std::size_t stages, std::uint8_t vc_class,
+                          bool dateline) {
+  add_link(a, b, stages, vc_class, dateline);
+  add_link(b, a, stages, vc_class, dateline);
+}
+
+bool Topology::has_datelines() const {
+  for (const Link& l : links_) {
+    if (l.dateline) return true;
+  }
+  return false;
 }
 
 std::uint32_t Topology::attach_initiator(std::uint32_t switch_id,

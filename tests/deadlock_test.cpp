@@ -89,6 +89,49 @@ TEST(Deadlock, BidirectionalRingShortestPathCycles) {
   EXPECT_FALSE(report.deadlock_free);
 }
 
+TEST(Deadlock, VcAwareCheckerMatchesSeedAtOneLane) {
+  // The (link, vc) graph with one lane is exactly the seed's link graph:
+  // same verdicts on a free and on a cycling case.
+  const auto mesh = make_mesh(3, 3, NiPlan::uniform(9, 1, 1));
+  const auto mesh_sp =
+      compute_all_routes(mesh, RoutingAlgorithm::kShortestPath);
+  EXPECT_TRUE(check_deadlock(mesh, mesh_sp, VcPolicy{1, false})
+                  .deadlock_free);
+
+  const auto ring = make_ring(6, NiPlan::uniform(6, 1, 1));
+  const auto ring_sp =
+      compute_all_routes(ring, RoutingAlgorithm::kShortestPath);
+  EXPECT_FALSE(check_deadlock(ring, ring_sp, VcPolicy{1, false})
+                   .deadlock_free);
+}
+
+TEST(Deadlock, DatelineBreaksRingAndTorusCycles) {
+  for (auto topo : {make_ring(8, NiPlan::uniform(8, 1, 1)),
+                    make_torus(4, 4, NiPlan::uniform(16, 1, 1)),
+                    make_spidergon(8, NiPlan::uniform(8, 1, 1))}) {
+    const auto tables =
+        compute_all_routes(topo, RoutingAlgorithm::kShortestPath);
+    const auto p2 =
+        make_vc_policy(topo, RoutingAlgorithm::kShortestPath, 2);
+    EXPECT_TRUE(p2.dateline);
+    EXPECT_TRUE(check_deadlock(topo, tables, p2).deadlock_free);
+  }
+}
+
+TEST(Deadlock, CycleReportNamesLanes) {
+  const auto ring = make_ring(6, NiPlan::uniform(6, 1, 1));
+  const auto tables =
+      compute_all_routes(ring, RoutingAlgorithm::kShortestPath);
+  // Two lanes *without* the dateline discipline: the cycle survives in
+  // both lane copies and the report names a concrete (link, lane) cycle.
+  const auto report =
+      check_deadlock(ring, tables, VcPolicy{2, /*dateline=*/false});
+  ASSERT_FALSE(report.deadlock_free);
+  EXPECT_GE(report.cycle.size(), 2u);
+  for (const auto& ch : report.cycle) EXPECT_LT(ch.vc, 2);
+  EXPECT_NE(report.to_string(ring).find("cycle"), std::string::npos);
+}
+
 TEST(Deadlock, ReportPrintsFreeForCleanTables) {
   const auto t = make_mesh(2, 2, NiPlan::uniform(4, 1, 1));
   const auto tables = compute_all_routes(t, RoutingAlgorithm::kXY);

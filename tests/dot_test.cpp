@@ -26,15 +26,46 @@ TEST(Dot, ContainsAllSwitchesAndNis) {
 
 TEST(Dot, DuplexPairsCollapse) {
   const auto topo = make_ring(4, NiPlan::uniform(4, 1, 0));
-  const std::string dot = to_dot(topo);
-  // 8 directed links collapse to 4 double-headed edges.
+  DotOptions options;
+  options.show_nis = false;  // NI edges also render dir=both
+  const std::string dot = to_dot(topo, options);
+  // 8 directed links collapse to 4 double-headed edges (the dateline wrap
+  // pair carries an extra style attribute).
   std::size_t edges = 0;
   std::size_t pos = 0;
-  while ((pos = dot.find("dir=both]", pos)) != std::string::npos) {
+  while ((pos = dot.find("dir=both", pos)) != std::string::npos) {
     ++edges;
     ++pos;
   }
   EXPECT_EQ(edges, 4u);
+}
+
+TEST(Dot, DatelineLinksDashed) {
+  const auto topo = make_ring(4, NiPlan::uniform(4, 1, 0));
+  DotOptions options;
+  options.show_nis = false;  // NI attachment edges are dashed by style
+  const std::string dot = to_dot(topo, options);
+  // Exactly one collapsed edge — the ring's wrap pair — renders dashed.
+  std::size_t dashed = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find("style=dashed", pos)) != std::string::npos) {
+    ++dashed;
+    ++pos;
+  }
+  EXPECT_EQ(dashed, 1u);
+
+  options.show_datelines = false;
+  EXPECT_EQ(to_dot(topo, options).find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, VcCountLabelled) {
+  const auto topo = make_torus(3, 3, NiPlan::uniform(9, 1, 0));
+  DotOptions options;
+  options.vcs = 2;
+  const std::string dot = to_dot(topo, options);
+  EXPECT_NE(dot.find("label=\"2vc\""), std::string::npos);
+  // Single-lane diagrams stay free of lane annotations.
+  EXPECT_EQ(to_dot(topo).find("vc"), std::string::npos);
 }
 
 TEST(Dot, NoCollapseKeepsEveryLink) {

@@ -16,7 +16,9 @@ switchlib::SwitchConfig switch_config(std::size_t n_in, std::size_t n_out,
   cfg.num_outputs = n_out;
   cfg.flit_width = flit_width;
   cfg.port_bits = 3;
-  cfg.route_bits = std::min<std::size_t>(24, flit_width);
+  // Whole hop selectors only (SwitchConfig::validate()'s rule).
+  cfg.route_bits =
+      std::min<std::size_t>(24, flit_width / cfg.port_bits * cfg.port_bits);
   cfg.protocol = link::ProtocolConfig::for_link(0);
   return cfg;
 }

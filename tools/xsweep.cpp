@@ -17,6 +17,9 @@
 //     --bench-json <path>  write a BENCH_*.json campaign summary
 //                          (wall clock, points/s) for perf tracking
 //     --pareto             print only the Pareto front
+//     --check-deadlock     run the VC-aware channel-dependency checker on
+//                          every point (no simulation) and exit nonzero
+//                          with the offending cycle if any can deadlock
 //     --print-spec         echo the canonical specification and exit
 //     --list-apps          list the embedded app benchmarks and exit
 //     --quiet              suppress per-point progress lines
@@ -31,6 +34,7 @@
 
 #include "src/sweep/runner.hpp"
 #include "src/sweep/spec.hpp"
+#include "src/topology/deadlock.hpp"
 #include "src/workload/benchmarks.hpp"
 
 namespace {
@@ -39,8 +43,38 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <campaign.sweep> [--jobs N] [--csv <path>]\n"
                "          [--json <path>] [--bench-json <path>] [--pareto]\n"
-               "          [--print-spec] [--list-apps] [--quiet]\n",
+               "          [--check-deadlock] [--print-spec] [--list-apps]\n"
+               "          [--quiet]\n",
                argv0);
+}
+
+/// `--check-deadlock`: pre-flight every campaign point through the
+/// VC-aware channel-dependency-graph checker — seconds instead of a
+/// campaign that silently hangs at saturation. Returns the number of
+/// points whose routes can deadlock.
+std::size_t check_deadlock_all(const xpl::sweep::SweepSpec& spec,
+                               bool quiet) {
+  using namespace xpl;
+  std::size_t bad = 0;
+  for (const sweep::SweepPoint& point : spec.points()) {
+    const topology::Topology topo = point.build_topology();
+    const auto tables =
+        topology::compute_all_routes(topo, point.net.routing);
+    const auto policy =
+        topology::make_vc_policy(topo, point.net.routing, point.net.vcs);
+    const auto report = topology::check_deadlock(topo, tables, policy);
+    if (!report.deadlock_free) {
+      ++bad;
+      std::printf("DEADLOCK %-28s %s\n", point.label().c_str(),
+                  report.to_string(topo).c_str());
+    } else if (!quiet) {
+      std::printf("ok       %-28s (%zu lane%s, %s)\n",
+                  point.label().c_str(), point.net.vcs,
+                  point.net.vcs == 1 ? "" : "s",
+                  policy.dateline ? "dateline" : "lane-preserving");
+    }
+  }
+  return bad;
 }
 
 /// `--list-apps`: the benchmarks a `pattern app:<name>` axis accepts.
@@ -70,6 +104,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;
   bool pareto_only = false;
   bool print_spec = false;
+  bool check_deadlock = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +126,8 @@ int main(int argc, char** argv) {
       bench_json_path = next();
     } else if (arg == "--pareto") {
       pareto_only = true;
+    } else if (arg == "--check-deadlock") {
+      check_deadlock = true;
     } else if (arg == "--print-spec") {
       print_spec = true;
     } else if (arg == "--list-apps") {
@@ -121,6 +158,12 @@ int main(int argc, char** argv) {
     if (print_spec) {
       std::fputs(sweep::write_sweep(spec).c_str(), stdout);
       return 0;
+    }
+    if (check_deadlock) {
+      const std::size_t bad = check_deadlock_all(spec, quiet);
+      std::printf("%zu/%zu points deadlock-free\n",
+                  spec.num_points() - bad, spec.num_points());
+      return bad == 0 ? 0 : 1;
     }
 
     sweep::SweepRunner runner(jobs);
