@@ -3,6 +3,12 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--fail-below PCT]
+    bench_compare.py --auto-baseline CURRENT.json [--fail-below PCT]
+
+With --auto-baseline the baseline is the committed BENCH_pr<N>.json with
+the highest N (searched next to this script's repo root, or in
+--baseline-dir). CI uses this mode so the comparison step never needs a
+hand-bumped filename when a new PR lands its record.
 
 Both files follow the bench_sim_speed / xsweep record shape:
 
@@ -19,8 +25,23 @@ report-only by default so a noisy shared runner cannot block a merge.
 """
 
 import argparse
+import glob
 import json
+import os
+import re
 import sys
+
+
+def newest_committed_baseline(directory):
+    """Returns the BENCH_pr<N>.json with the highest N, or None."""
+    best = None
+    best_n = -1
+    for path in glob.glob(os.path.join(directory, "BENCH_pr*.json")):
+        m = re.fullmatch(r"BENCH_pr(\d+)\.json", os.path.basename(path))
+        if m and int(m.group(1)) > best_n:
+            best_n = int(m.group(1))
+            best = path
+    return best
 
 
 def load_results(path):
@@ -46,8 +67,19 @@ def fmt_rate(value):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
+    parser.add_argument("baseline", nargs="?", default=None)
     parser.add_argument("current")
+    parser.add_argument(
+        "--auto-baseline",
+        action="store_true",
+        help="baseline = committed BENCH_pr<N>.json with the highest N",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        metavar="DIR",
+        help="where --auto-baseline searches (default: the repo root)",
+    )
     parser.add_argument(
         "--fail-below",
         type=float,
@@ -56,6 +88,19 @@ def main():
         help="exit 1 if any matched benchmark regressed more than PCT%%",
     )
     args = parser.parse_args()
+
+    if args.auto_baseline:
+        if args.baseline is not None:
+            parser.error("--auto-baseline replaces the BASELINE argument")
+        directory = args.baseline_dir or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        args.baseline = newest_committed_baseline(directory)
+        if args.baseline is None:
+            print(f"no committed BENCH_pr*.json under {directory}; "
+                  "nothing to compare against")
+            return 0
+    elif args.baseline is None:
+        parser.error("BASELINE argument or --auto-baseline required")
 
     base_kind, base = load_results(args.baseline)
     cur_kind, cur = load_results(args.current)

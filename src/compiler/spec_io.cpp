@@ -129,6 +129,18 @@ NocSpec parse_spec(const std::string& text) {
         fail(lineno, "vcs must be in [1, " +
                          std::to_string(link::kMaxVcs) + "]");
       }
+    } else if (key == "input_fifo") {
+      need(2);
+      spec.net.input_fifo_depth = parse_u64(tokens[1], lineno);
+      if (spec.net.input_fifo_depth < 1) {
+        fail(lineno, "input_fifo depth must be >= 1");
+      }
+    } else if (key == "output_fifo") {
+      need(2);
+      spec.net.output_fifo_depth = parse_u64(tokens[1], lineno);
+      if (spec.net.output_fifo_depth < 1) {
+        fail(lineno, "output_fifo depth must be >= 1");
+      }
     } else if (key == "extra_pipeline") {
       need(2);
       spec.net.extra_switch_pipeline = parse_u64(tokens[1], lineno);
@@ -149,16 +161,35 @@ NocSpec parse_spec(const std::string& text) {
             static_cast<int>(parse_u64(tokens[4], lineno));
       }
     } else if (key == "link") {
-      if (tokens.size() != 3 && tokens.size() != 5) {
-        fail(lineno, "'link' expects: link <from> <to> [stages <n>]");
+      if (tokens.size() < 3) {
+        fail(lineno,
+             "'link' expects: link <from> <to> [stages <n>] [class <k>] "
+             "[dateline]");
       }
       std::size_t stages = 0;
-      if (tokens.size() == 5) {
-        if (tokens[3] != "stages") fail(lineno, "expected 'stages'");
-        stages = parse_u64(tokens[4], lineno);
+      std::uint8_t vc_class = 0;
+      bool dateline = false;
+      for (std::size_t t = 3; t < tokens.size();) {
+        if (tokens[t] == "stages") {
+          if (t + 1 >= tokens.size()) fail(lineno, "'stages' expects a value");
+          stages = parse_u64(tokens[t + 1], lineno);
+          t += 2;
+        } else if (tokens[t] == "class") {
+          if (t + 1 >= tokens.size()) fail(lineno, "'class' expects a value");
+          const std::uint64_t k = parse_u64(tokens[t + 1], lineno);
+          if (k > 255) fail(lineno, "link class must be in [0, 255]");
+          vc_class = static_cast<std::uint8_t>(k);
+          t += 2;
+        } else if (tokens[t] == "dateline") {
+          dateline = true;
+          t += 1;
+        } else {
+          fail(lineno, "unknown link annotation '" + tokens[t] + "'");
+        }
       }
       spec.topo.add_link(switch_id(tokens[1], lineno),
-                         switch_id(tokens[2], lineno), stages);
+                         switch_id(tokens[2], lineno), stages, vc_class,
+                         dateline);
     } else if (key == "initiator" || key == "target") {
       need(4);
       if (tokens[2] != "at") fail(lineno, "expected 'at'");
@@ -209,6 +240,14 @@ std::string write_spec(const NocSpec& spec) {
   if (spec.net.vcs != 1) {
     os << "vcs " << spec.net.vcs << "\n";
   }
+  // Buffer depths follow the conditional-emission discipline of flow/vcs:
+  // written only off-default, so legacy canonical specs never change.
+  if (spec.net.input_fifo_depth != 2) {
+    os << "input_fifo " << spec.net.input_fifo_depth << "\n";
+  }
+  if (spec.net.output_fifo_depth != 4) {
+    os << "output_fifo " << spec.net.output_fifo_depth << "\n";
+  }
   if (spec.net.extra_switch_pipeline != 0) {
     os << "extra_pipeline " << spec.net.extra_switch_pipeline << "\n";
   }
@@ -225,6 +264,10 @@ std::string write_spec(const NocSpec& spec) {
     os << "link " << spec.topo.switch_node(link.from).name << " "
        << spec.topo.switch_node(link.to).name;
     if (link.stages != 0) os << " stages " << link.stages;
+    if (link.vc_class != 0) {
+      os << " class " << static_cast<unsigned>(link.vc_class);
+    }
+    if (link.dateline) os << " dateline";
     os << "\n";
   }
   for (std::uint32_t n = 0; n < spec.topo.num_nis(); ++n) {

@@ -17,11 +17,23 @@
 //   routing xy            # xy | shortest | updown
 //   arbiter rr            # rr | fixed
 //   crc crc8              # none | parity | crc8 | crc16
+//   flow credit           # ack_nack | credit (default ack_nack)
+//   vcs 2                 # virtual channels per link (default 1)
+//   input_fifo 2          # switch input buffer depth (default 2)
+//   output_fifo 4         # switch output queue depth (default 4)
 //   switch sw_0_0 coord 0 0
 //   switch hub
 //   link sw_0_0 hub stages 2
+//   link hub sw_0_0 class 1 dateline   # VC routing annotations
 //   initiator cpu0 at sw_0_0
 //   target mem0 at hub
+//
+// `flow`, `vcs`, `input_fifo`, `output_fifo` and the link `class` /
+// `dateline` annotations are written only when they differ from their
+// defaults, so pre-existing canonical specs stay byte-identical. The
+// annotations make generator-built multi-lane topologies (and the
+// configurations xtune emits) fully self-describing: a written spec
+// re-simulates exactly.
 #pragma once
 
 #include <string>

@@ -1,0 +1,54 @@
+// Resumable campaigns: the checkpoint sidecar.
+//
+// A checkpoint captures everything needed to continue an interrupted
+// grid campaign: the canonical spec text (so `xsweep --resume <ckpt>`
+// needs no other input and can refuse a mismatched spec) and every
+// result produced so far, keyed by campaign index. Because a point's
+// identity and RNG seeds derive from the spec and its grid cell alone
+// (spec.hpp), a resumed campaign's exports are byte-identical to an
+// uninterrupted run at any --jobs — the golden suite pins this.
+//
+// The sidecar is a versioned line-oriented text format (docs/FORMATS.md
+// §5). Doubles are stored as C99 hexfloats (%a), which round-trip IEEE
+// values exactly — the restored table reproduces the CSV/JSON bytes the
+// uninterrupted run would have produced. save_checkpoint writes via a
+// temp file + rename so a kill mid-write never corrupts the sidecar.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sweep/result.hpp"
+#include "src/sweep/spec.hpp"
+
+namespace xpl::sweep {
+
+struct Checkpoint {
+  /// Canonical campaign spec (write_sweep form) — embedded so resume is
+  /// self-contained and spec drift is detectable.
+  std::string spec_text;
+  /// Total campaign points (spec.num_points() at save time).
+  std::size_t num_points = 0;
+  /// Evaluated rows in campaign-index order. Points are not serialized:
+  /// each row's SweepPoint is re-derived from the spec by index on load.
+  std::vector<SweepResult> results;
+};
+
+/// Snapshot of a (possibly partial) table: keeps only evaluated rows.
+Checkpoint make_checkpoint(const SweepSpec& spec, const ResultTable& table);
+
+/// Parses the embedded spec, verifies it round-trips to the stored bytes
+/// and matches num_points, and rebinds every stored row to its re-derived
+/// SweepPoint. Throws xpl::Error on version/shape mismatch.
+SweepSpec checkpoint_spec(Checkpoint& ckpt);
+
+std::string write_checkpoint(const Checkpoint& ckpt);
+/// Throws xpl::Error with a line number on malformed input.
+Checkpoint parse_checkpoint(const std::string& text);
+
+Checkpoint load_checkpoint(const std::string& path);
+/// Atomic: writes `<path>.tmp` then renames over `path`.
+void save_checkpoint(const Checkpoint& ckpt, const std::string& path);
+
+}  // namespace xpl::sweep

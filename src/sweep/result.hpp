@@ -21,6 +21,11 @@ namespace xpl::sweep {
 struct SweepResult {
   SweepPoint point;
   bool ok = false;
+  /// True once the point has actually been simulated (run_point) or
+  /// restored from a campaign checkpoint — distinguishes a *failed* row
+  /// (ok == false, evaluated) from a *pending* one in a halted resumable
+  /// campaign. Not exported.
+  bool evaluated = false;
   std::string error;
 
   // Simulation view.

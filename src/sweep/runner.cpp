@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/compiler/compiler.hpp"
 #include "src/traffic/stats.hpp"
 #include "src/traffic/traffic.hpp"
@@ -104,6 +105,7 @@ void SweepRunner::run_indexed(
 SweepResult SweepRunner::run_point(const SweepPoint& point) {
   SweepResult result;
   result.point = point;
+  result.evaluated = true;
   try {
     compiler::NocSpec spec;
     spec.name = point.label();
@@ -150,6 +152,11 @@ SweepResult SweepRunner::run_point(const SweepPoint& point) {
 }
 
 ResultTable SweepRunner::run(const SweepSpec& spec) const {
+  return run(spec, RunOptions{});
+}
+
+ResultTable SweepRunner::run(const SweepSpec& spec,
+                             const RunOptions& opts) const {
   spec.validate();
   const auto points = spec.points();
   ResultTable table(points.size());
@@ -163,13 +170,68 @@ ResultTable SweepRunner::run(const SweepSpec& spec) const {
     table.mark_vcs_axis();
   }
 
+  // Seed the table with previously evaluated rows (resume path). The
+  // restored rows were produced by the same deterministic pipeline, so
+  // the finished table cannot differ from an uninterrupted run.
+  std::vector<std::size_t> pending;
+  if (opts.resume != nullptr) {
+    for (const SweepResult& done : *opts.resume) {
+      require(done.evaluated, "SweepRunner: resume row not evaluated");
+      require(done.point.index < points.size(),
+              "SweepRunner: resume row index out of range");
+      table.set(done);
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!table.row(i).evaluated) pending.push_back(i);
+    }
+  } else {
+    pending.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) pending[i] = i;
+  }
+
   std::mutex table_mutex;
-  run_indexed(points.size(), [&](std::size_t i) {
-    SweepResult result = run_point(points[i]);
+  std::size_t completed = 0;
+  run_indexed(pending.size(), [&](std::size_t k) {
+    if (opts.halt_after != 0) {
+      // Controlled interruption: stop picking up new work once the
+      // threshold is reached (in-flight jobs still land in the table).
+      std::lock_guard<std::mutex> lock(table_mutex);
+      if (completed >= opts.halt_after) return;
+    }
+    SweepResult result = run_point(points[pending[k]]);
     std::lock_guard<std::mutex> lock(table_mutex);
+    ++completed;
     if (on_result) on_result(result);
     table.set(std::move(result));
+    if (opts.on_progress) opts.on_progress(table);
   });
+  return table;
+}
+
+ResultTable SweepRunner::run_adaptive(Proposer& proposer) const {
+  std::vector<SweepResult> results;
+  for (;;) {
+    std::vector<SweepPoint> batch = proposer.propose(results);
+    if (batch.empty()) break;
+    // Evaluation order is batch order, fixed before any point runs, so
+    // seeds and exports never depend on scheduling.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].index = results.size() + i;
+    }
+    std::vector<SweepResult> batch_results(batch.size());
+    run_indexed(batch.size(), [&](std::size_t i) {
+      batch_results[i] = run_point(batch[i]);
+    });
+    for (SweepResult& r : batch_results) {
+      if (on_result) on_result(r);
+      results.push_back(std::move(r));
+    }
+  }
+
+  ResultTable table(results.size());
+  if (proposer.sweeps_flow()) table.mark_flow_axis();
+  if (proposer.sweeps_vcs()) table.mark_vcs_axis();
+  for (SweepResult& r : results) table.set(std::move(r));
   return table;
 }
 

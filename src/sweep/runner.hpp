@@ -12,11 +12,32 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
+#include "src/sweep/proposer.hpp"
 #include "src/sweep/result.hpp"
 #include "src/sweep/spec.hpp"
 
 namespace xpl::sweep {
+
+/// v2 plumbing for resumable campaigns (see checkpoint.hpp): previously
+/// evaluated rows to reuse, a halt threshold for controlled interruption,
+/// and a progress hook for incremental checkpointing.
+struct RunOptions {
+  /// Rows already evaluated (a checkpoint's results): copied into the
+  /// table verbatim and not re-run. Each row's point.index addresses its
+  /// slot; rows must carry evaluated == true.
+  const std::vector<SweepResult>* resume = nullptr;
+  /// 0 = run to completion. Otherwise stop *scheduling* new points once
+  /// this many have completed in this run; in-flight points still finish,
+  /// so with --jobs > 1 a few extra rows may complete. The returned table
+  /// then holds unevaluated rows — checkpoint it and exit.
+  std::size_t halt_after = 0;
+  /// Invoked (serialized, after on_result) with the partially filled
+  /// table after every newly produced result — the checkpoint writer.
+  /// Never called for rows restored via `resume`.
+  std::function<void(const ResultTable&)> on_progress;
+};
 
 class SweepRunner {
  public:
@@ -31,6 +52,18 @@ class SweepRunner {
 
   /// Runs every point of `spec` and returns the filled table.
   ResultTable run(const SweepSpec& spec) const;
+
+  /// Resumable variant: skips rows supplied by opts.resume, honours
+  /// opts.halt_after, reports progress for checkpointing. The filled
+  /// table is byte-identical to an uninterrupted run(spec) no matter
+  /// where (or how often) the campaign was interrupted, at any --jobs.
+  ResultTable run(const SweepSpec& spec, const RunOptions& opts) const;
+
+  /// Adaptive campaign: the proposer drives point selection from results
+  /// so far (proposer.hpp). Results land in evaluation order — batch
+  /// order within a batch — so adaptive campaigns are as deterministic
+  /// as grid ones for any --jobs.
+  ResultTable run_adaptive(Proposer& proposer) const;
 
   /// Builds, simulates and estimates one point — the unit of work the
   /// pool executes; exposed so tests and custom drivers can run single

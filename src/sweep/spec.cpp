@@ -409,6 +409,13 @@ SweepSpec parse_sweep(const std::string& text) {
     } else if (key == "vcs") {
       need_values();
       spec.vcss = u64_list();
+      for (const std::size_t v : spec.vcss) {
+        if (v < 1 || v > link::kMaxVcs) {
+          fail(lineno, "vcs must be in [1, " +
+                           std::to_string(link::kMaxVcs) + "], got " +
+                           std::to_string(v));
+        }
+      }
     } else if (key == "flow") {
       need_values();
       for (std::size_t t = 1; t < tokens.size(); ++t) {
@@ -433,9 +440,19 @@ SweepSpec parse_sweep(const std::string& text) {
     } else if (key == "burstiness") {
       need_values();
       spec.burstinesses = f64_list();
+      for (const double b : spec.burstinesses) {
+        if (b < 0.0 || b >= 1.0) {
+          fail(lineno, "burstiness must be in [0, 1)");
+        }
+      }
     } else if (key == "injection_rate") {
       need_values();
       spec.injection_rates = f64_list();
+      for (const double r : spec.injection_rates) {
+        if (r < 0.0 || r > 1.0) {
+          fail(lineno, "injection_rate must be in [0, 1]");
+        }
+      }
     } else {
       fail(lineno, "unknown directive '" + key + "'");
     }

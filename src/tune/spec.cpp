@@ -1,0 +1,405 @@
+#include "src/tune/spec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/link/flow.hpp"
+#include "src/sweep/format.hpp"
+#include "src/workload/benchmarks.hpp"
+
+namespace xpl::tune {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw Error("tune line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::uint64_t parse_u64(const std::string& token, std::size_t line) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    fail(line, "bad number '" + token + "'");
+  }
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    if (used != token.size()) fail(line, "bad number '" + token + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + token + "'");
+  }
+}
+
+double parse_f64(const std::string& token, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) fail(line, "bad number '" + token + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + token + "'");
+  }
+}
+
+const std::set<std::string>& known_topologies() {
+  static const std::set<std::string> kinds{"mesh", "torus", "ring", "star",
+                                           "spidergon"};
+  return kinds;
+}
+
+const std::set<std::string>& known_routings() {
+  static const std::set<std::string> kinds{"auto", "minimal", "xy",
+                                           "updown"};
+  return kinds;
+}
+
+}  // namespace
+
+double Objective::score(const sweep::SweepResult& r) const {
+  if (!r.ok) return std::numeric_limits<double>::infinity();
+  return latency * r.avg_latency_cycles + p95 * r.p95_latency_cycles -
+         throughput * r.throughput_tpc + area * r.area_mm2 +
+         power * r.power_mw;
+}
+
+void TuneSpec::validate() const {
+  require(known_topologies().count(topology) != 0,
+          "tune: unknown topology '" + topology + "'");
+  require(!fifo_depths.empty(), "tune: axis 'fifo_depth' is empty");
+  require(!vcss.empty(), "tune: axis 'vcs' is empty");
+  require(!flows.empty(), "tune: axis 'flow' is empty");
+  require(!routings.empty(), "tune: axis 'routing' is empty");
+  for (const std::size_t v : vcss) {
+    require(v >= 1 && v <= link::kMaxVcs,
+            "tune: vcs must be in [1, " + std::to_string(link::kMaxVcs) +
+                "]");
+  }
+  for (const auto& f : flows) link::parse_flow_control(f);  // throws
+  for (const auto& r : routings) {
+    require(known_routings().count(r) != 0,
+            "tune: unknown routing '" + r + "'");
+  }
+  if (pattern.rfind("app:", 0) == 0) {
+    require(workload::is_benchmark(pattern.substr(4)),
+            "tune: unknown app benchmark '" + pattern.substr(4) + "'");
+  } else {
+    require(pattern == "uniform" || pattern == "hotspot" ||
+                pattern == "permutation",
+            "tune: unknown pattern '" + pattern + "'");
+  }
+  require(rate > 0.0 && rate <= 1.0, "tune: rate must be in (0, 1]");
+  require(burstiness >= 0.0 && burstiness < 1.0,
+          "tune: burstiness must be in [0, 1)");
+  require(sim_cycles > 0, "tune: cycles must be > 0");
+  require(warmup < sim_cycles,
+          "tune: warmup must leave a non-empty measurement window");
+  require(budget > 0, "tune: budget must be > 0");
+  const Objective& o = objective;
+  require(o.latency >= 0 && o.p95 >= 0 && o.throughput >= 0 &&
+              o.area >= 0 && o.power >= 0,
+          "tune: objective weights must be >= 0");
+  require(o.latency + o.p95 + o.throughput + o.area + o.power > 0,
+          "tune: objective must have at least one positive weight");
+  if (saturation.enabled) {
+    require(saturation.lo > 0 && saturation.lo < saturation.hi &&
+                saturation.hi <= 1.0,
+            "tune: saturation bracket must satisfy 0 < lo < hi <= 1");
+    require(saturation.rel_tol > 0 && saturation.rel_tol < 1,
+            "tune: saturation tolerance must be in (0, 1)");
+  }
+}
+
+std::size_t TuneSpec::num_configs() const {
+  return fifo_depths.size() * vcss.size() * flows.size() * routings.size();
+}
+
+TuneSpec::ConfigIdx TuneSpec::config_indices(std::size_t c) const {
+  require(c < num_configs(), "tune: config id out of range");
+  ConfigIdx idx;
+  idx.fifo = c % fifo_depths.size();
+  c /= fifo_depths.size();
+  idx.vcs = c % vcss.size();
+  c /= vcss.size();
+  idx.flow = c % flows.size();
+  c /= flows.size();
+  idx.routing = c;
+  return idx;
+}
+
+std::size_t TuneSpec::config_id(const ConfigIdx& idx) const {
+  return ((idx.routing * flows.size() + idx.flow) * vcss.size() + idx.vcs) *
+             fifo_depths.size() +
+         idx.fifo;
+}
+
+sweep::SweepPoint TuneSpec::config_point(std::size_t c) const {
+  const ConfigIdx idx = config_indices(c);
+  // A one-point SweepSpec per config reuses the sweep resolver end to
+  // end (app placement, routing rules, seed derivation). Every config
+  // resolves grid cell 0, so all candidates share the same derived
+  // network/traffic seeds: paired evaluation under identical traffic.
+  sweep::SweepSpec s;
+  s.name = name;
+  s.seed = seed;
+  s.sim_cycles = sim_cycles;
+  s.drain_cycles = drain_cycles;
+  s.target_mhz = target_mhz;
+  s.read_fraction = read_fraction;
+  s.max_burst = max_burst;
+  s.routing = routings[idx.routing];
+  s.topologies = {topology};
+  s.widths = {width};
+  s.heights = {height};
+  s.flit_widths = {flit_width};
+  s.fifo_depths = {fifo_depths[idx.fifo]};
+  s.vcss = {vcss[idx.vcs]};
+  s.flows = {flows[idx.flow]};
+  s.patterns = {pattern};
+  s.warmups = {warmup};
+  s.burstinesses = {burstiness};
+  s.injection_rates = {rate};
+  return s.point(0);
+}
+
+std::string TuneSpec::config_label(std::size_t c) const {
+  const ConfigIdx idx = config_indices(c);
+  std::ostringstream os;
+  os << "q" << fifo_depths[idx.fifo] << "_v" << vcss[idx.vcs] << "_"
+     << flows[idx.flow] << "_" << routings[idx.routing];
+  return os.str();
+}
+
+bool TuneSpec::sweeps_flow() const {
+  return flows.size() > 1 || flows.front() != "ack_nack";
+}
+
+bool TuneSpec::sweeps_vcs() const {
+  return vcss.size() > 1 || vcss.front() != 1;
+}
+
+TuneSpec parse_tune(const std::string& text) {
+  TuneSpec spec;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+
+    auto need = [&](std::size_t n) {
+      if (tokens.size() != n) {
+        fail(lineno, "'" + key + "' expects " + std::to_string(n - 1) +
+                         " argument(s)");
+      }
+    };
+
+    if (key == "tune") {
+      need(2);
+      spec.name = tokens[1];
+    } else if (key == "seed") {
+      need(2);
+      spec.seed = parse_u64(tokens[1], lineno);
+    } else if (key == "cycles") {
+      need(2);
+      spec.sim_cycles = parse_u64(tokens[1], lineno);
+    } else if (key == "drain") {
+      need(2);
+      spec.drain_cycles = parse_u64(tokens[1], lineno);
+    } else if (key == "warmup") {
+      need(2);
+      spec.warmup = parse_u64(tokens[1], lineno);
+    } else if (key == "budget") {
+      need(2);
+      spec.budget = parse_u64(tokens[1], lineno);
+    } else if (key == "rate") {
+      need(2);
+      spec.rate = parse_f64(tokens[1], lineno);
+    } else if (key == "burstiness") {
+      need(2);
+      spec.burstiness = parse_f64(tokens[1], lineno);
+    } else if (key == "read_fraction") {
+      need(2);
+      spec.read_fraction = parse_f64(tokens[1], lineno);
+    } else if (key == "max_burst") {
+      need(2);
+      spec.max_burst =
+          static_cast<std::uint32_t>(parse_u64(tokens[1], lineno));
+    } else if (key == "target_mhz") {
+      need(2);
+      spec.target_mhz = parse_f64(tokens[1], lineno);
+    } else if (key == "objective") {
+      if (tokens.size() < 3 || tokens.size() % 2 == 0) {
+        fail(lineno, "'objective' expects key/weight pairs");
+      }
+      spec.objective = Objective{0, 0, 0, 0, 0};
+      for (std::size_t t = 1; t < tokens.size(); t += 2) {
+        const double w = parse_f64(tokens[t + 1], lineno);
+        if (tokens[t] == "latency") {
+          spec.objective.latency = w;
+        } else if (tokens[t] == "p95") {
+          spec.objective.p95 = w;
+        } else if (tokens[t] == "throughput") {
+          spec.objective.throughput = w;
+        } else if (tokens[t] == "area") {
+          spec.objective.area = w;
+        } else if (tokens[t] == "power") {
+          spec.objective.power = w;
+        } else {
+          fail(lineno, "unknown objective key '" + tokens[t] +
+                           "' (expected latency | p95 | throughput | area "
+                           "| power)");
+        }
+      }
+    } else if (key == "topology") {
+      need(2);
+      if (!known_topologies().count(tokens[1])) {
+        fail(lineno, "unknown topology '" + tokens[1] + "'");
+      }
+      spec.topology = tokens[1];
+    } else if (key == "width") {
+      need(2);
+      spec.width = parse_u64(tokens[1], lineno);
+    } else if (key == "height") {
+      need(2);
+      spec.height = parse_u64(tokens[1], lineno);
+    } else if (key == "flit_width") {
+      need(2);
+      spec.flit_width = parse_u64(tokens[1], lineno);
+    } else if (key == "pattern") {
+      need(2);
+      spec.pattern = tokens[1];
+    } else if (key == "search") {
+      if (tokens.size() < 3) {
+        fail(lineno, "'search' expects an axis name and values");
+      }
+      const std::string& axis = tokens[1];
+      if (axis == "fifo_depth") {
+        spec.fifo_depths.clear();
+        for (std::size_t t = 2; t < tokens.size(); ++t) {
+          spec.fifo_depths.push_back(parse_u64(tokens[t], lineno));
+        }
+      } else if (axis == "vcs") {
+        spec.vcss.clear();
+        for (std::size_t t = 2; t < tokens.size(); ++t) {
+          const std::size_t v = parse_u64(tokens[t], lineno);
+          if (v < 1 || v > link::kMaxVcs) {
+            fail(lineno, "vcs must be in [1, " +
+                             std::to_string(link::kMaxVcs) + "], got " +
+                             std::to_string(v));
+          }
+          spec.vcss.push_back(v);
+        }
+      } else if (axis == "flow") {
+        for (std::size_t t = 2; t < tokens.size(); ++t) {
+          try {
+            link::parse_flow_control(tokens[t]);  // validates
+          } catch (const Error& e) {
+            fail(lineno, e.what());
+          }
+        }
+        spec.flows.assign(tokens.begin() + 2, tokens.end());
+      } else if (axis == "routing") {
+        for (std::size_t t = 2; t < tokens.size(); ++t) {
+          if (!known_routings().count(tokens[t])) {
+            fail(lineno, "unknown routing '" + tokens[t] +
+                             "' (expected auto | minimal | xy | updown)");
+          }
+        }
+        spec.routings.assign(tokens.begin() + 2, tokens.end());
+      } else {
+        fail(lineno, "unknown search axis '" + axis +
+                         "' (expected fifo_depth | vcs | flow | routing)");
+      }
+    } else if (key == "saturation") {
+      need(4);
+      spec.saturation.enabled = true;
+      spec.saturation.lo = parse_f64(tokens[1], lineno);
+      spec.saturation.hi = parse_f64(tokens[2], lineno);
+      spec.saturation.rel_tol = parse_f64(tokens[3], lineno);
+    } else {
+      fail(lineno, "unknown directive '" + key + "'");
+    }
+  }
+  try {
+    spec.validate();
+  } catch (const Error& e) {
+    throw Error(std::string(e.what()) + " (in parsed tune spec)");
+  }
+  return spec;
+}
+
+TuneSpec load_tune(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_tune: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_tune(text.str());
+}
+
+std::string write_tune(const TuneSpec& spec) {
+  using sweep::fmt_double;
+  std::ostringstream os;
+  os << "# xtune specification\n";
+  os << "tune " << spec.name << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "cycles " << spec.sim_cycles << "\n";
+  os << "drain " << spec.drain_cycles << "\n";
+  os << "warmup " << spec.warmup << "\n";
+  os << "budget " << spec.budget << "\n";
+  os << "rate " << fmt_double(spec.rate) << "\n";
+  os << "burstiness " << fmt_double(spec.burstiness) << "\n";
+  os << "read_fraction " << fmt_double(spec.read_fraction) << "\n";
+  os << "max_burst " << spec.max_burst << "\n";
+  os << "target_mhz " << fmt_double(spec.target_mhz) << "\n";
+  os << "objective latency " << fmt_double(spec.objective.latency)
+     << " p95 " << fmt_double(spec.objective.p95) << " throughput "
+     << fmt_double(spec.objective.throughput) << " area "
+     << fmt_double(spec.objective.area) << " power "
+     << fmt_double(spec.objective.power) << "\n";
+  os << "topology " << spec.topology << "\n";
+  os << "width " << spec.width << "\n";
+  os << "height " << spec.height << "\n";
+  os << "flit_width " << spec.flit_width << "\n";
+  os << "pattern " << spec.pattern << "\n";
+  auto write_search = [&os](const char* axis, const auto& values) {
+    os << "search " << axis;
+    for (const auto& v : values) os << " " << v;
+    os << "\n";
+  };
+  write_search("fifo_depth", spec.fifo_depths);
+  write_search("vcs", spec.vcss);
+  write_search("flow", spec.flows);
+  write_search("routing", spec.routings);
+  if (spec.saturation.enabled) {
+    os << "saturation " << fmt_double(spec.saturation.lo) << " "
+       << fmt_double(spec.saturation.hi) << " "
+       << fmt_double(spec.saturation.rel_tol) << "\n";
+  }
+  return os.str();
+}
+
+void save_tune(const TuneSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "save_tune: cannot open " + path);
+  out << write_tune(spec);
+}
+
+}  // namespace xpl::tune

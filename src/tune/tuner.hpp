@@ -1,0 +1,104 @@
+// The closed-loop auto-tuner: successive halving + hill climbing on the
+// sweep engine's Proposer hook.
+//
+// Strategy (all phases share one evaluation budget, spec.budget):
+//   1. rungs (successive halving) — evaluate every config of the search
+//      cross-product at a fraction of the full simulation window, rank
+//      by the weighted objective, keep the better half, double the
+//      window, repeat until the full window is reached. Cheap fidelity
+//      discards hopeless configs for a fraction of a full evaluation.
+//   2. climb (hill climbing) — from the best full-fidelity config, probe
+//      all one-step neighbours (one search axis moved one candidate
+//      position) at full fidelity; move while something improves.
+//      Neighbours already evaluated at full fidelity are reused, not
+//      re-simulated.
+//   3. saturation (optional) — bisection-search the winner's saturation
+//      injection rate (saturation.hpp).
+// Every ranking tie breaks on a seeded hash of the config id
+// (derive_seed), never on float noise or scheduling, so an xtune run is
+// reproducible end to end: same spec, same trajectory, same winner, at
+// any --jobs.
+//
+// The report carries the full tuning trajectory (one row per simulation,
+// in evaluation order), the winner, the Pareto front over full-fidelity
+// evaluations, and the saturation result; to_noc_spec() turns any
+// evaluated config into a ready-to-run compiler::NocSpec.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/compiler/compiler.hpp"
+#include "src/sweep/runner.hpp"
+#include "src/tune/spec.hpp"
+
+namespace xpl::tune {
+
+/// One simulation of the tuning trajectory.
+struct TuneEval {
+  std::size_t eval = 0;        ///< evaluation order (0-based)
+  std::string stage;           ///< "rung0", "rung1", ..., "climb", "saturation"
+  /// Config id (TuneSpec mixed-radix space). Saturation probes carry the
+  /// winning config's id — only their injection rate differs.
+  std::size_t config = kNoConfig;
+  std::size_t cycles = 0;      ///< simulated window of this evaluation
+  double objective = 0.0;      ///< weighted score (+inf for failed points)
+  sweep::SweepResult result;
+
+  static constexpr std::size_t kNoConfig = static_cast<std::size_t>(-1);
+};
+
+struct TuneReport {
+  TuneSpec spec;
+  std::vector<TuneEval> trajectory;  ///< evaluation order
+  bool budget_exhausted = false;
+
+  /// Trajectory index of the winner (best full-fidelity objective);
+  /// npos when nothing evaluated successfully at full fidelity.
+  std::size_t best = npos;
+  /// Trajectory indices of the Pareto-efficient full-fidelity evals
+  /// (latency / -throughput / area / power, config-deduped, winner's
+  /// ordering deterministic).
+  std::vector<std::size_t> pareto;
+
+  /// Saturation search outcome (spec.saturation.enabled only).
+  double saturation_rate = 0.0;
+  std::size_t saturation_evals = 0;
+  bool saturation_converged = false;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t evaluations() const { return trajectory.size(); }
+  const TuneEval& winner() const;
+
+  /// Tuning-trajectory exports (docs/FORMATS.md §4): one row per
+  /// simulation with stage, config axes, objective and metrics.
+  std::string trajectory_csv() const;
+  std::string trajectory_json() const;
+  /// Human-readable terminal report.
+  std::string summary() const;
+};
+
+/// Ready-to-run NoC spec of config `c` — the emission path behind
+/// `xtune`'s `.noc` outputs. The spec round-trips through spec_io
+/// (fifo depths, vcs, flow, routing, link vc classes and datelines all
+/// survive), so re-simulating the written file reproduces the reported
+/// metrics exactly (given the same traffic and seeds).
+compiler::NocSpec to_noc_spec(const TuneSpec& spec, std::size_t config);
+
+class Tuner {
+ public:
+  explicit Tuner(const sweep::SweepRunner& runner) : runner_(runner) {}
+
+  /// Progress hook, invoked in evaluation order.
+  std::function<void(const TuneEval&)> on_eval;
+
+  TuneReport run(const TuneSpec& spec) const;
+
+ private:
+  const sweep::SweepRunner& runner_;
+};
+
+}  // namespace xpl::tune

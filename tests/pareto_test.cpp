@@ -1,7 +1,9 @@
-// Pareto-front selection over exploration results.
+// Pareto-front selection over exploration results, and tie handling in
+// the shared pareto_front_min primitive both selectors build on.
 #include <gtest/gtest.h>
 
 #include "src/appgraph/explore.hpp"
+#include "src/sweep/pareto.hpp"
 
 namespace xpl::appgraph {
 namespace {
@@ -60,6 +62,54 @@ TEST(Pareto, DuplicatesBothSurvive) {
 
 TEST(Pareto, EmptyInput) {
   EXPECT_TRUE(pareto_front({}).empty());
+}
+
+// pareto_front_min tie semantics: domination requires a *strict*
+// improvement somewhere, so ties never eliminate each other and the
+// returned indices always follow input order — the property the tuner's
+// deterministic Pareto reporting rests on.
+
+TEST(ParetoFrontMin, FullyEqualPointsAllKeptInInputOrder) {
+  const std::vector<std::vector<double>> rows{
+      {1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}};
+  EXPECT_EQ(sweep::pareto_front_min(rows),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFrontMin, TieOnOneObjectiveDoesNotDominate) {
+  // b ties a on the first objective and is worse on the second: dominated.
+  // c ties a everywhere except being better on the second: c dominates a.
+  const std::vector<std::vector<double>> rows{
+      {1.0, 5.0}, {1.0, 6.0}, {1.0, 4.0}};
+  EXPECT_EQ(sweep::pareto_front_min(rows), (std::vector<std::size_t>{2}));
+}
+
+TEST(ParetoFrontMin, InputOrderIsPreservedRegardlessOfQuality) {
+  // The front is {best_last, best_first} by quality, but indices come
+  // back in input order — no sorting by objective sneaks in.
+  const std::vector<std::vector<double>> rows{
+      {2.0, 1.0}, {3.0, 3.0}, {1.0, 2.0}};
+  EXPECT_EQ(sweep::pareto_front_min(rows),
+            (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(ParetoFrontMin, PermutedEqualSetsAgree) {
+  // Shuffling equal points only permutes the (identity) index set: every
+  // point survives under any input order.
+  const std::vector<std::vector<double>> forward{
+      {1.0, 1.0}, {1.0, 1.0}, {2.0, 0.5}};
+  const std::vector<std::vector<double>> reversed{
+      {2.0, 0.5}, {1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(sweep::pareto_front_min(forward),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(sweep::pareto_front_min(reversed),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFrontMin, SinglePointAndEmpty) {
+  EXPECT_EQ(sweep::pareto_front_min({{7.0}}),
+            (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(sweep::pareto_front_min({}).empty());
 }
 
 }  // namespace

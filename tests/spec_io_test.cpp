@@ -98,6 +98,60 @@ TEST(SpecIo, GeneratedTopologyRoundTrips) {
   EXPECT_EQ(back.topo.switch_node(4).x, spec.topo.switch_node(4).x);
 }
 
+TEST(SpecIo, BufferDepthsAreConditionalAndRoundTrip) {
+  // Defaults are never written...
+  NocSpec spec = parse_spec(kSample);
+  EXPECT_EQ(write_spec(spec).find("input_fifo"), std::string::npos);
+  EXPECT_EQ(write_spec(spec).find("output_fifo"), std::string::npos);
+  // ...off-default depths are, and survive the round trip.
+  spec.net.input_fifo_depth = 4;
+  spec.net.output_fifo_depth = 8;
+  const std::string text = write_spec(spec);
+  EXPECT_NE(text.find("input_fifo 4"), std::string::npos);
+  EXPECT_NE(text.find("output_fifo 8"), std::string::npos);
+  const NocSpec back = parse_spec(text);
+  EXPECT_EQ(back.net.input_fifo_depth, 4u);
+  EXPECT_EQ(back.net.output_fifo_depth, 8u);
+  EXPECT_EQ(write_spec(back), text);
+}
+
+TEST(SpecIo, VcAnnotatedTopologyRoundTrips) {
+  // A torus generator marks vc classes and datelines; both must survive
+  // write/parse so an emitted multi-lane spec re-simulates exactly.
+  NocSpec spec;
+  spec.name = "torus";
+  spec.topo = topology::make_torus(3, 3, topology::NiPlan::uniform(9, 1, 1));
+  spec.net.vcs = 2;
+  spec.net.routing = topology::RoutingAlgorithm::kShortestPath;
+  ASSERT_TRUE(spec.topo.has_datelines());
+
+  const std::string text = write_spec(spec);
+  EXPECT_NE(text.find(" class 1"), std::string::npos);
+  EXPECT_NE(text.find(" dateline"), std::string::npos);
+  const NocSpec back = parse_spec(text);
+  ASSERT_EQ(back.topo.num_links(), spec.topo.num_links());
+  for (std::uint32_t l = 0; l < spec.topo.num_links(); ++l) {
+    EXPECT_EQ(back.topo.link(l).vc_class, spec.topo.link(l).vc_class);
+    EXPECT_EQ(back.topo.link(l).dateline, spec.topo.link(l).dateline);
+  }
+  EXPECT_TRUE(back.topo.has_datelines());
+  EXPECT_EQ(write_spec(back), text);  // canonical
+}
+
+TEST(SpecIo, LinkAnnotationsParseInAnyOrder) {
+  const char* base = "switch a\nswitch b\n";
+  const NocSpec s1 = parse_spec(std::string(base) +
+                                "link a b stages 2 class 1 dateline\n");
+  EXPECT_EQ(s1.topo.link(0).stages, 2u);
+  EXPECT_EQ(s1.topo.link(0).vc_class, 1u);
+  EXPECT_TRUE(s1.topo.link(0).dateline);
+  const NocSpec s2 =
+      parse_spec(std::string(base) + "link a b dateline class 3\n");
+  EXPECT_EQ(s2.topo.link(0).stages, 0u);
+  EXPECT_EQ(s2.topo.link(0).vc_class, 3u);
+  EXPECT_TRUE(s2.topo.link(0).dateline);
+}
+
 TEST(SpecIo, SaveAndLoadFile) {
   const std::string path = ::testing::TempDir() + "/xpl_spec.noc";
   save_spec(parse_spec(kSample), path);
@@ -122,6 +176,16 @@ TEST(SpecIo, RejectsMalformedInput) {
   EXPECT_THROW(parse_spec("switch a\nswitch a\n"), Error);  // duplicate
   EXPECT_THROW(parse_spec("routing diagonal\n"), Error);
   EXPECT_THROW(parse_spec("switch a\ninitiator x on a\n"), Error);
+  // New-directive malformations.
+  EXPECT_THROW(parse_spec("input_fifo 0\n"), Error);
+  EXPECT_THROW(parse_spec("output_fifo 0\n"), Error);
+  EXPECT_THROW(parse_spec("input_fifo\n"), Error);
+  EXPECT_THROW(parse_spec("switch a\nswitch b\nlink a b stages\n"), Error);
+  EXPECT_THROW(parse_spec("switch a\nswitch b\nlink a b class\n"), Error);
+  EXPECT_THROW(parse_spec("switch a\nswitch b\nlink a b class 256\n"),
+               Error);
+  EXPECT_THROW(parse_spec("switch a\nswitch b\nlink a b sideband\n"),
+               Error);
 }
 
 TEST(SpecIo, CommentsAndBlanksIgnored) {

@@ -67,6 +67,36 @@ TEST(SweepSpec, RejectsMalformedInput) {
   EXPECT_THROW(parse_sweep("flit_width\n"), Error);        // empty axis
 }
 
+/// Asserts parse_sweep rejects `text` and that the message names the
+/// offending line.
+void expect_line_error(const std::string& text, std::size_t line) {
+  try {
+    parse_sweep(text);
+    FAIL() << "expected Error for: " << text;
+  } catch (const Error& e) {
+    const std::string prefix = "sweep line " + std::to_string(line) + ":";
+    EXPECT_NE(std::string(e.what()).find(prefix), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << prefix << "'";
+  }
+}
+
+TEST(SweepSpec, MalformedLinesReportTheirLineNumber) {
+  // Each spec puts the broken directive on line 3 (after two valid ones).
+  const std::string ok = "sweep x\nseed 1\n";
+  expect_line_error(ok + "bogus_directive 1\n", 3);     // unknown axis/key
+  expect_line_error(ok + "seed nope\n", 3);             // bad number
+  expect_line_error(ok + "cycles\n", 3);                // missing value
+  expect_line_error(ok + "topology klein_bottle\n", 3); // unknown value
+  expect_line_error(ok + "flow sideband\n", 3);         // unknown protocol
+  expect_line_error(ok + "routing zigzag\n", 3);        // unknown routing
+  expect_line_error(ok + "vcs 99\n", 3);                // out of range
+  expect_line_error(ok + "vcs 0\n", 3);                 // out of range
+  expect_line_error(ok + "burstiness 1.5\n", 3);        // out of range
+  expect_line_error(ok + "injection_rate 2\n", 3);      // out of range
+  // The line number counts comments and blanks too.
+  expect_line_error("sweep x\n# comment\n\nvcs 99\n", 4);
+}
+
 TEST(SweepSpec, GridDecodeCoversCrossProductInOrder) {
   SweepSpec spec;
   spec.widths = {2, 3};

@@ -11,11 +11,23 @@
 // Usage:
 //
 //   xsweep <campaign.sweep> [options]
+//   xsweep --resume <campaign.ckpt> [options]
 //     --jobs N             worker threads (default: hardware concurrency)
 //     --csv <path>         write the result table as CSV
 //     --json <path>        write the result table as JSON
 //     --bench-json <path>  write a BENCH_*.json campaign summary
 //                          (wall clock, points/s) for perf tracking
+//     --checkpoint <path>  save a resumable checkpoint sidecar after every
+//                          completed point (atomic; docs/FORMATS.md §5)
+//     --resume <path>      continue an interrupted campaign from its
+//                          checkpoint (the spec is embedded; keeps
+//                          checkpointing to the same path). The finished
+//                          exports are byte-identical to an uninterrupted
+//                          run at any --jobs.
+//     --halt-after N       stop scheduling new points after N complete in
+//                          this session and exit 3 (requires --checkpoint
+//                          or --resume; the controlled-interruption hook
+//                          the resume tests and CI use)
 //     --pareto             print only the Pareto front
 //     --check-deadlock     run the VC-aware channel-dependency checker on
 //                          every point (no simulation) and exit nonzero
@@ -32,6 +44,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/sweep/checkpoint.hpp"
 #include "src/sweep/runner.hpp"
 #include "src/sweep/spec.hpp"
 #include "src/topology/deadlock.hpp"
@@ -42,10 +55,12 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <campaign.sweep> [--jobs N] [--csv <path>]\n"
-               "          [--json <path>] [--bench-json <path>] [--pareto]\n"
-               "          [--check-deadlock] [--print-spec] [--list-apps]\n"
-               "          [--quiet]\n",
-               argv0);
+               "          [--json <path>] [--bench-json <path>]\n"
+               "          [--checkpoint <path>] [--resume <path>]\n"
+               "          [--halt-after N] [--pareto] [--check-deadlock]\n"
+               "          [--print-spec] [--list-apps] [--quiet]\n"
+               "       %s --resume <campaign.ckpt> [options]\n",
+               argv0, argv0);
 }
 
 /// `--check-deadlock`: pre-flight every campaign point through the
@@ -101,7 +116,10 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   std::string bench_json_path;
+  std::string checkpoint_path;
+  std::string resume_path;
   std::size_t jobs = 0;
+  std::size_t halt_after = 0;
   bool pareto_only = false;
   bool print_spec = false;
   bool check_deadlock = false;
@@ -124,6 +142,12 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--bench-json") {
       bench_json_path = next();
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--resume") {
+      resume_path = next();
+    } else if (arg == "--halt-after") {
+      halt_after = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--pareto") {
       pareto_only = true;
     } else if (arg == "--check-deadlock") {
@@ -148,13 +172,39 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (spec_path.empty()) {
+  if (spec_path.empty() && resume_path.empty()) {
     usage(argv[0]);
+    return 2;
+  }
+  if (halt_after != 0 && checkpoint_path.empty() && resume_path.empty()) {
+    std::fprintf(stderr,
+                 "xsweep: --halt-after needs --checkpoint or --resume "
+                 "(halted progress would be lost)\n");
     return 2;
   }
 
   try {
-    const sweep::SweepSpec spec = sweep::load_sweep(spec_path);
+    // A resumed campaign carries its spec in the checkpoint; a spec file
+    // given alongside must agree (canonical-form comparison), so a stale
+    // sidecar cannot silently continue the wrong campaign.
+    sweep::Checkpoint ckpt;
+    sweep::SweepSpec spec;
+    if (!resume_path.empty()) {
+      ckpt = sweep::load_checkpoint(resume_path);
+      spec = sweep::checkpoint_spec(ckpt);
+      if (!spec_path.empty() &&
+          sweep::write_sweep(sweep::load_sweep(spec_path)) !=
+              ckpt.spec_text) {
+        std::fprintf(stderr,
+                     "xsweep: %s does not match the campaign embedded in "
+                     "%s\n",
+                     spec_path.c_str(), resume_path.c_str());
+        return 2;
+      }
+      if (checkpoint_path.empty()) checkpoint_path = resume_path;
+    } else {
+      spec = sweep::load_sweep(spec_path);
+    }
     if (print_spec) {
       std::fputs(sweep::write_sweep(spec).c_str(), stdout);
       return 0;
@@ -170,8 +220,13 @@ int main(int argc, char** argv) {
     std::printf("campaign '%s': %zu points (grid %zu), %zu worker(s)\n",
                 spec.name.c_str(), spec.num_points(), spec.grid_size(),
                 runner.jobs());
+    if (!resume_path.empty()) {
+      std::printf("resuming from %s: %zu/%zu points already done\n",
+                  resume_path.c_str(), ckpt.results.size(),
+                  spec.num_points());
+    }
 
-    std::size_t done = 0;
+    std::size_t done = ckpt.results.size();
     if (!quiet) {
       runner.on_result = [&](const sweep::SweepResult& r) {
         ++done;
@@ -181,12 +236,30 @@ int main(int argc, char** argv) {
       };
     }
 
+    sweep::RunOptions opts;
+    if (!resume_path.empty()) opts.resume = &ckpt.results;
+    opts.halt_after = halt_after;
+    if (!checkpoint_path.empty()) {
+      opts.on_progress = [&](const sweep::ResultTable& partial) {
+        sweep::save_checkpoint(sweep::make_checkpoint(spec, partial),
+                               checkpoint_path);
+      };
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    const sweep::ResultTable table = runner.run(spec);
+    const sweep::ResultTable table = runner.run(spec, opts);
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+
+    std::size_t evaluated = 0;
+    for (const auto& r : table.rows()) evaluated += r.evaluated ? 1 : 0;
+    if (evaluated < table.size()) {
+      std::printf("\nhalted: %zu/%zu points done, checkpoint saved to %s\n",
+                  evaluated, table.size(), checkpoint_path.c_str());
+      return 3;
+    }
 
     std::printf("\n%zu/%zu points ok, %.2f s wall (%.2f points/s)\n\n",
                 table.num_ok(), table.size(), wall_s,
