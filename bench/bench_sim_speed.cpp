@@ -124,6 +124,43 @@ void loaded_cycles(benchmark::State& state, double injection_rate,
       static_cast<double>(net.total_credit_stalls());
 }
 
+// The activity-gating payoff at sweep-campaign operating points: low
+// injection rates leave most of the network quiescent most cycles, and
+// the gated scheduler (arg 1 == 1) skips those modules' ticks and the
+// full signal-pool scan entirely, while the full scheduler (arg 1 == 0)
+// pays for every module every cycle. Results are bit-identical
+// (tests/kernel_equiv_test.cpp); only the wall clock may differ. The
+// awake_frac counter reports the active-set share at the end of the
+// run — the knob the speedup rides on.
+void BM_GatedSweep(benchmark::State& state) {
+  using namespace xpl;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool gated = state.range(1) != 0;
+  noc::NetworkConfig cfg = config(n);
+  cfg.scheduler = gated ? sim::Scheduler::kGated : sim::Scheduler::kFull;
+  noc::Network net(
+      topology::make_mesh(n, n, topology::NiPlan::uniform(n * n, 1, 1)),
+      cfg);
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.01;
+  traffic::TrafficDriver driver(net, tcfg);
+  for (auto _ : state) {
+    driver.step();
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(sim::scheduler_name(cfg.scheduler));
+  state.counters["awake_frac"] =
+      static_cast<double>(net.kernel().awake_count()) /
+      static_cast<double>(net.kernel().module_count());
+}
+BENCHMARK(BM_GatedSweep)
+    ->ArgNames({"mesh", "gated"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
 void BM_LoadedCycles(benchmark::State& state) {
   loaded_cycles(state, 0.05, /*vcs=*/1);
 }
@@ -330,6 +367,11 @@ bool write_bench_json(const std::string& path,
         std::fprintf(out, ", \"%s\": %.0f", key,
                      static_cast<double>(it2->second));
       }
+    }
+    const auto awake_it = run.counters.find("awake_frac");
+    if (awake_it != run.counters.end()) {
+      std::fprintf(out, ", \"awake_frac\": %.3f",
+                   static_cast<double>(awake_it->second));
     }
     std::fprintf(out, "}");
     first = false;

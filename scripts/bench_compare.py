@@ -22,6 +22,13 @@ their items/s delta, then names entries present in only one record
 not an error). With --fail-below PCT the script exits nonzero if any
 matched benchmark regressed by more than PCT percent — CI runs it
 report-only by default so a noisy shared runner cannot block a merge.
+
+--require-min-ratio PREFIX:RATIO (repeatable) is the opposite gate: it
+demands an *improvement*, exiting nonzero unless every matched benchmark
+whose name starts with PREFIX runs at >= RATIO x the baseline. CI uses
+it to hold the activity-gated kernel to its speedup claim against the
+last pre-gating record (BM_IdleCycles vs BENCH_pr6.json); the required
+ratio is far above runner noise, so this gate is safe to make blocking.
 """
 
 import argparse
@@ -87,7 +94,25 @@ def main():
         metavar="PCT",
         help="exit 1 if any matched benchmark regressed more than PCT%%",
     )
+    parser.add_argument(
+        "--require-min-ratio",
+        action="append",
+        default=[],
+        metavar="PREFIX:RATIO",
+        help="exit 1 unless every matched benchmark whose name starts "
+             "with PREFIX runs at >= RATIO x the baseline (repeatable)",
+    )
     args = parser.parse_args()
+
+    requirements = []
+    for spec in args.require_min_ratio:
+        prefix, sep, ratio = spec.rpartition(":")
+        if not sep or not prefix:
+            parser.error(f"--require-min-ratio wants PREFIX:RATIO, got {spec!r}")
+        try:
+            requirements.append((prefix, float(ratio)))
+        except ValueError:
+            parser.error(f"bad ratio in --require-min-ratio {spec!r}")
 
     if args.auto_baseline:
         if args.baseline is not None:
@@ -139,11 +164,33 @@ def main():
         for name in only_cur:
             print(f"  {name}")
 
+    failed = False
+    for prefix, ratio in requirements:
+        names = [n for n in matched if n.startswith(prefix)]
+        if not names:
+            print(f"FAIL: --require-min-ratio {prefix}:{ratio:g} matched "
+                  "no benchmark present in both records")
+            failed = True
+            continue
+        for name in names:
+            b = base[name].get("items_per_s")
+            c = cur[name].get("items_per_s")
+            if not b or not c or b <= 0:
+                print(f"FAIL: {name}: no items_per_s to hold to "
+                      f">= {ratio:g}x")
+                failed = True
+                continue
+            achieved = c / b
+            verdict = "ok" if achieved >= ratio else "FAIL"
+            print(f"{verdict}: {name}: {achieved:.2f}x baseline "
+                  f"(required >= {ratio:g}x)")
+            failed = failed or achieved < ratio
+
     if args.fail_below is not None and worst < -args.fail_below:
         print(f"\nFAIL: worst regression {worst:.1f}% exceeds "
               f"-{args.fail_below:.1f}%")
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -56,6 +56,7 @@ void CreditSender::end_cycle() {
     XPL_ASSERT(lane.credits > 0);
     --lane.credits;
     wires_.fwd->write(FlitBeat{true, std::move(lane.buffer.front())});
+    fwd_dirty_ = true;
     lane.buffer.pop_front();
     ++flits_sent_;
     next_lane_ = (v + 1) % lanes_.size();
@@ -69,7 +70,21 @@ void CreditSender::end_cycle() {
       break;
     }
   }
-  wires_.fwd->write(FlitBeat{});
+  // Write-on-change: drive the wire idle once after the last valid beat.
+  if (fwd_dirty_) {
+    wires_.fwd->write(FlitBeat{});
+    fwd_dirty_ = false;
+  }
+}
+
+bool CreditSender::gate_idle() const {
+  if (fwd_dirty_ || wires_.rev->read().valid) return false;
+  for (const Lane& lane : lanes_) {
+    // Staged flits need transmitting; a starved lane needs its per-cycle
+    // credit_stall count (see the header note).
+    if (!lane.buffer.empty() || lane.credits == 0) return false;
+  }
+  return true;
 }
 
 std::size_t CreditSender::in_flight() const {
@@ -116,9 +131,14 @@ std::optional<Flit> CreditReceiver::begin_cycle(std::uint32_t can_take_mask) {
 
 void CreditReceiver::end_cycle() {
   XPL_ASSERT(wires_.rev != nullptr);
-  wires_.rev->write(
-      AckBeat{pending_credit_, /*ack=*/true, 0, pending_credit_vc_});
-  pending_credit_ = false;
+  // Write-on-change: a credit return is always driven; the idle beat is
+  // driven once after the last return (then the wire already holds it).
+  if (pending_credit_ || rev_dirty_) {
+    wires_.rev->write(
+        AckBeat{pending_credit_, /*ack=*/true, 0, pending_credit_vc_});
+    rev_dirty_ = pending_credit_;
+    pending_credit_ = false;
+  }
 }
 
 std::size_t CreditReceiver::buffered() const {

@@ -70,6 +70,17 @@ class CreditSender {
   std::size_t in_flight() const;
   bool idle() const { return in_flight() == 0; }
 
+  /// Wakes `owner` whenever a credit returns on the reverse wire.
+  void watch(sim::Module& owner) { wires_.rev->watch(owner); }
+
+  /// Endpoint part of the owner's quiescence predicate: nothing staged on
+  /// any lane, the forward wire already driven idle, no credit arriving,
+  /// and no lane sitting at zero credits. The zero-credit clause is a
+  /// counter contract, not a progress requirement: end_cycle counts one
+  /// credit_stall per starved cycle, so a starved sender must keep
+  /// ticking for the gated and full schedulers to report equal stats.
+  bool gate_idle() const;
+
   std::uint64_t flits_sent() const { return flits_sent_; }
   /// Credit-starvation cycles: cycles in which nothing was transmitted
   /// while some lane sat at zero credits, i.e. with its entire window
@@ -91,6 +102,7 @@ class CreditSender {
   ProtocolConfig config_{};
   std::vector<Lane> lanes_;
   std::size_t next_lane_ = 0;  ///< transmit rotation over lanes
+  bool fwd_dirty_ = false;     ///< forward wire still holds a valid beat
 
   std::uint64_t flits_sent_ = 0;
   std::uint64_t credit_stalls_ = 0;
@@ -114,6 +126,16 @@ class CreditReceiver {
   /// Drives the credit-return wire. Call last in the owner's tick().
   void end_cycle();
 
+  /// Wakes `owner` whenever a flit arrives on the forward wire.
+  void watch(sim::Module& owner) { wires_.fwd->watch(owner); }
+
+  /// Endpoint part of the owner's quiescence predicate: no flit arriving,
+  /// nothing buffered awaiting the owner's drain, and the credit wire
+  /// already driven idle.
+  bool gate_idle() const {
+    return !rev_dirty_ && buffered() == 0 && !wires_.fwd->read().valid;
+  }
+
   std::uint64_t flits_accepted() const { return flits_accepted_; }
   std::size_t buffered() const;
 
@@ -124,6 +146,7 @@ class CreditReceiver {
   std::size_t drain_next_ = 0;     ///< drain rotation over lanes
   bool pending_credit_ = false;    ///< return one credit at end_cycle
   std::uint8_t pending_credit_vc_ = 0;
+  bool rev_dirty_ = false;  ///< credit wire still holds a valid beat
 
   std::uint64_t flits_accepted_ = 0;
 };

@@ -81,6 +81,16 @@ class LinkSender {
   bool idle() const {
     return flow_ == FlowControl::kAckNack ? ack_.idle() : credit_.idle();
   }
+  /// Wakes `owner` on reverse-wire (ACK/credit) arrivals.
+  void watch(sim::Module& owner) {
+    flow_ == FlowControl::kAckNack ? ack_.watch(owner)
+                                   : credit_.watch(owner);
+  }
+  /// Endpoint part of the owner's quiescence predicate (gated scheduler).
+  bool gate_idle() const {
+    return flow_ == FlowControl::kAckNack ? ack_.gate_idle()
+                                          : credit_.gate_idle();
+  }
   std::uint64_t flits_sent() const {
     return flow_ == FlowControl::kAckNack ? ack_.flits_sent()
                                           : credit_.flits_sent();
@@ -124,6 +134,17 @@ class LinkReceiver {
   }
   void end_cycle() {
     flow_ == FlowControl::kAckNack ? ack_.end_cycle() : credit_.end_cycle();
+  }
+
+  /// Wakes `owner` on forward-wire flit arrivals.
+  void watch(sim::Module& owner) {
+    flow_ == FlowControl::kAckNack ? ack_.watch(owner)
+                                   : credit_.watch(owner);
+  }
+  /// Endpoint part of the owner's quiescence predicate (gated scheduler).
+  bool gate_idle() const {
+    return flow_ == FlowControl::kAckNack ? ack_.gate_idle()
+                                          : credit_.gate_idle();
   }
 
   std::uint64_t flits_accepted() const {

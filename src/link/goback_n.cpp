@@ -96,18 +96,34 @@ void GoBackNSender::end_cycle() {
       entry.sent = true;
     }
     wires_.fwd->write(FlitBeat{true, entry.flit});
+    fwd_dirty_ = true;
     ++lane.resend_idx;
     ++flits_sent_;
     next_lane_ = (v + 1) % lanes_.size();
     return;
   }
-  wires_.fwd->write(FlitBeat{});
+  // Write-on-change: drive the wire idle once after the last valid beat.
+  if (fwd_dirty_) {
+    wires_.fwd->write(FlitBeat{});
+    fwd_dirty_ = false;
+  }
 }
 
 std::size_t GoBackNSender::in_flight() const {
   std::size_t total = 0;
   for (const Lane& lane : lanes_) total += lane.buffer.size();
   return total;
+}
+
+bool GoBackNSender::gate_idle() const {
+  if (fwd_dirty_ || wires_.rev->read().valid) return false;
+  for (const Lane& lane : lanes_) {
+    // resend_idx < size means an entry still awaits (re)transmission;
+    // entries at index < resend_idx merely await an ACK, which will wake
+    // the owner through the reverse wire.
+    if (lane.resend_idx < lane.buffer.size()) return false;
+  }
+  return true;
 }
 
 GoBackNReceiver::GoBackNReceiver(LinkWires wires,
@@ -154,7 +170,15 @@ std::optional<Flit> GoBackNReceiver::begin_cycle(
 
 void GoBackNReceiver::end_cycle() {
   XPL_ASSERT(wires_.rev != nullptr);
-  wires_.rev->write(pending_ack_);
+  // Write-on-change: a valid ACK/nACK is always driven; the idle beat is
+  // driven once after the last valid one (then the wire already holds it).
+  if (pending_ack_.valid) {
+    wires_.rev->write(pending_ack_);
+    rev_dirty_ = true;
+  } else if (rev_dirty_) {
+    wires_.rev->write(pending_ack_);
+    rev_dirty_ = false;
+  }
 }
 
 }  // namespace xpl::link

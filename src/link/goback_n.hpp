@@ -77,6 +77,15 @@ class GoBackNSender {
   std::size_t in_flight() const;
   bool idle() const { return in_flight() == 0; }
 
+  /// Wakes `owner` whenever an ACK/nACK arrives on the reverse wire.
+  void watch(sim::Module& owner) { wires_.rev->watch(owner); }
+
+  /// Endpoint part of the owner's quiescence predicate: nothing left to
+  /// (re)transmit on any lane, the forward wire already driven idle, and
+  /// no reverse beat arriving. Flits that were sent but not yet ACKed do
+  /// NOT keep the endpoint awake — the ACK (or nACK) arrival wakes it.
+  bool gate_idle() const;
+
   std::uint64_t flits_sent() const { return flits_sent_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
 
@@ -84,6 +93,7 @@ class GoBackNSender {
   LinkWires wires_{};
   ProtocolConfig config_{};
   std::uint8_t seq_mask_ = 0;
+  bool fwd_dirty_ = false;  ///< forward wire still holds a valid beat
 
   struct Entry {
     Flit flit;
@@ -118,6 +128,15 @@ class GoBackNReceiver {
   /// Drives the ACK wire. Call last in the owner's tick().
   void end_cycle();
 
+  /// Wakes `owner` whenever a flit arrives on the forward wire.
+  void watch(sim::Module& owner) { wires_.fwd->watch(owner); }
+
+  /// Endpoint part of the owner's quiescence predicate: no flit arriving
+  /// and the ACK wire already driven idle.
+  bool gate_idle() const {
+    return !rev_dirty_ && !wires_.fwd->read().valid;
+  }
+
   std::uint64_t flits_accepted() const { return flits_accepted_; }
   std::uint64_t crc_rejections() const { return crc_rejections_; }
   std::uint64_t flow_rejections() const { return flow_rejections_; }
@@ -126,6 +145,7 @@ class GoBackNReceiver {
   LinkWires wires_{};
   ProtocolConfig config_{};
   std::uint8_t seq_mask_ = 0;
+  bool rev_dirty_ = false;  ///< ACK wire still holds a valid beat
 
   std::vector<std::uint8_t> expected_seq_;  ///< per lane
   AckBeat pending_ack_{};

@@ -11,7 +11,11 @@ PipelinedLink::PipelinedLink(std::string name, const LinkWires& upstream,
       down_(downstream),
       fwd_pipe_(config.stages),
       rev_pipe_(config.stages),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  // Wake on traffic from either end (gated scheduler; no-op under full).
+  up_.fwd->watch(*this);
+  down_.rev->watch(*this);
+}
 
 void PipelinedLink::corrupt_in_place(FlitBeat& beat) {
   bool corrupted = false;
@@ -43,33 +47,66 @@ void PipelinedLink::tick(sim::Kernel&) {
   // Forward direction: sender -> (stages) -> receiver. The reliable-link
   // fast path (the sweep default) forwards the wire value without touching
   // flit payloads; error injection mutates a copy in place.
+  //
+  // Pipe invariant (both schedulers): every invalid pipe entry is a copy
+  // of an idle input wire, and under write-on-change an idle wire holds
+  // one stable reset value until the next valid beat. The gated scheduler
+  // relies on this: a frozen all-invalid pipe equals the pipe the full
+  // scheduler keeps refilling with that same held value.
   const FlitBeat& wire_in = up_.fwd->read();
   if (wire_in.valid) ++flits_carried_;
   const bool inject = wire_in.valid && config_.bit_error_rate > 0.0;
+  FlitBeat fwd_out;
   if (fwd_pipe_.empty()) {
-    FlitBeat out = wire_in;
-    if (inject) corrupt_in_place(out);
-    down_.fwd->write(std::move(out));
+    fwd_out = wire_in;
+    if (inject) corrupt_in_place(fwd_out);
   } else {
-    down_.fwd->write(std::move(fwd_pipe_.back()));
+    fwd_out = std::move(fwd_pipe_.back());
     for (std::size_t i = fwd_pipe_.size(); i-- > 1;) {
       fwd_pipe_[i] = std::move(fwd_pipe_[i - 1]);
     }
     fwd_pipe_[0] = wire_in;
     if (inject) corrupt_in_place(fwd_pipe_[0]);
+    if (wire_in.valid) ++fwd_pipe_valid_;
+    if (fwd_out.valid) --fwd_pipe_valid_;
+  }
+  // Write-on-change: valid beats are always driven; the idle beat is
+  // driven once after the last valid one.
+  if (fwd_out.valid) {
+    down_.fwd->write(std::move(fwd_out));
+    fwd_out_dirty_ = true;
+  } else if (fwd_out_dirty_) {
+    down_.fwd->write(std::move(fwd_out));
+    fwd_out_dirty_ = false;
   }
 
   // Reverse direction: receiver -> (stages) -> sender. Reliable.
   const AckBeat ack_in = down_.rev->read();
+  AckBeat rev_out;
   if (rev_pipe_.empty()) {
-    up_.rev->write(ack_in);
+    rev_out = ack_in;
   } else {
-    up_.rev->write(rev_pipe_.back());
+    rev_out = rev_pipe_.back();
     for (std::size_t i = rev_pipe_.size(); i-- > 1;) {
       rev_pipe_[i] = rev_pipe_[i - 1];
     }
     rev_pipe_[0] = ack_in;
+    if (ack_in.valid) ++rev_pipe_valid_;
+    if (rev_out.valid) --rev_pipe_valid_;
   }
+  if (rev_out.valid) {
+    up_.rev->write(rev_out);
+    rev_out_dirty_ = true;
+  } else if (rev_out_dirty_) {
+    up_.rev->write(rev_out);
+    rev_out_dirty_ = false;
+  }
+}
+
+bool PipelinedLink::is_idle() const {
+  return !fwd_out_dirty_ && !rev_out_dirty_ && fwd_pipe_valid_ == 0 &&
+         rev_pipe_valid_ == 0 && !up_.fwd->read().valid &&
+         !down_.rev->read().valid;
 }
 
 }  // namespace xpl::link

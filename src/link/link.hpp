@@ -45,6 +45,11 @@ class PipelinedLink : public sim::Module {
 
   void tick(sim::Kernel& kernel) override;
 
+  /// Quiescent when both pipes are empty of valid beats, both output
+  /// wires are already driven idle, and nothing is arriving on either
+  /// input wire (the link watches both, so arrivals wake it).
+  bool is_idle() const override;
+
   /// Flits that traversed the link (including retransmissions).
   std::uint64_t flits_carried() const { return flits_carried_; }
   /// Flits corrupted by error injection.
@@ -64,6 +69,10 @@ class PipelinedLink : public sim::Module {
   LinkWires down_;
   std::vector<FlitBeat> fwd_pipe_;
   std::vector<AckBeat> rev_pipe_;
+  std::size_t fwd_pipe_valid_ = 0;  ///< valid beats inside fwd_pipe_
+  std::size_t rev_pipe_valid_ = 0;  ///< valid beats inside rev_pipe_
+  bool fwd_out_dirty_ = false;  ///< downstream fwd wire holds a valid beat
+  bool rev_out_dirty_ = false;  ///< upstream rev wire holds a valid beat
   Rng rng_;
   std::uint64_t flits_carried_ = 0;
   std::uint64_t flits_corrupted_ = 0;

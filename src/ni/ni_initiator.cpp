@@ -34,6 +34,12 @@ InitiatorNi::InitiatorNi(std::string name, const InitiatorConfig& config,
       tx_(config.flow, net_out, config.protocol),
       rx_(config.flow, net_in, config.protocol) {
   config_.validate();
+  // Gated-scheduler wake sources: OCP request beats and response credits
+  // from the core, ACK/credit returns and response flits from the network.
+  ocp_req_.watch(*this);
+  ocp_resp_.watch(*this);
+  tx_.watch(*this);
+  rx_.watch(*this);
   depack_.reserve(config_.vcs);
   for (std::size_t v = 0; v < config_.vcs; ++v) {
     depack_.emplace_back(config_.format);
@@ -253,6 +259,14 @@ bool InitiatorNi::idle() const {
   return !building_.has_value() && flit_out_.empty() && resp_out_.empty() &&
          outstanding_.empty() && reorder_.empty() && tx_.idle() &&
          ocp_req_.empty();
+}
+
+bool InitiatorNi::is_idle() const {
+  // Deliberately weaker than idle(): outstanding_/reorder_/building_ and
+  // mid-packet depacketizers are sleepable (input-driven) state.
+  return ocp_req_.empty() && flit_out_.empty() && resp_out_.empty() &&
+         ocp_req_.gate_idle() && ocp_resp_.gate_idle() && tx_.gate_idle() &&
+         rx_.gate_idle();
 }
 
 }  // namespace xpl::ni

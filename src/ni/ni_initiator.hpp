@@ -62,6 +62,13 @@ class InitiatorNi : public sim::Module {
 
   void tick(sim::Kernel& kernel) override;
 
+  /// Quiescence predicate (gated scheduler): nothing buffered toward the
+  /// network or the core and every endpoint inert. Outstanding
+  /// transactions, the reorder buffer, a half-built packet and mid-packet
+  /// reassembly are input-driven state: a tick moves them only when a
+  /// beat arrives, and arrivals wake this module. See DESIGN.md §9.
+  bool is_idle() const override;
+
   const InitiatorConfig& config() const { return config_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_received() const { return packets_received_; }

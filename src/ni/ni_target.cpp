@@ -28,6 +28,12 @@ TargetNi::TargetNi(std::string name, const TargetConfig& config,
       ocp_req_(ocp.req, config.ocp_req_credits),
       ocp_resp_(ocp.resp, config.ocp_resp_fifo) {
   config_.validate();
+  // Gated-scheduler wake sources: request flits and ACK/credit returns
+  // from the network, response beats and request credits from the core.
+  rx_.watch(*this);
+  tx_.watch(*this);
+  ocp_req_.watch(*this);
+  ocp_resp_.watch(*this);
   depack_.reserve(config_.vcs);
   for (std::size_t v = 0; v < config_.vcs; ++v) {
     depack_.emplace_back(config_.format);
@@ -198,6 +204,14 @@ bool TargetNi::idle() const {
   return jobs_.empty() && !issuing_.has_value() && pending_.empty() &&
          collecting_.empty() && flit_out_.empty() && tx_.idle() &&
          ocp_resp_.empty();
+}
+
+bool TargetNi::is_idle() const {
+  // Deliberately weaker than idle(): pending_/collecting_ and mid-packet
+  // depacketizers are sleepable (input-driven) state.
+  return jobs_.empty() && !issuing_.has_value() && ocp_resp_.empty() &&
+         flit_out_.empty() && rx_.gate_idle() && tx_.gate_idle() &&
+         ocp_req_.gate_idle() && ocp_resp_.gate_idle();
 }
 
 }  // namespace xpl::ni

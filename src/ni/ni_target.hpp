@@ -58,6 +58,12 @@ class TargetNi : public sim::Module {
 
   void tick(sim::Kernel& kernel) override;
 
+  /// Quiescence predicate (gated scheduler): no job queued or issuing,
+  /// nothing buffered toward the network, and every endpoint inert.
+  /// Pending/collecting response bookkeeping and mid-packet reassembly
+  /// are input-driven (sleepable) state. See DESIGN.md §9.
+  bool is_idle() const override;
+
   const TargetConfig& config() const { return config_; }
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t packets_sent() const { return packets_sent_; }

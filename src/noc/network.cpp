@@ -23,7 +23,7 @@ std::size_t max_link_stages(const topology::Topology& topo) {
 }  // namespace
 
 Network::Network(topology::Topology topo, const NetworkConfig& config)
-    : topo_(std::move(topo)), config_(config) {
+    : topo_(std::move(topo)), config_(config), kernel_(config.scheduler) {
   topo_.validate();
   // Credit flow control never retransmits, so it is only legal over
   // reliable links — the protocol asymmetry the paper builds on.

@@ -64,6 +64,12 @@ struct NetworkConfig {
 
   std::size_t max_outstanding = 8;   ///< per initiator NI
   std::uint32_t slave_latency = 2;   ///< target core service latency
+
+  /// Kernel scheduling policy. kGated (the default) skips quiescent
+  /// modules and is proven bit-exact against kFull by the differential
+  /// harness (tests/kernel_equiv_test.cpp); kFull is the escape hatch
+  /// for debugging a suspected gating divergence (DESIGN.md §9).
+  sim::Scheduler scheduler = sim::Scheduler::kGated;
 };
 
 class Network {

@@ -9,7 +9,10 @@ MasterCore::MasterCore(std::string name, const OcpWires& wires,
     : sim::Module(std::move(name)),
       config_(config),
       req_(wires.req, config.req_credits),
-      resp_(wires.resp, config.resp_fifo_depth) {}
+      resp_(wires.resp, config.resp_fifo_depth) {
+  req_.watch(*this);   // request credits returned by the NI/slave
+  resp_.watch(*this);  // response beats
+}
 
 void MasterCore::push_transaction(Transaction txn) {
   if (txn.cmd != Cmd::kRead) {
@@ -19,10 +22,19 @@ void MasterCore::push_transaction(Transaction txn) {
   require(txn.burst_len >= 1, "MasterCore: burst_len must be >= 1");
   if (on_push) on_push(txn);
   queue_.push_back(std::move(txn));
+  // External injection: no signal write re-arms a gated master, so the
+  // push itself must (wake-hazard regression: tests/wake_hazard_test.cpp).
+  wake();
 }
 
 bool MasterCore::quiescent() const {
   return queue_.empty() && !active_.has_value() && awaiting_total_ == 0;
+}
+
+bool MasterCore::is_idle() const {
+  // awaiting_ is sleepable: the response beat that advances it wakes us.
+  return queue_.empty() && !active_.has_value() && resp_.empty() &&
+         req_.gate_idle() && resp_.gate_idle();
 }
 
 void MasterCore::tick(sim::Kernel& kernel) {
@@ -115,7 +127,18 @@ SlaveCore::SlaveCore(std::string name, const OcpWires& wires,
     : sim::Module(std::move(name)),
       config_(config),
       req_(wires.req, config.req_fifo_depth),
-      resp_(wires.resp, config.resp_credits) {}
+      resp_(wires.resp, config.resp_credits) {
+  req_.watch(*this);   // request beats
+  resp_.watch(*this);  // response credits returned by the NI/master
+}
+
+bool SlaveCore::is_idle() const {
+  // jobs_ non-empty keeps the slave awake (time-driven ready_cycle);
+  // collecting_/responding_ are kept awake conservatively — both are
+  // short-lived and always adjacent to wire activity.
+  return req_.empty() && jobs_.empty() && !responding_.has_value() &&
+         !collecting_.has_value() && req_.gate_idle() && resp_.gate_idle();
+}
 
 std::uint64_t SlaveCore::peek(std::uint64_t addr) const {
   auto it = memory_.find(addr / 8);

@@ -54,6 +54,12 @@ class MasterCore : public sim::Module {
   /// True when nothing is queued, in flight, or awaiting response.
   bool quiescent() const;
 
+  /// Quiescence predicate (gated scheduler): nothing to issue and both
+  /// socket endpoints inert. Transactions awaiting responses are
+  /// sleepable — the response beat wakes this module. push_transaction
+  /// wakes the module itself (external injection bypasses the wires).
+  bool is_idle() const override;
+
   std::size_t issued_count() const { return issued_count_; }
   const std::vector<TransactionResult>& completed() const {
     return completed_;
@@ -100,6 +106,11 @@ class SlaveCore : public sim::Module {
   SlaveCore(std::string name, const OcpWires& wires, const Config& config);
 
   void tick(sim::Kernel& kernel) override;
+
+  /// Quiescence predicate (gated scheduler). Jobs awaiting their service
+  /// latency MUST keep the slave awake: ready_cycle promotion is
+  /// time-driven, not input-driven, so no wire write would re-arm it.
+  bool is_idle() const override;
 
   /// Direct backdoor access for tests (word index = byte addr / 8).
   std::uint64_t peek(std::uint64_t addr) const;

@@ -7,7 +7,12 @@ namespace xpl::ocp {
 Monitor::Monitor(std::string name, const OcpWires& wires)
     : sim::Module(std::move(name)),
       req_wire_(wires.req.data),
-      resp_wire_(wires.resp.data) {}
+      resp_wire_(wires.resp.data) {
+  // Second watcher slot on each data wire (the consumer holds the first):
+  // a skipped passive observer must still see every beat.
+  req_wire_->watch(*this);
+  resp_wire_->watch(*this);
+}
 
 void Monitor::flag(std::uint64_t cycle, const std::string& what) {
   std::ostringstream os;

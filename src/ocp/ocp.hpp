@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/bits.hpp"
+#include "src/sim/kernel.hpp"
 
 namespace xpl::ocp {
 
@@ -68,6 +69,31 @@ struct RespBeat {
   bool last = false;            ///< final beat of the transaction
   bool interrupt = false;       ///< SInterrupt sideband
 };
+
+// Signal-digest support (sim::Kernel::digest): invalid beats hash as a
+// bare 0 so stale fields can never alias real state.
+inline void hash_append(sim::Digest& d, const ReqBeat& b) {
+  d.mix(b.valid ? 1u : 0u);
+  if (!b.valid) return;
+  d.mix(static_cast<std::uint64_t>(b.cmd));
+  d.mix(b.addr);
+  d.mix(b.data);
+  d.mix(b.burst_len);
+  d.mix(static_cast<std::uint64_t>(b.burst_seq));
+  d.mix(b.beat_index);
+  d.mix(b.thread_id);
+  d.mix(b.byte_en);
+  d.mix(b.sideband_flag ? 1u : 0u);
+}
+
+inline void hash_append(sim::Digest& d, const RespBeat& b) {
+  d.mix(b.valid ? 1u : 0u);
+  if (!b.valid) return;
+  d.mix(static_cast<std::uint64_t>(b.resp));
+  d.mix(b.data);
+  d.mix(b.thread_id);
+  d.mix((b.last ? 1u : 0u) | (b.interrupt ? 2u : 0u));
+}
 
 /// A whole transaction at the level the cores and testbenches think in.
 struct Transaction {

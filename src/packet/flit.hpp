@@ -16,11 +16,13 @@
 // the single-lane seed microarchitecture falls out unchanged.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
 #include "src/common/bits.hpp"
 #include "src/common/crc.hpp"
+#include "src/sim/kernel.hpp"
 
 namespace xpl {
 
@@ -76,5 +78,37 @@ struct AckBeat {
   std::uint8_t seqno = 0;
   std::uint8_t vc = 0;
 };
+
+// Signal-digest support (sim::Kernel::digest, the oracle of the
+// kernel-equivalence tests). Invalid beats hash as a bare 0 so stale
+// payload fields left behind by moves can never alias real state.
+inline void hash_append(sim::Digest& d, const BitVector& v) {
+  d.mix(v.width());
+  for (std::size_t pos = 0; pos < v.width(); pos += 64) {
+    d.mix(v.slice(pos, std::min<std::size_t>(64, v.width() - pos)));
+  }
+}
+
+inline void hash_append(sim::Digest& d, const Flit& f) {
+  hash_append(d, f.payload);
+  d.mix((f.head ? 1u : 0u) | (f.tail ? 2u : 0u));
+  d.mix(f.vc);
+  d.mix(f.seqno);
+  d.mix(f.checksum);
+}
+
+inline void hash_append(sim::Digest& d, const FlitBeat& b) {
+  d.mix(b.valid ? 1u : 0u);
+  if (b.valid) hash_append(d, b.flit);
+}
+
+inline void hash_append(sim::Digest& d, const AckBeat& a) {
+  d.mix(a.valid ? 1u : 0u);
+  if (a.valid) {
+    d.mix((a.ack ? 1u : 0u));
+    d.mix(a.seqno);
+    d.mix(a.vc);
+  }
+}
 
 }  // namespace xpl

@@ -3,6 +3,10 @@
 namespace xpl::sim {
 
 void Kernel::step() {
+  if (scheduler_ == Scheduler::kGated) {
+    step_gated();
+    return;
+  }
   for (Module* m : modules_) {
     m->tick(*this);
   }
@@ -16,6 +20,53 @@ void Kernel::step() {
   for (auto& p : probes_) {
     p(cycle_);
   }
+}
+
+void Kernel::step_gated() {
+  // Tick only the active set. Writes to watched signals during this phase
+  // set the writers' consumers' woken flags and append dirty entries.
+  for (Module* m : modules_) {
+    if (m->awake_) m->tick(*this);
+  }
+  // Commit exactly the signals written this cycle. Under gating write
+  // density is low (idle modules drive nothing), so the dirty list beats
+  // the full-pool flag scan that wins at ~100% density (DESIGN.md §2/§9).
+  for (const DirtyEntry& e : dirty_) {
+    e.commit(e.signal);
+  }
+  dirty_.clear();
+  // Active-set update, after commit so is_idle() reads committed values:
+  // a woken module joins the set; a ticked module leaves it only when its
+  // quiescence predicate holds.
+  for (Module* m : modules_) {
+    if (m->woken_) {
+      m->awake_ = true;
+      m->woken_ = false;
+    } else if (m->awake_) {
+      m->awake_ = !m->is_idle();
+    }
+  }
+  ++cycle_;
+  for (auto& p : probes_) {
+    p(cycle_);
+  }
+}
+
+std::size_t Kernel::awake_count() const {
+  if (scheduler_ == Scheduler::kFull) return modules_.size();
+  std::size_t n = 0;
+  for (const Module* m : modules_) {
+    if (m->awake_) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Kernel::digest() const {
+  Digest d;
+  for (const auto& pool : pools_) {
+    pool->digest_into(d);
+  }
+  return d.value();
 }
 
 void Kernel::run(std::uint64_t cycles) {

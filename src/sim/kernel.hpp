@@ -14,18 +14,28 @@
 //    its interfaces tolerate register stages, so this discipline models the
 //    real library without combinational cross-module paths.
 //
-// Signals hold their value until rewritten; by convention a module drives
-// each of its outputs every cycle (like an always_ff block that assigns all
-// outputs on every edge).
+// Signals hold their value until rewritten. Modules drive each output wire
+// on change (plus one trailing reset write when the wire returns to idle),
+// so a wire's committed per-cycle value sequence is identical to the
+// classic drive-every-cycle discipline.
 //
-// Commit is devirtualized: signals live in type-segregated pools (one pool
-// per signal type — Signal<FlitBeat>, Signal<AckBeat>, the OCP beat
-// signals, and whatever other types a testbench creates), and each pool
-// commits its signals in a tight non-virtual loop over deque chunks. The
-// per-cycle cost is one virtual dispatch per *type*, not per signal; the
-// per-signal work is a predictable written-flag branch plus a move. See
-// DESIGN.md §2 for the measured history (commit-all vs dirty list vs flag
-// scan vs pools).
+// Two schedulers share this contract (Scheduler, DESIGN.md §9):
+//
+//  * kFull ticks every module every cycle and commits per-type signal
+//    pools in a tight devirtualized loop (one virtual dispatch per *type*
+//    per cycle; the per-signal work is a predictable written-flag branch).
+//    At ~100% write density an explicit dirty list measured slower — see
+//    DESIGN.md §2 — which is why the full path keeps the flag scan.
+//  * kGated additionally maintains an active set: modules whose is_idle()
+//    predicate holds are skipped entirely until a signal they watch is
+//    written (Signal::watch wires the wake) or they are woken explicitly
+//    (Module::wake, e.g. on an external push_transaction). Under gating
+//    write density is low, so commit walks the cycle's dirty list instead
+//    of scanning every signal.
+//
+// Both schedulers are required to be bit-exact with each other; the
+// differential harness in tests/kernel_equiv_test.cpp checks per-cycle
+// Kernel::digest() equality over randomized scenarios.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +43,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <typeindex>
 #include <unordered_map>
 #include <utility>
@@ -43,6 +54,16 @@
 namespace xpl::sim {
 
 class Kernel;
+
+/// Kernel scheduling mode; fixed at Kernel construction.
+enum class Scheduler : std::uint8_t {
+  kFull,   ///< tick every module every cycle (classic two-phase)
+  kGated,  ///< skip quiescent modules; wake on watched-signal writes
+};
+
+inline const char* scheduler_name(Scheduler s) {
+  return s == Scheduler::kGated ? "gated" : "full";
+}
 
 /// Base class of all clocked hardware modules.
 class Module {
@@ -56,12 +77,77 @@ class Module {
   const std::string& name() const { return name_; }
 
   /// One clock cycle: read current signal values, write next values and
-  /// stage internal state updates. Called exactly once per Kernel::step().
+  /// stage internal state updates. Called exactly once per Kernel::step()
+  /// under the full scheduler; skipped while quiescent under the gated one.
   virtual void tick(Kernel& kernel) = 0;
 
+  /// Quiescence predicate for the gated scheduler: return true only when
+  /// the next tick() would provably change no internal state and write no
+  /// signal value that differs from what the wires already hold. Modules
+  /// that cannot promise this keep the safe default (never skipped). The
+  /// kernel evaluates this after commit, so implementations read committed
+  /// signal values. See DESIGN.md §9 for the per-module contracts.
+  virtual bool is_idle() const { return false; }
+
+  /// Re-arms this module. Called automatically when a watched signal is
+  /// written; call it directly when injecting work from outside the
+  /// simulation (e.g. MasterCore::push_transaction). Arms the *current*
+  /// tick phase too: an externally-injected transaction must be served
+  /// the same cycle as under the full scheduler, and an extra tick of a
+  /// genuinely idle module is a no-op by the is_idle() contract, so a
+  /// mid-phase wake of a later-ordered module is harmless.
+  void wake() {
+    woken_ = true;
+    awake_ = true;
+  }
+
+  /// True while the gated scheduler is ticking this module (always true
+  /// under the full scheduler, which ignores the flag).
+  bool awake() const { return awake_; }
+
  private:
+  friend class Kernel;
+
   std::string name_;
+  bool awake_ = true;  ///< gated scheduler: ticked this cycle
+  bool woken_ = false; ///< gated scheduler: wake requested during this cycle
 };
+
+/// Accumulating 64-bit state hash (FNV-1a style). Used by the differential
+/// kernel-equivalence tests to compare full vs gated schedulers per cycle;
+/// never touched on the simulation hot path.
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    state_ ^= v;
+    state_ *= 1099511628211ULL;
+  }
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 14695981039346656037ULL;
+};
+
+/// Customization point: overload hash_append(Digest&, const T&) in T's
+/// namespace for every type carried on a Signal that tests digest. The
+/// generic overload covers arithmetic and enum payloads.
+template <typename T>
+  requires(std::is_arithmetic_v<T> || std::is_enum_v<T>)
+inline void hash_append(Digest& d, const T& v) {
+  d.mix(static_cast<std::uint64_t>(v));
+}
+
+/// One staged signal awaiting commit under the gated scheduler. The commit
+/// thunk devirtualizes per-entry dispatch into a direct function-pointer
+/// call; committing a signal whose written flag is already clear is a no-op,
+/// so duplicate entries (possible when a test commits a signal by hand) are
+/// harmless.
+struct DirtyEntry {
+  void* signal = nullptr;
+  void (*commit)(void*) = nullptr;
+};
+using DirtyList = std::vector<DirtyEntry>;
 
 /// A registered wire of type T between two modules.
 ///
@@ -81,15 +167,33 @@ class Signal {
 
   void write(T value) {
     next_ = std::move(value);
+    if (dirty_list_ != nullptr && !written_) {
+      dirty_list_->push_back(
+          {this, [](void* s) { static_cast<Signal<T>*>(s)->commit(); }});
+      if (watchers_[0] != nullptr) watchers_[0]->wake();
+      if (watchers_[1] != nullptr) watchers_[1]->wake();
+    }
     written_ = true;
   }
 
   bool written() const { return written_; }
 
-  /// Applies the staged value. Called by the kernel's pool commit loop;
-  /// the written-flag test keeps idle signals at one predictable branch
-  /// (an explicit dirty list was measured slower at this codebase's ~100%
-  /// write density — see DESIGN.md §2).
+  /// Registers `consumer` to be woken whenever this signal is written
+  /// (gated scheduler). Two slots: one reading consumer plus one passive
+  /// observer (e.g. an ocp::Monitor snooping a wire it does not own).
+  void watch(Module& consumer) {
+    if (watchers_[0] == nullptr || watchers_[0] == &consumer) {
+      watchers_[0] = &consumer;
+      return;
+    }
+    XPL_ASSERT(watchers_[1] == nullptr || watchers_[1] == &consumer);
+    watchers_[1] = &consumer;
+  }
+
+  /// Applies the staged value. Called from the pool commit loop (full
+  /// scheduler) or via the dirty-list thunk (gated); the written-flag test
+  /// keeps idle signals at one predictable branch and makes duplicate
+  /// dirty entries no-ops.
   void commit() {
     if (written_) {
       curr_ = std::move(next_);
@@ -98,18 +202,25 @@ class Signal {
   }
 
  private:
+  friend class Kernel;
+
   T curr_;
   T next_;
   bool written_ = false;
+  DirtyList* dirty_list_ = nullptr;  ///< non-null iff the kernel is gated
+  Module* watchers_[2] = {nullptr, nullptr};
 };
 
 /// Owns signals, schedules modules, and advances simulated time.
 class Kernel {
  public:
-  Kernel() = default;
+  explicit Kernel(Scheduler scheduler = Scheduler::kFull)
+      : scheduler_(scheduler) {}
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+
+  Scheduler scheduler() const { return scheduler_; }
 
   /// Creates a kernel-owned signal and returns a stable reference. The
   /// signal joins the pool of its type (pools use deque storage, so
@@ -119,7 +230,9 @@ class Kernel {
     SignalPool<T>& pool = pool_for<T>();
     pool.signals.emplace_back(std::move(reset));
     ++signal_count_;
-    return pool.signals.back();
+    Signal<T>& sig = pool.signals.back();
+    if (scheduler_ == Scheduler::kGated) sig.dirty_list_ = &dirty_;
+    return sig;
   }
 
   /// Registers a module. The kernel does not take ownership; modules must
@@ -127,12 +240,13 @@ class Kernel {
   void add_module(Module& module) { modules_.push_back(&module); }
 
   /// Registers a callback run after every commit (statistics probes).
+  /// Probes run every cycle under both schedulers.
   void add_probe(std::function<void(std::uint64_t cycle)> probe) {
     probes_.push_back(std::move(probe));
   }
 
-  /// Advances one clock cycle: tick all modules, commit all signals,
-  /// run probes.
+  /// Advances one clock cycle: tick (awake) modules, commit staged
+  /// signals, update the active set (gated), run probes.
   void step();
 
   /// Advances `cycles` clock cycles.
@@ -147,15 +261,27 @@ class Kernel {
   std::uint64_t cycle() const { return cycle_; }
 
   std::size_t module_count() const { return modules_.size(); }
+  /// Registered modules in tick order (quiescence-invariant tests walk
+  /// this to check every module's is_idle() claim after a drain).
+  const std::vector<Module*>& modules() const { return modules_; }
   std::size_t signal_count() const { return signal_count_; }
   /// Distinct signal types in use (== virtual dispatches per commit).
   std::size_t signal_pool_count() const { return pools_.size(); }
+  /// Modules ticked last cycle (== module_count() under kFull).
+  std::size_t awake_count() const;
+
+  /// Hash of every signal's committed value, in creation order. Two
+  /// identically constructed kernels in the same state produce the same
+  /// digest regardless of scheduler — the oracle of the differential
+  /// kernel-equivalence tests. Test-only: never called on the hot path.
+  std::uint64_t digest() const;
 
  private:
   /// Type-erased pool handle: one virtual call per type per cycle.
   struct SignalPoolBase {
     virtual ~SignalPoolBase() = default;
     virtual void commit_all() = 0;
+    virtual void digest_into(Digest& d) const = 0;
   };
 
   /// All signals of one type T. Deque storage keeps references stable
@@ -166,6 +292,10 @@ class Kernel {
 
     void commit_all() override {
       for (Signal<T>& s : signals) s.commit();  // direct, inlinable call
+    }
+
+    void digest_into(Digest& d) const override {
+      for (const Signal<T>& s : signals) hash_append(d, s.read());
     }
   };
 
@@ -182,10 +312,14 @@ class Kernel {
     return *static_cast<SignalPool<T>*>(it->second);
   }
 
+  void step_gated();
+
+  Scheduler scheduler_ = Scheduler::kFull;
   std::vector<Module*> modules_;
   std::vector<std::unique_ptr<SignalPoolBase>> pools_;
   std::unordered_map<std::type_index, SignalPoolBase*> pool_index_;
   std::size_t signal_count_ = 0;
+  DirtyList dirty_;  ///< signals written this cycle (gated scheduler only)
   std::vector<std::function<void(std::uint64_t)>> probes_;
   std::uint64_t cycle_ = 0;
 };

@@ -29,6 +29,12 @@ struct Beat {
   T value{};
 };
 
+template <typename T>
+inline void hash_append(Digest& d, const Beat<T>& b) {
+  d.mix(b.valid ? 1u : 0u);
+  if (b.valid) hash_append(d, b.value);
+}
+
 /// The two wires of a stream, allocated from a Kernel.
 template <typename T>
 struct StreamWires {
@@ -61,13 +67,29 @@ class StreamProducer {
   void send(T value) {
     XPL_ASSERT(can_send());
     wires_.data->write(Beat<T>{true, std::move(value)});
+    data_dirty_ = true;
     --credits_;
     sent_this_cycle_ = true;
   }
 
-  /// Drives the data wire idle if nothing was sent. Call last in tick().
+  /// Drives the data wire idle if nothing was sent. Write-on-change: the
+  /// reset beat is written once after the last valid beat, then the wire
+  /// already holds it and the write is skipped. Call last in tick().
   void end_cycle() {
-    if (!sent_this_cycle_) wires_.data->write(Beat<T>{});
+    if (!sent_this_cycle_ && data_dirty_) {
+      wires_.data->write(Beat<T>{});
+      data_dirty_ = false;
+    }
+  }
+
+  /// Wakes `owner` whenever credits are returned on this stream.
+  void watch(Module& owner) { wires_.credit->watch(owner); }
+
+  /// Endpoint part of the owner's quiescence predicate: nothing left to
+  /// drive on the data wire and no credits arriving that a tick would
+  /// need to absorb.
+  bool gate_idle() const {
+    return !data_dirty_ && wires_.credit->read() == 0;
   }
 
   std::size_t credits() const { return credits_; }
@@ -76,6 +98,7 @@ class StreamProducer {
   StreamWires<T> wires_{};
   std::size_t credits_ = 0;
   bool sent_this_cycle_ = false;
+  bool data_dirty_ = false;  ///< data wire still holds a valid beat
 };
 
 /// Consumer endpoint with its receive FIFO; embed by value.
@@ -112,8 +135,28 @@ class StreamConsumer {
     ++freed_this_cycle_;
   }
 
-  /// Writes the credit wire. Call last in tick().
-  void end_cycle() { wires_.credit->write(freed_this_cycle_); }
+  /// Writes the credit wire. Write-on-change: a zero credit return is
+  /// written once after the last nonzero one. Call last in tick().
+  void end_cycle() {
+    if (freed_this_cycle_ != 0) {
+      wires_.credit->write(freed_this_cycle_);
+      credit_dirty_ = true;
+    } else if (credit_dirty_) {
+      wires_.credit->write(0);
+      credit_dirty_ = false;
+    }
+  }
+
+  /// Wakes `owner` whenever a beat arrives on this stream.
+  void watch(Module& owner) { wires_.data->watch(owner); }
+
+  /// Endpoint part of the owner's quiescence predicate: no beat arriving
+  /// and no credit return left to drive. FIFO occupancy is deliberately
+  /// excluded — whether buffered beats still need processing is the
+  /// owning module's concern.
+  bool gate_idle() const {
+    return !credit_dirty_ && !wires_.data->read().valid;
+  }
 
   std::size_t capacity() const { return capacity_; }
 
@@ -122,6 +165,7 @@ class StreamConsumer {
   std::size_t capacity_ = 0;
   Ring<T> fifo_;  ///< capacity fixed at construction; never reallocates
   std::uint8_t freed_this_cycle_ = 0;
+  bool credit_dirty_ = false;  ///< credit wire still holds a nonzero value
 };
 
 }  // namespace xpl::sim

@@ -191,6 +191,9 @@ void SweepSpec::validate() const {
   require(known_routings().count(routing) != 0,
           "sweep: unknown routing '" + routing +
               "' (expected auto | minimal | xy | updown)");
+  require(scheduler == "gated" || scheduler == "full",
+          "sweep: unknown scheduler '" + scheduler +
+              "' (expected gated | full)");
   for (const std::size_t v : vcss) {
     require(v >= 1 && v <= link::kMaxVcs,
             "sweep: vcs must be in [1, " + std::to_string(link::kMaxVcs) +
@@ -276,6 +279,8 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
                         ? topology::RoutingAlgorithm::kXY
                         : topology::RoutingAlgorithm::kUpDown;
   }
+  p.net.scheduler = scheduler == "full" ? sim::Scheduler::kFull
+                                        : sim::Scheduler::kGated;
   // Seeds derive from the *grid* cell, never from scheduling order:
   // bit-identical results for any --jobs value.
   p.net.seed = derive_seed(seed, grid_index * 2 + 0);
@@ -386,6 +391,13 @@ SweepSpec parse_sweep(const std::string& text) {
                          "' (expected auto | minimal | xy | updown)");
       }
       spec.routing = tokens[1];
+    } else if (key == "scheduler") {
+      need(2);
+      if (tokens[1] != "gated" && tokens[1] != "full") {
+        fail(lineno, "unknown scheduler '" + tokens[1] +
+                         "' (expected gated | full)");
+      }
+      spec.scheduler = tokens[1];
     } else if (key == "topology") {
       need_values();
       spec.topologies.assign(tokens.begin() + 1, tokens.end());
@@ -481,6 +493,7 @@ std::string write_sweep(const SweepSpec& spec) {
   os << "read_fraction " << fmt_double(spec.read_fraction) << "\n";
   os << "max_burst " << spec.max_burst << "\n";
   os << "routing " << spec.routing << "\n";
+  os << "scheduler " << spec.scheduler << "\n";
   auto write_list = [&os](const char* key, const auto& values) {
     os << key;
     for (const auto& v : values) os << " " << v;

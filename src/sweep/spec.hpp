@@ -32,6 +32,7 @@
 //   read_fraction 0.5
 //   max_burst 2
 //   routing auto           # campaign-wide: auto | minimal | xy | updown
+//   scheduler gated        # campaign-wide: gated | full (bit-identical)
 //   topology mesh          # axis: mesh | torus | ring | star | spidergon
 //   width 4 6 8            # axis: mesh/torus width (node count otherwise)
 //   height 4               # axis: mesh/torus height (ignored otherwise)
@@ -128,6 +129,11 @@ struct SweepSpec {
   /// Campaign-wide routing selection: "auto" | "minimal" | "xy" |
   /// "updown" (see file comment).
   std::string routing = "auto";
+  /// Campaign-wide kernel scheduling policy: "gated" (skip quiescent
+  /// modules, the default) | "full" (tick everything — the escape hatch
+  /// for cross-checking a suspected gating divergence). Both produce
+  /// byte-identical results; see DESIGN.md §9.
+  std::string scheduler = "gated";
 
   // Axes. The grid is the cross product in this (fixed) order, topology
   // outermost, injection rate innermost.

@@ -68,6 +68,7 @@ Switch::Switch(std::string name, const SwitchConfig& config,
     InputPort port;
     port.rx = link::LinkReceiver(config_.flow, input_wires[i],
                                  config_.input_protocol(i));
+    port.rx.watch(*this);  // arriving flits re-arm a gated switch
     port.lanes.resize(config_.vcs);
     for (InLane& lane : port.lanes) {
       lane.fifo.reserve(config_.input_fifo_depth);
@@ -79,6 +80,7 @@ Switch::Switch(std::string name, const SwitchConfig& config,
     OutputPort port(config.arbiter, config.num_inputs * config_.vcs);
     port.tx = link::LinkSender(config_.flow, output_wires[o],
                                config_.output_protocol(o));
+    port.tx.watch(*this);  // ACK/credit returns re-arm a gated switch
     port.lanes.resize(config_.vcs);
     for (OutLane& lane : port.lanes) {
       lane.fifo.reserve(config_.output_fifo_depth);
@@ -354,6 +356,25 @@ bool Switch::idle() const {
   }
   for (const OutputPort& out : outputs_) {
     if (!out.tx.idle()) return false;
+    for (const OutLane& lane : out.lanes) {
+      if (!lane.fifo.empty() || !lane.pipe.empty()) return false;
+    }
+  }
+  return true;
+}
+
+bool Switch::is_idle() const {
+  // Unlike idle(), a held wormhole lock or unACKed-but-transmitted flit
+  // is sleepable state: only an input-wire or reverse-wire beat can move
+  // it along, and both wake this module via the endpoint watches.
+  for (const InputPort& in : inputs_) {
+    if (!in.rx.gate_idle()) return false;
+    for (const InLane& lane : in.lanes) {
+      if (!lane.fifo.empty()) return false;
+    }
+  }
+  for (const OutputPort& out : outputs_) {
+    if (!out.tx.gate_idle()) return false;
     for (const OutLane& lane : out.lanes) {
       if (!lane.fifo.empty() || !lane.pipe.empty()) return false;
     }

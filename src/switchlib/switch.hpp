@@ -110,6 +110,12 @@ class Switch : public sim::Module {
 
   void tick(sim::Kernel& kernel) override;
 
+  /// Quiescence predicate (gated scheduler): every buffer, delay line and
+  /// endpoint is inert. Held wormhole locks are static state and do NOT
+  /// keep the switch awake — the next body flit wakes it through its
+  /// input wire. See DESIGN.md §9.
+  bool is_idle() const override;
+
   const SwitchConfig& config() const { return config_; }
 
   /// Flits forwarded input->output since construction.

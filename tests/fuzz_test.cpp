@@ -1,7 +1,10 @@
 // Randomized stress tests across the stack: random irregular topologies,
 // random traffic, random parameters — the invariants that must always
 // hold: routes terminate correctly, up*/down* stays deadlock-free,
-// every injected transaction completes, every byte survives.
+// every injected transaction completes, every byte survives. The traffic
+// sweep runs through the differential kernel-equivalence harness, so
+// each random network is simultaneously a gated-vs-full bit-exactness
+// trial on a topology class the named generators cannot produce.
 #include <gtest/gtest.h>
 
 #include "src/common/rng.hpp"
@@ -9,6 +12,7 @@
 #include "src/topology/deadlock.hpp"
 #include "src/topology/generators.hpp"
 #include "src/traffic/traffic.hpp"
+#include "tests/support/differential.hpp"
 
 namespace xpl {
 namespace {
@@ -86,22 +90,32 @@ TEST_P(RandomTrafficSweep, EverythingCompletesOnRandomNetwork) {
     GTEST_SKIP() << "route does not fit flit width for this sample";
   }
 
-  noc::Network net(std::move(topo), cfg);
   traffic::TrafficConfig tcfg;
   tcfg.injection_rate = 0.02 + rng.next_double() * 0.04;
   tcfg.max_burst = 1 + static_cast<std::uint32_t>(rng.next_below(4));
   tcfg.seed = 123 + GetParam();
-  traffic::TrafficDriver driver(net, tcfg);
-  driver.run(2500);
-  net.run_until_quiescent(400000);
+
+  // Twin networks, one per scheduler, through the shared differential
+  // harness: the irregular graph must behave identically gated vs full.
+  auto full_cfg = cfg;
+  full_cfg.scheduler = sim::Scheduler::kFull;
+  cfg.scheduler = sim::Scheduler::kGated;
+  noc::Network full(topo, full_cfg);
+  noc::Network gated(std::move(topo), cfg);
+  traffic::TrafficDriver full_driver(full, tcfg);
+  traffic::TrafficDriver gated_driver(gated, tcfg);
+  const auto diff = testsupport::run_lockstep(
+      full, gated, full_driver, gated_driver, 2500, 400000,
+      "fuzz irregular topology, seed " + std::to_string(GetParam()));
+  ASSERT_TRUE(diff.ok) << diff.detail;
 
   std::size_t completed = 0;
-  for (std::size_t i = 0; i < net.num_initiators(); ++i) {
-    EXPECT_TRUE(net.master(i).quiescent())
+  for (std::size_t i = 0; i < gated.num_initiators(); ++i) {
+    EXPECT_TRUE(gated.master(i).quiescent())
         << "seed " << GetParam() << " master " << i;
-    completed += net.master(i).completed().size();
+    completed += gated.master(i).completed().size();
   }
-  EXPECT_EQ(completed, driver.injected()) << "seed " << GetParam();
+  EXPECT_EQ(completed, gated_driver.injected()) << "seed " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTrafficSweep, ::testing::Range(0, 15));

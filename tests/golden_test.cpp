@@ -4,7 +4,10 @@
 // a recorded `.trace` — against files checked in under tests/golden/. They
 // were generated *before* the hot-path refactor (inline flit storage,
 // pooled signal commit, ring-buffer FIFOs) landed, so any refactor of the
-// core must reproduce the seed behaviour bit for bit to stay green.
+// core must reproduce the seed behaviour bit for bit to stay green. Both
+// kernel schedulers are pinned: the default runs exercise `scheduler
+// gated`, and the scheduler-invariance test re-runs the campaign under
+// `scheduler full` against the same bytes.
 //
 // Regenerating (only when an intentional behaviour change is reviewed):
 //   XPL_UPDATE_GOLDEN=1 ./golden_test
@@ -94,6 +97,20 @@ TEST(Golden, CampaignIsThreadCountInvariant) {
   EXPECT_EQ(t1.to_json(), t8.to_json());
 }
 
+TEST(Golden, CampaignIsSchedulerInvariantAgainstGolden) {
+  // The pinned artifacts predate the activity-gated kernel. The default
+  // runs above exercise `scheduler gated`; this pins `scheduler full`
+  // against the *same* bytes, so both schedulers are anchored to the
+  // seed behaviour independently (not merely to each other).
+  sweep::SweepSpec spec = sweep::parse_sweep(kCampaignSpec);
+  ASSERT_EQ(spec.scheduler, "gated");  // the campaign-wide default
+  spec.scheduler = "full";
+  sweep::SweepRunner runner(1);
+  const sweep::ResultTable table = runner.run(spec);
+  expect_golden("campaign.csv", table.to_csv());
+  expect_golden("campaign.json", table.to_json());
+}
+
 /// The flow-control comparison campaign: the same grid under ACK/nACK
 /// and credit flow control. Pins (a) that ack_nack rows are identical to
 /// what the hard-wired protocol produced, (b) credit-mode results, and
@@ -120,6 +137,33 @@ TEST(Golden, FlowCampaignCsvIsByteStable) {
     }
   }
   expect_golden("campaign_flow.csv", table.to_csv());
+}
+
+/// The low-load campaign: injection rates so sparse that the gated
+/// scheduler skips most of the network most cycles — the regime the
+/// activity gating optimizes. Pinned so the fast path has a golden of
+/// its own, and cross-checked against the full scheduler in-test.
+const char* kLowLoadCampaignSpec =
+    "sweep golden_lowload\n"
+    "seed 13\n"
+    "cycles 2000\n"
+    "topology mesh\n"
+    "width 3\n"
+    "height 3\n"
+    "flow ack_nack credit\n"
+    "injection_rate 0.002 0.01\n";
+
+TEST(Golden, LowLoadCampaignCsvIsByteStable) {
+  sweep::SweepSpec spec = sweep::parse_sweep(kLowLoadCampaignSpec);
+  ASSERT_EQ(spec.scheduler, "gated");
+  sweep::SweepRunner runner(1);
+  const sweep::ResultTable table = runner.run(spec);
+  for (const auto& r : table.rows()) ASSERT_TRUE(r.ok) << r.error;
+  expect_golden("campaign_lowload.csv", table.to_csv());
+
+  spec.scheduler = "full";
+  const sweep::ResultTable full_table = runner.run(spec);
+  EXPECT_EQ(full_table.to_csv(), table.to_csv());
 }
 
 TEST(Golden, RecordedTraceIsByteStable) {

@@ -1,0 +1,317 @@
+// Differential kernel-equivalence harness (PR 7).
+//
+// The activity-gated scheduler (sim::Scheduler::kGated) is a pure
+// optimization: it must be *bit-exact* against the full scheduler on
+// every observable — per-cycle signal values, end-of-run statistics,
+// campaign exports, recorded traces. This header is the proof engine:
+// it builds two identically-configured networks, one per scheduler,
+// drives them in lockstep with twin traffic generators, and compares
+// the kernels' signal digests every cycle. A divergence is reported
+// with the first divergent cycle and the modules whose state differs,
+// and scenarios shrink toward a minimal reproduction before reporting.
+//
+// Used by tests/kernel_equiv_test.cpp (randomized sweep), the fuzz
+// suite, and the wake-hazard regression tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/link/flow.hpp"
+#include "src/noc/network.hpp"
+#include "src/sim/kernel.hpp"
+#include "src/topology/generators.hpp"
+#include "src/traffic/stats.hpp"
+#include "src/traffic/traffic.hpp"
+
+namespace xpl::testsupport {
+
+/// One randomized equivalence trial: everything needed to construct two
+/// identical networks and their traffic, minus the scheduler choice.
+struct DiffScenario {
+  std::string topology = "mesh";  ///< mesh | torus | ring | star | spidergon
+  std::size_t width = 2;
+  std::size_t height = 2;
+  std::size_t vcs = 1;
+  link::FlowControl flow = link::FlowControl::kAckNack;
+  double bit_error_rate = 0.0;
+  topology::RoutingAlgorithm routing = topology::RoutingAlgorithm::kXY;
+  double injection_rate = 0.05;
+  double burstiness = 0.0;
+  std::size_t cycles = 400;        ///< driven cycles
+  std::size_t drain_cycles = 6000; ///< extra lockstep cycles to drain
+  std::uint64_t net_seed = 1;
+  std::uint64_t traffic_seed = 1;
+
+  topology::Topology build_topology() const {
+    const std::size_t n = topology == "mesh" || topology == "torus"
+                              ? width * height
+                              : topology == "star" ? width + 1
+                              : topology == "spidergon" ? width + (width % 2)
+                                                        : width;
+    const auto plan = topology::NiPlan::uniform(n, 1, 1);
+    if (topology == "mesh") return topology::make_mesh(width, height, plan);
+    if (topology == "torus") return topology::make_torus(width, height, plan);
+    if (topology == "ring") return topology::make_ring(width, plan);
+    if (topology == "star") return topology::make_star(width, plan);
+    return topology::make_spidergon(width + (width % 2), plan);
+  }
+
+  noc::NetworkConfig net_config(sim::Scheduler scheduler) const {
+    noc::NetworkConfig cfg;
+    cfg.routing = routing;
+    cfg.vcs = vcs;
+    cfg.flow = flow;
+    cfg.bit_error_rate = bit_error_rate;
+    cfg.seed = net_seed;
+    cfg.target_window = 1 << 12;
+    cfg.scheduler = scheduler;
+    return cfg;
+  }
+
+  traffic::TrafficConfig traffic_config() const {
+    traffic::TrafficConfig cfg;
+    cfg.injection_rate = injection_rate;
+    cfg.burstiness = burstiness;
+    cfg.seed = traffic_seed;
+    return cfg;
+  }
+
+  /// Reproduction recipe, printed on failure.
+  std::string to_string() const {
+    std::ostringstream os;
+    os << topology << " " << width << "x" << height << " vcs=" << vcs
+       << " flow=" << link::flow_control_name(flow)
+       << " ber=" << bit_error_rate
+       << " routing=" << topology::routing_name(routing)
+       << " rate=" << injection_rate << " burst=" << burstiness
+       << " cycles=" << cycles << " net_seed=" << net_seed
+       << " traffic_seed=" << traffic_seed;
+    return os.str();
+  }
+};
+
+/// Outcome of one lockstep comparison.
+struct DiffResult {
+  bool ok = true;
+  /// Cycle whose post-commit digest first differed (or the end-of-run
+  /// stats comparison when the per-cycle digests agreed).
+  std::uint64_t first_divergent_cycle = 0;
+  std::string detail;  ///< human-readable attribution
+
+  explicit operator bool() const { return ok; }
+};
+
+namespace detail {
+
+/// Compares a handful of per-module observables and names the first
+/// mismatch — digest divergence says *when*, this says *where*.
+inline std::string attribute_divergence(noc::Network& full,
+                                        noc::Network& gated) {
+  std::ostringstream os;
+  for (std::size_t s = 0; s < full.num_switches(); ++s) {
+    const std::string a = full.switch_at(s).debug_state();
+    const std::string b = gated.switch_at(s).debug_state();
+    if (a != b) {
+      os << "\n  switch " << s << " full:  " << a << "\n  switch " << s
+         << " gated: " << b;
+    }
+  }
+  for (std::size_t i = 0; i < full.num_initiators(); ++i) {
+    if (full.master(i).issued_count() != gated.master(i).issued_count() ||
+        full.master(i).completed().size() !=
+            gated.master(i).completed().size()) {
+      os << "\n  master " << i << ": issued "
+         << full.master(i).issued_count() << "/"
+         << gated.master(i).issued_count() << " completed "
+         << full.master(i).completed().size() << "/"
+         << gated.master(i).completed().size();
+    }
+  }
+  for (std::size_t t = 0; t < full.num_targets(); ++t) {
+    if (full.target_ni(t).packets_received() !=
+        gated.target_ni(t).packets_received()) {
+      os << "\n  target_ni " << t << ": packets_received "
+         << full.target_ni(t).packets_received() << "/"
+         << gated.target_ni(t).packets_received();
+    }
+  }
+  os << "\n  awake(gated) = " << gated.kernel().awake_count() << "/"
+     << gated.kernel().module_count();
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Lockstep comparator over caller-built twins: `full` and `gated` must
+/// be identically constructed except for the scheduler, and the drivers
+/// identically seeded. Drives both for `cycles`, then drains, comparing
+/// the kernels' signal digests after every cycle and the end-of-run
+/// statistics at the end. `describe` labels the failure report. This is
+/// the reusable core: DiffScenario-based callers go through
+/// run_differential below; suites with their own topology generators
+/// (tests/fuzz_test.cpp) call this directly.
+inline DiffResult run_lockstep(noc::Network& full, noc::Network& gated,
+                               traffic::TrafficDriver& full_driver,
+                               traffic::TrafficDriver& gated_driver,
+                               std::size_t cycles, std::size_t drain_cycles,
+                               const std::string& describe) {
+  DiffResult result;
+  auto diverged = [&](std::uint64_t cycle, const char* phase) {
+    result.ok = false;
+    result.first_divergent_cycle = cycle;
+    std::ostringstream os;
+    os << "digest divergence at cycle " << cycle << " (" << phase
+       << " phase)\n  scenario: " << describe
+       << detail::attribute_divergence(full, gated);
+    result.detail = os.str();
+    return result;
+  };
+
+  for (std::size_t c = 0; c < cycles; ++c) {
+    full_driver.step();
+    gated_driver.step();
+    full.step();
+    gated.step();
+    if (full.kernel().digest() != gated.kernel().digest()) {
+      return diverged(full.kernel().cycle(), "driven");
+    }
+  }
+  for (std::size_t c = 0; c < drain_cycles; ++c) {
+    if (full.quiescent() && gated.quiescent()) break;
+    full.step();
+    gated.step();
+    if (full.kernel().digest() != gated.kernel().digest()) {
+      return diverged(full.kernel().cycle(), "drain");
+    }
+  }
+  if (full.quiescent() != gated.quiescent()) {
+    result.ok = false;
+    result.first_divergent_cycle = full.kernel().cycle();
+    result.detail = "drain divergence (full " +
+                    std::string(full.quiescent() ? "quiescent" : "stuck") +
+                    ", gated " +
+                    std::string(gated.quiescent() ? "quiescent" : "stuck") +
+                    ")\n  scenario: " + describe +
+                    detail::attribute_divergence(full, gated);
+    return result;
+  }
+
+  // Per-cycle digests agreed; the aggregate statistics must too.
+  const auto fs = traffic::collect_run(full, cycles);
+  const auto gs = traffic::collect_run(gated, cycles);
+  std::ostringstream os;
+  auto check = [&os](const char* what, auto a, auto b) {
+    if (a != b) os << "\n  " << what << ": full=" << a << " gated=" << b;
+  };
+  check("transactions", fs.transactions, gs.transactions);
+  check("latency.mean", fs.latency.mean, gs.latency.mean);
+  check("latency.p95", fs.latency.p95, gs.latency.p95);
+  check("throughput", fs.throughput, gs.throughput);
+  check("link_flits", fs.link_flits, gs.link_flits);
+  check("retransmissions", fs.retransmissions, gs.retransmissions);
+  check("credit_stalls", fs.credit_stalls, gs.credit_stalls);
+  if (!os.str().empty()) {
+    result.ok = false;
+    result.first_divergent_cycle = full.kernel().cycle();
+    result.detail = "stats divergence after identical digests (scenario: " +
+                    describe + ")" + os.str();
+  }
+  return result;
+}
+
+/// Builds the full- and gated-scheduler twins of `scenario`, drives them
+/// in lockstep, and compares the kernels' signal digests after every
+/// cycle (driven phase and drain phase alike), then the end-of-run
+/// statistics. Returns the first divergence, if any.
+inline DiffResult run_differential(const DiffScenario& scenario) {
+  noc::Network full(scenario.build_topology(),
+                    scenario.net_config(sim::Scheduler::kFull));
+  noc::Network gated(scenario.build_topology(),
+                     scenario.net_config(sim::Scheduler::kGated));
+  traffic::TrafficDriver full_driver(full, scenario.traffic_config());
+  traffic::TrafficDriver gated_driver(gated, scenario.traffic_config());
+  return run_lockstep(full, gated, full_driver, gated_driver,
+                      scenario.cycles, scenario.drain_cycles,
+                      scenario.to_string());
+}
+
+/// Greedy scenario shrinking: tries a fixed set of simplifying mutations
+/// (shorter run, calmer traffic, fewer lanes, smaller topology) and
+/// keeps each one that still reproduces a divergence. Returns the
+/// minimal still-failing scenario (the input if nothing smaller fails).
+inline DiffScenario shrink_divergence(DiffScenario scenario) {
+  auto still_fails = [](const DiffScenario& s) {
+    return !run_differential(s).ok;
+  };
+  // Cut the driven window toward the first divergent cycle first — every
+  // later mutation then re-verifies against the cheap short run.
+  for (int pass = 0; pass < 3; ++pass) {
+    DiffScenario t = scenario;
+    t.cycles = std::max<std::size_t>(1, t.cycles / 2);
+    if (t.cycles < scenario.cycles && still_fails(t)) {
+      scenario = t;
+      continue;
+    }
+    break;
+  }
+  {
+    DiffScenario t = scenario;
+    t.burstiness = 0.0;
+    if (scenario.burstiness != 0.0 && still_fails(t)) scenario = t;
+  }
+  {
+    DiffScenario t = scenario;
+    t.bit_error_rate = 0.0;
+    if (scenario.bit_error_rate != 0.0 && still_fails(t)) scenario = t;
+  }
+  {
+    DiffScenario t = scenario;
+    t.injection_rate = scenario.injection_rate / 4;
+    if (still_fails(t)) scenario = t;
+  }
+  // Lane reduction only where vcs == 1 routes stay deadlock-free.
+  if (scenario.vcs > 1 && (scenario.topology == "mesh" ||
+                           scenario.topology == "star")) {
+    DiffScenario t = scenario;
+    t.vcs = 1;
+    if (still_fails(t)) scenario = t;
+  }
+  if (scenario.topology == "mesh" || scenario.topology == "torus") {
+    while (scenario.width > 2 || scenario.height > 2) {
+      DiffScenario t = scenario;
+      if (t.width > 2) --t.width;
+      else --t.height;
+      if (!still_fails(t)) break;
+      scenario = t;
+    }
+  } else {
+    while (scenario.width > 3) {
+      DiffScenario t = scenario;
+      --t.width;
+      if (!still_fails(t)) break;
+      scenario = t;
+    }
+  }
+  return scenario;
+}
+
+/// run_differential + automatic shrinking on failure: the returned
+/// result's detail describes the *minimal* reproduction.
+inline DiffResult run_differential_shrunk(const DiffScenario& scenario) {
+  DiffResult result = run_differential(scenario);
+  if (result.ok) return result;
+  const DiffScenario minimal = shrink_divergence(scenario);
+  DiffResult shrunk = run_differential(minimal);
+  if (!shrunk.ok) {
+    shrunk.detail += "\n  (shrunk from: " + scenario.to_string() + ")";
+    return shrunk;
+  }
+  return result;  // shrinking raced a flaky repro; report the original
+}
+
+}  // namespace xpl::testsupport

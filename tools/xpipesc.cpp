@@ -10,12 +10,16 @@
 //     --rate <r>           injection rate for --simulate (default 0.03)
 //     --optimize-buffers   run the buffer-sizing pass first
 //     --print-spec         echo the canonical specification and exit
+//     --gated / --ungated  force the kernel scheduler for --simulate
+//                          (bit-identical results; --ungated is the
+//                          escape hatch for gating-divergence triage)
 //
 // Example:
 //   xpipesc my_soc.noc --optimize-buffers --estimate 900 --emit out/
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "src/compiler/compiler.hpp"
@@ -29,7 +33,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <spec.noc> [--emit <dir>] [--estimate <MHz>]\n"
                "          [--simulate <cycles>] [--rate <r>]\n"
-               "          [--optimize-buffers] [--print-spec]\n",
+               "          [--optimize-buffers] [--print-spec]\n"
+               "          [--gated | --ungated]\n",
                argv0);
 }
 
@@ -49,6 +54,7 @@ int main(int argc, char** argv) {
   double rate = 0.03;
   bool optimize_buffers = false;
   bool print_spec = false;
+  std::optional<sim::Scheduler> scheduler;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +77,10 @@ int main(int argc, char** argv) {
       optimize_buffers = true;
     } else if (arg == "--print-spec") {
       print_spec = true;
+    } else if (arg == "--gated") {
+      scheduler = sim::Scheduler::kGated;
+    } else if (arg == "--ungated") {
+      scheduler = sim::Scheduler::kFull;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -88,6 +98,7 @@ int main(int argc, char** argv) {
 
   try {
     compiler::NocSpec spec = compiler::load_spec(spec_path);
+    if (scheduler.has_value()) spec.net.scheduler = *scheduler;
     compiler::XpipesCompiler xpipes;
 
     if (print_spec) {

@@ -59,6 +59,7 @@ void usage(const char* argv0) {
                "          [--checkpoint <path>] [--resume <path>]\n"
                "          [--halt-after N] [--pareto] [--check-deadlock]\n"
                "          [--print-spec] [--list-apps] [--quiet]\n"
+               "          [--gated | --ungated]\n"
                "       %s --resume <campaign.ckpt> [options]\n",
                argv0, argv0);
 }
@@ -124,6 +125,7 @@ int main(int argc, char** argv) {
   bool print_spec = false;
   bool check_deadlock = false;
   bool quiet = false;
+  std::string scheduler_override;  // "" = use the spec's directive
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -159,6 +161,10 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--gated") {
+      scheduler_override = "gated";
+    } else if (arg == "--ungated") {
+      scheduler_override = "full";
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -205,6 +211,9 @@ int main(int argc, char** argv) {
     } else {
       spec = sweep::load_sweep(spec_path);
     }
+    // Safe even on resume: both schedulers produce byte-identical
+    // results, so mixing them within one campaign changes nothing.
+    if (!scheduler_override.empty()) spec.scheduler = scheduler_override;
     if (print_spec) {
       std::fputs(sweep::write_sweep(spec).c_str(), stdout);
       return 0;
