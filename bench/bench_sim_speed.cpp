@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -94,13 +95,16 @@ BENCHMARK(BM_IdleCycles)->Arg(2)->Arg(4)->Arg(8);
 // idles the stalled senders, and extra lanes relieve head-of-line
 // blocking at the switch inputs.
 void loaded_cycles(benchmark::State& state, double injection_rate,
-                   std::size_t vcs) {
+                   std::size_t vcs, std::size_t partitions = 1,
+                   std::size_t sim_threads = 1) {
   using namespace xpl;
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto flow = static_cast<link::FlowControl>(state.range(1));
   noc::NetworkConfig cfg = config(n);
   cfg.flow = flow;
   cfg.vcs = vcs;
+  cfg.partitions = partitions;
+  cfg.sim_threads = sim_threads;
   noc::Network net(
       topology::make_mesh(n, n, topology::NiPlan::uniform(n * n, 1, 1)),
       cfg);
@@ -173,6 +177,42 @@ BENCHMARK(BM_LoadedCycles)
     ->Args({8, 0})
     ->Args({8, 1});
 
+// Partitioned twins of the two headline throughput benchmarks at
+// threads=1: the pure bookkeeping overhead of the partitioned datapath
+// (cut mailboxes, per-partition dirty lists, epoch loop) with zero
+// parallel upside. bench_compare pairs each twin against its
+// unpartitioned sibling *within one record* (see
+// .github/workflows/ci.yml) — the cut must cost less than 10% before
+// threads can start paying it back. Registered directly after the
+// sibling on purpose: burstable/throttled runners drift 2-3x over
+// minutes, so the paired rows must run back-to-back to measure the
+// datapath rather than the clock.
+void BM_LoadedCyclesPartitioned(benchmark::State& state) {
+  loaded_cycles(state, 0.05, /*vcs=*/1,
+                static_cast<std::size_t>(state.range(2)),
+                static_cast<std::size_t>(state.range(3)));
+}
+// threads=1 rows stay on the suite's default CPU-time rate: the driving
+// thread does all the work, and the unpartitioned siblings they pair
+// against report CPU time (mixing clocks would fold the container's
+// throttle stalls into one side of the ratio only).
+BENCHMARK(BM_LoadedCyclesPartitioned)
+    ->ArgNames({"mesh", "flow", "parts", "threads"})
+    ->Args({8, 0, 2, 1})
+    ->Args({8, 1, 2, 1});
+
+// threads>1 rows need UseRealTime: the driving thread blocks at the
+// epoch barrier while workers simulate, so the default main-thread
+// CPU-time rate would overstate cycles/s by ~the thread count.
+void BM_LoadedCyclesPartitionedMT(benchmark::State& state) {
+  BM_LoadedCyclesPartitioned(state);
+}
+BENCHMARK(BM_LoadedCyclesPartitionedMT)
+    ->ArgNames({"mesh", "flow", "parts", "threads"})
+    ->UseRealTime()
+    ->Args({8, 1, 2, 2})
+    ->Args({8, 1, 4, 4});
+
 void BM_SaturatedCycles(benchmark::State& state) {
   loaded_cycles(state, 0.30, static_cast<std::size_t>(state.range(2)));
 }
@@ -186,6 +226,87 @@ BENCHMARK(BM_SaturatedCycles)
     ->Args({4, 1, 4})
     ->Args({8, 0, 1})
     ->Args({8, 1, 1});
+
+// Same pairing rule as BM_LoadedCyclesPartitioned above.
+void BM_SaturatedCyclesPartitioned(benchmark::State& state) {
+  loaded_cycles(state, 0.30, /*vcs=*/1,
+                static_cast<std::size_t>(state.range(2)),
+                static_cast<std::size_t>(state.range(3)));
+}
+BENCHMARK(BM_SaturatedCyclesPartitioned)
+    ->ArgNames({"mesh", "flow", "parts", "threads"})
+    ->Args({8, 0, 2, 1})
+    ->Args({8, 1, 2, 1});
+
+// The partitioned datapath across shapes and degrees of parallelism:
+// cycles/s on mesh 8x8, mesh 16x16, and a concentrated 8x8 mesh (c=4,
+// whose 1-stage grid links buy 2-cycle lookahead epochs — half the
+// barriers). The `la` arg caps the epoch length (0 = derive from the
+// cut); epochs and cross-cut flit volume are reported so regressions can
+// be attributed to barrier count vs mailbox traffic.
+void BM_PartitionedCycles(benchmark::State& state) {
+  using namespace xpl;
+  const auto shape = state.range(0);  // 0: mesh8, 1: mesh16, 2: cmesh8x8c4
+  const auto parts = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  const auto la = static_cast<std::size_t>(state.range(3));
+  const std::size_t side = shape == 1 ? 16 : 8;
+  noc::NetworkConfig cfg = config(side);
+  // A 16x16 mesh routes up to 30 hops x 4 bits: the route field needs a
+  // 128-bit head flit (config() only widens to 64 for the 8x8 meshes).
+  if (side == 16) cfg.flit_width = 128;
+  cfg.partitions = parts;
+  cfg.sim_threads = threads;
+  cfg.lookahead = la;
+  topology::Topology topo =
+      shape == 2
+          ? topology::make_cmesh(8, 8, 4)
+          : topology::make_mesh(side, side,
+                                topology::NiPlan::uniform(side * side, 1, 1));
+  noc::Network net(std::move(topo), cfg);
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.05;
+  traffic::TrafficDriver driver(net, tcfg);
+  const std::size_t k = std::max<std::size_t>(1, net.kernel().lookahead());
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    driver.run(k);  // one epoch per iteration
+    cycles += k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));  // cycles/s
+  state.SetLabel(shape == 2 ? "cmesh8x8c4" : (shape == 1 ? "mesh16" : "mesh8"));
+  state.counters["lookahead"] = static_cast<double>(k);
+  state.counters["epochs"] = static_cast<double>(net.kernel().epochs());
+  state.counters["cut_flits_per_kcycle"] =
+      cycles > 0 ? 1000.0 * static_cast<double>(net.kernel().cut_flits()) /
+                       static_cast<double>(cycles)
+                 : 0.0;
+}
+BENCHMARK(BM_PartitionedCycles)
+    ->ArgNames({"shape", "parts", "threads", "la"})
+    ->Args({0, 1, 1, 0})
+    ->Args({0, 2, 1, 0})
+    ->Args({0, 4, 1, 0})
+    ->Args({1, 1, 1, 0})
+    ->Args({1, 4, 1, 0})
+    ->Args({2, 1, 1, 0})
+    ->Args({2, 4, 1, 0})
+    ->Args({2, 4, 1, 1});
+
+// Same CPU-vs-wall split as the twins above: multi-thread rows report
+// wall rates or they would claim ~threads x phantom speedup on this
+// 1-core container.
+void BM_PartitionedCyclesMT(benchmark::State& state) {
+  BM_PartitionedCycles(state);
+}
+BENCHMARK(BM_PartitionedCyclesMT)
+    ->ArgNames({"shape", "parts", "threads", "la"})
+    ->UseRealTime()
+    ->Args({0, 2, 2, 0})
+    ->Args({0, 4, 4, 0})
+    ->Args({1, 4, 4, 0})
+    ->Args({2, 4, 4, 0})
+    ->Args({2, 4, 4, 1});
 
 // The dateline payoff: saturated transaction throughput on a 4x4 torus,
 // minimal (shortest-path) routing with dateline VCs against the up*/down*
@@ -361,9 +482,13 @@ bool write_bench_json(const std::string& path,
     // The flow-control / routing comparisons: retransmission vs
     // credit-stall load behind the cycles/s numbers, and the saturated
     // transaction throughput of the torus routing duel.
-    for (const char* key : {"retx", "credit_stalls", "txns_per_kcycle"}) {
+    for (const char* key : {"retx", "credit_stalls", "txns_per_kcycle",
+                            "lookahead", "epochs", "cut_flits_per_kcycle"}) {
       const auto it2 = run.counters.find(key);
-      if (it2 != run.counters.end()) {
+      // Aggregate rows (--benchmark_repetitions) can carry NaN counters
+      // (the cv of an all-zero counter) — not representable in JSON.
+      if (it2 != run.counters.end() &&
+          std::isfinite(static_cast<double>(it2->second))) {
         std::fprintf(out, ", \"%s\": %.0f", key,
                      static_cast<double>(it2->second));
       }

@@ -29,6 +29,14 @@ whose name starts with PREFIX runs at >= RATIO x the baseline. CI uses
 it to hold the activity-gated kernel to its speedup claim against the
 last pre-gating record (BM_IdleCycles vs BENCH_pr6.json); the required
 ratio is far above runner noise, so this gate is safe to make blocking.
+
+--require-pair-ratio CURRENT=BASELINE=RATIO (repeatable) gates a
+*renamed* benchmark against a differently-named baseline entry: exit
+nonzero unless current[CURRENT] runs at >= RATIO x baseline[BASELINE].
+'=' separates the fields because benchmark names contain ':'
+(e.g. BM_LoadedCycles/mesh:8/flow:0). CI uses it to hold the
+partitioned-at-threads=1 twins to bounded overhead against the
+unpartitioned pre-partitioning record.
 """
 
 import argparse
@@ -102,6 +110,15 @@ def main():
         help="exit 1 unless every matched benchmark whose name starts "
              "with PREFIX runs at >= RATIO x the baseline (repeatable)",
     )
+    parser.add_argument(
+        "--require-pair-ratio",
+        action="append",
+        default=[],
+        metavar="CURRENT=BASELINE=RATIO",
+        help="exit 1 unless the CURRENT benchmark in the current record "
+             "runs at >= RATIO x the BASELINE benchmark in the baseline "
+             "record ('=' separators: names contain ':'; repeatable)",
+    )
     args = parser.parse_args()
 
     requirements = []
@@ -113,6 +130,18 @@ def main():
             requirements.append((prefix, float(ratio)))
         except ValueError:
             parser.error(f"bad ratio in --require-min-ratio {spec!r}")
+
+    pair_requirements = []
+    for spec in args.require_pair_ratio:
+        fields = spec.split("=")
+        if len(fields) != 3 or not fields[0] or not fields[1]:
+            parser.error(
+                f"--require-pair-ratio wants CURRENT=BASELINE=RATIO, "
+                f"got {spec!r}")
+        try:
+            pair_requirements.append((fields[0], fields[1], float(fields[2])))
+        except ValueError:
+            parser.error(f"bad ratio in --require-pair-ratio {spec!r}")
 
     if args.auto_baseline:
         if args.baseline is not None:
@@ -185,6 +214,20 @@ def main():
             print(f"{verdict}: {name}: {achieved:.2f}x baseline "
                   f"(required >= {ratio:g}x)")
             failed = failed or achieved < ratio
+
+    for cur_name, base_name, ratio in pair_requirements:
+        b = base.get(base_name, {}).get("items_per_s")
+        c = cur.get(cur_name, {}).get("items_per_s")
+        if not b or not c or b <= 0:
+            print(f"FAIL: --require-pair-ratio {cur_name} vs {base_name}: "
+                  "missing entry or no items_per_s")
+            failed = True
+            continue
+        achieved = c / b
+        verdict = "ok" if achieved >= ratio else "FAIL"
+        print(f"{verdict}: {cur_name}: {achieved:.2f}x {base_name} "
+              f"(required >= {ratio:g}x)")
+        failed = failed or achieved < ratio
 
     if args.fail_below is not None and worst < -args.fail_below:
         print(f"\nFAIL: worst regression {worst:.1f}% exceeds "

@@ -144,6 +144,19 @@ NocSpec parse_spec(const std::string& text) {
     } else if (key == "extra_pipeline") {
       need(2);
       spec.net.extra_switch_pipeline = parse_u64(tokens[1], lineno);
+    } else if (key == "partitions") {
+      // Partitioned-simulation knobs (DESIGN.md §10). `threads` was
+      // already taken by OCP num_threads, hence `sim_threads`.
+      need(2);
+      spec.net.partitions = parse_u64(tokens[1], lineno);
+      if (spec.net.partitions < 1) fail(lineno, "partitions must be >= 1");
+    } else if (key == "sim_threads") {
+      need(2);
+      spec.net.sim_threads = parse_u64(tokens[1], lineno);
+      if (spec.net.sim_threads < 1) fail(lineno, "sim_threads must be >= 1");
+    } else if (key == "lookahead") {
+      need(2);
+      spec.net.lookahead = parse_u64(tokens[1], lineno);
     } else if (key == "switch") {
       if (tokens.size() != 2 && tokens.size() != 5) {
         fail(lineno, "'switch' expects: switch <name> [coord <x> <y>]");
@@ -250,6 +263,15 @@ std::string write_spec(const NocSpec& spec) {
   }
   if (spec.net.extra_switch_pipeline != 0) {
     os << "extra_pipeline " << spec.net.extra_switch_pipeline << "\n";
+  }
+  if (spec.net.partitions != 1) {
+    os << "partitions " << spec.net.partitions << "\n";
+  }
+  if (spec.net.sim_threads != 1) {
+    os << "sim_threads " << spec.net.sim_threads << "\n";
+  }
+  if (spec.net.lookahead != 0) {
+    os << "lookahead " << spec.net.lookahead << "\n";
   }
   for (std::uint32_t s = 0; s < spec.topo.num_switches(); ++s) {
     const auto& node = spec.topo.switch_node(s);

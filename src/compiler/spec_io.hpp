@@ -21,6 +21,9 @@
 //   vcs 2                 # virtual channels per link (default 1)
 //   input_fifo 2          # switch input buffer depth (default 2)
 //   output_fifo 4         # switch output queue depth (default 4)
+//   partitions 4          # kernel partitions (default 1; DESIGN.md §10)
+//   sim_threads 4         # simulation worker threads (default 1)
+//   lookahead 2           # epoch cap in cycles (default 0 = auto-max)
 //   switch sw_0_0 coord 0 0
 //   switch hub
 //   link sw_0_0 hub stages 2
@@ -28,9 +31,12 @@
 //   initiator cpu0 at sw_0_0
 //   target mem0 at hub
 //
-// `flow`, `vcs`, `input_fifo`, `output_fifo` and the link `class` /
-// `dateline` annotations are written only when they differ from their
-// defaults, so pre-existing canonical specs stay byte-identical. The
+// `flow`, `vcs`, `input_fifo`, `output_fifo`, `partitions`,
+// `sim_threads`, `lookahead` and the link `class` / `dateline`
+// annotations are written only when they differ from their
+// defaults, so pre-existing canonical specs stay byte-identical.
+// (`threads` is the OCP thread count; the simulation worker-thread knob
+// is `sim_threads`.) The
 // annotations make generator-built multi-lane topologies (and the
 // configurations xtune emits) fully self-describing: a written spec
 // re-simulates exactly.

@@ -1,0 +1,129 @@
+#include "src/link/cut.hpp"
+
+namespace xpl::link {
+
+CutLink::CutLink(const std::string& name, const LinkWires& upstream,
+                 const LinkWires& downstream, const Config& config)
+    : name_(name),
+      config_(config),
+      up_(upstream),
+      down_(downstream),
+      rng_(config.seed),
+      sender_(*this, name + ".tx"),
+      receiver_(*this, name + ".rx") {
+  // Each half watches the wire it samples, in its own partition — the
+  // same two watch slots the uncut PipelinedLink would take.
+  up_.fwd->watch(sender_);
+  down_.rev->watch(receiver_);
+}
+
+// Identical fault model and RNG draw order to PipelinedLink: beats are
+// corrupted in arrival order and every beat draws the same number of
+// chances, so the corrupted payload stream matches the uncut link's.
+void CutLink::corrupt_in_place(FlitBeat& beat) {
+  bool corrupted = false;
+  Flit& flit = beat.flit;
+  for (std::size_t i = 0; i < flit.payload.width(); ++i) {
+    if (rng_.chance(config_.bit_error_rate)) {
+      flit.payload.set(i, !flit.payload.get(i));
+      corrupted = true;
+    }
+  }
+  if (rng_.chance(config_.bit_error_rate)) {
+    flit.head = !flit.head;
+    corrupted = true;
+  }
+  if (rng_.chance(config_.bit_error_rate)) {
+    flit.tail = !flit.tail;
+    corrupted = true;
+  }
+  if (rng_.chance(config_.bit_error_rate)) {
+    flit.seqno ^= 1u << rng_.next_below(8);
+    corrupted = true;
+  }
+  if (corrupted) ++flits_corrupted_;
+}
+
+void CutLink::tick_sender(sim::Kernel& kernel) {
+  const std::uint64_t now = kernel.cycle();
+  // Replay due ack records onto the upstream reverse wire with the uncut
+  // link's write-on-change filter: valid beats always, the idle beat
+  // only as the one trailing write after a valid run. The filter matters
+  // — an extra idle write would wake the upstream consumer on cycles the
+  // uncut link would not.
+  while (!rev_inbox_.empty() && rev_inbox_.front().due == now) {
+    AckBeat beat = rev_inbox_.front().beat;
+    rev_inbox_.pop_front();
+    if (beat.valid) {
+      up_.rev->write(beat);
+      rev_out_dirty_ = true;
+    } else if (rev_out_dirty_) {
+      up_.rev->write(beat);
+      rev_out_dirty_ = false;
+    }
+  }
+  // Capture this cycle's upstream write, if any. Under write-on-change a
+  // wire holds a valid beat only on cycles it was written for, so the
+  // record stream equals the beat stream the uncut link would carry.
+  if (up_.fwd->written()) {
+    FlitBeat beat = up_.fwd->staged();
+    if (beat.valid) {
+      ++flits_carried_;
+      if (config_.bit_error_rate > 0.0) corrupt_in_place(beat);
+    }
+    fwd_outbox_.push_back({now + 1 + config_.stages, std::move(beat)});
+  }
+}
+
+void CutLink::tick_receiver(sim::Kernel& kernel) {
+  const std::uint64_t now = kernel.cycle();
+  while (!fwd_inbox_.empty() && fwd_inbox_.front().due == now) {
+    FlitBeat beat = std::move(fwd_inbox_.front().beat);
+    fwd_inbox_.pop_front();
+    if (beat.valid) {
+      down_.fwd->write(std::move(beat));
+      fwd_out_dirty_ = true;
+    } else if (fwd_out_dirty_) {
+      down_.fwd->write(std::move(beat));
+      fwd_out_dirty_ = false;
+    }
+  }
+  if (down_.rev->written()) {
+    rev_outbox_.push_back(
+        {now + 1 + config_.stages, down_.rev->staged()});
+  }
+}
+
+bool CutLink::sender_idle() const {
+  // Mirrors PipelinedLink::is_idle restricted to the sender's half of
+  // the state: pending records anywhere on this side, an undrained
+  // upstream input, or an un-reset reverse output all block quiescence
+  // (so drain-cycle counts match the uncut link's).
+  return fwd_outbox_.empty() && rev_inbox_.empty() && !rev_out_dirty_ &&
+         !up_.fwd->read().valid;
+}
+
+bool CutLink::receiver_idle() const {
+  return fwd_inbox_.empty() && rev_outbox_.empty() && !fwd_out_dirty_ &&
+         !down_.rev->read().valid;
+}
+
+void CutLink::exchange() {
+  if (!fwd_outbox_.empty()) {
+    do {
+      if (fwd_outbox_.front().beat.valid) ++flits_exchanged_;
+      fwd_inbox_.push_back(std::move(fwd_outbox_.front()));
+      fwd_outbox_.pop_front();
+    } while (!fwd_outbox_.empty());
+    receiver_.wake();
+  }
+  if (!rev_outbox_.empty()) {
+    do {
+      rev_inbox_.push_back(std::move(rev_outbox_.front()));
+      rev_outbox_.pop_front();
+    } while (!rev_outbox_.empty());
+    sender_.wake();
+  }
+}
+
+}  // namespace xpl::link

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/error.hpp"
+#include "src/topology/partition.hpp"
 
 namespace xpl::noc {
 
@@ -94,47 +95,109 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
   initiator_ids_ = topo_.initiator_ids();
   target_ids_ = topo_.target_ids();
 
+  // ---- Partition assignment (DESIGN.md §10). Everything downstream —
+  // wire creation, module creation, registration — tags each element
+  // with its switch's partition; signal/module *creation order* stays
+  // exactly the unpartitioned sequence, so digests and exports are
+  // byte-identical at any partition count.
+  const std::size_t parts = std::min<std::size_t>(
+      std::max<std::size_t>(config.partitions, 1), topo_.num_switches());
+  if (parts > 1) {
+    switch_partition_ = topology::partition_switches(topo_, parts);
+    kernel_.configure_partitions(parts, std::max<std::size_t>(
+                                            config.sim_threads, 1));
+  } else {
+    switch_partition_.assign(topo_.num_switches(), 0);
+  }
+  auto switch_part = [&](std::uint32_t s) {
+    return static_cast<std::size_t>(switch_partition_[s]);
+  };
+  auto ni_part = [&](std::uint32_t n) {
+    return switch_part(topo_.ni(n).switch_id);
+  };
+
   // ---- Allocate wires: one LinkWires pair per topology link and per NI
-  // attachment direction.
+  // attachment direction. Each endpoint's wires join the partition of
+  // the switch that drives or consumes them: for a cut link the up pair
+  // stays with the sender's partition and the down pair with the
+  // receiver's, so no signal ever crosses a partition.
   struct WirePair {
     link::LinkWires up;    // sender side
     link::LinkWires down;  // receiver side
   };
-  auto make_pair = [&] {
-    return WirePair{link::LinkWires::make(kernel_),
-                    link::LinkWires::make(kernel_)};
+  auto make_pair = [&](std::size_t up_part, std::size_t down_part) {
+    kernel_.set_creation_partition(up_part);
+    const link::LinkWires up = link::LinkWires::make(kernel_);
+    kernel_.set_creation_partition(down_part);
+    const link::LinkWires down = link::LinkWires::make(kernel_);
+    return WirePair{up, down};
   };
 
   std::vector<WirePair> link_wires;  // per topology link id
   for (std::uint32_t l = 0; l < topo_.num_links(); ++l) {
-    link_wires.push_back(make_pair());
+    link_wires.push_back(make_pair(switch_part(topo_.link(l).from),
+                                   switch_part(topo_.link(l).to)));
   }
   std::vector<WirePair> ni_in_wires;   // NI -> switch, per NI id
   std::vector<WirePair> ni_out_wires;  // switch -> NI, per NI id
   for (std::uint32_t n = 0; n < topo_.num_nis(); ++n) {
-    ni_in_wires.push_back(make_pair());
-    ni_out_wires.push_back(make_pair());
+    ni_in_wires.push_back(make_pair(ni_part(n), ni_part(n)));
+    ni_out_wires.push_back(make_pair(ni_part(n), ni_part(n)));
   }
 
-  // ---- Link modules (error injection only between switches).
+  // ---- Link modules (error injection only between switches). A link
+  // whose endpoints fall in different partitions becomes a CutLink: two
+  // half-modules around deterministic mailboxes, bit-exact with the
+  // PipelinedLink it replaces (src/link/cut.hpp). link_slots_ records
+  // every link in creation order for the uniform statistics view.
   for (std::uint32_t l = 0; l < topo_.num_links(); ++l) {
     link::PipelinedLink::Config lcfg;
     lcfg.stages = topo_.link(l).stages;
     lcfg.bit_error_rate = config.bit_error_rate;
     lcfg.seed = config.seed * 7919 + l;
-    links_.push_back(std::make_unique<link::PipelinedLink>(
-        "link" + std::to_string(l), link_wires[l].up, link_wires[l].down,
-        lcfg));
+    const std::string name = "link" + std::to_string(l);
+    if (kernel_.partitioned() &&
+        switch_part(topo_.link(l).from) != switch_part(topo_.link(l).to)) {
+      cut_links_.push_back(std::make_unique<link::CutLink>(
+          name, link_wires[l].up, link_wires[l].down, lcfg));
+      // Registration order == topology link id order: the exchange
+      // sequence at every barrier is deterministic by construction.
+      kernel_.register_cut(*cut_links_.back());
+      link_slots_.push_back({nullptr, cut_links_.back().get()});
+    } else {
+      links_.push_back(std::make_unique<link::PipelinedLink>(
+          name, link_wires[l].up, link_wires[l].down, lcfg));
+      link_slots_.push_back({links_.back().get(), nullptr});
+    }
   }
-  // NI attachment links: local, reliable, unpipelined.
+  // NI attachment links: local, reliable, unpipelined — never cut (an
+  // NI lives in its switch's partition).
   for (std::uint32_t n = 0; n < topo_.num_nis(); ++n) {
     link::PipelinedLink::Config lcfg;  // stages 0, no errors
     links_.push_back(std::make_unique<link::PipelinedLink>(
         "nilink_in" + std::to_string(n), ni_in_wires[n].up,
         ni_in_wires[n].down, lcfg));
+    link_slots_.push_back({links_.back().get(), nullptr});
     links_.push_back(std::make_unique<link::PipelinedLink>(
         "nilink_out" + std::to_string(n), ni_out_wires[n].up,
         ni_out_wires[n].down, lcfg));
+    link_slots_.push_back({links_.back().get(), nullptr});
+  }
+
+  // Conservative window: each partition may run k cycles between
+  // exchanges iff every record a cut stages inside an epoch is due no
+  // earlier than the next epoch's start — k <= 1 + stages per cut link
+  // (src/link/cut.hpp). Auto = the safe maximum over the actual cuts.
+  if (kernel_.partitioned()) {
+    std::size_t min_stages = SIZE_MAX;
+    for (const auto& cut : cut_links_) {
+      min_stages = std::min(min_stages, cut->config().stages);
+    }
+    std::uint64_t k = min_stages == SIZE_MAX ? 1 : 1 + min_stages;
+    if (config.lookahead != 0) {
+      k = std::min<std::uint64_t>(k, config.lookahead);
+    }
+    kernel_.set_lookahead(k);
   }
 
   // ---- Switches, with wires ordered by the topology port maps.
@@ -193,9 +256,10 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
         std::move(out_wires)));
   }
 
-  // ---- NIs and cores.
+  // ---- NIs and cores. OCP wires join their NI's partition.
   for (std::size_t i = 0; i < initiator_ids_.size(); ++i) {
     const std::uint32_t node = initiator_ids_[i];
+    kernel_.set_creation_partition(ni_part(node));
     const ocp::OcpWires ocp_wires = ocp::OcpWires::make(kernel_);
 
     ocp::MasterCore::Config mcfg;
@@ -227,6 +291,7 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
 
   for (std::size_t t = 0; t < target_ids_.size(); ++t) {
     const std::uint32_t node = target_ids_[t];
+    kernel_.set_creation_partition(ni_part(node));
     const ocp::OcpWires ocp_wires = ocp::OcpWires::make(kernel_);
 
     ocp::SlaveCore::Config scfg;
@@ -252,14 +317,63 @@ Network::Network(topology::Topology topo, const NetworkConfig& config)
     target_nis_.push_back(std::move(ni_mod));
   }
 
-  // ---- Register everything with the kernel. Order is irrelevant for
-  // correctness (two-phase signals); keep it deterministic for debugging.
-  for (auto& m : masters_) kernel_.add_module(*m);
-  for (auto& m : initiator_nis_) kernel_.add_module(*m);
-  for (auto& m : switches_) kernel_.add_module(*m);
-  for (auto& m : links_) kernel_.add_module(*m);
-  for (auto& m : target_nis_) kernel_.add_module(*m);
-  for (auto& m : slaves_) kernel_.add_module(*m);
+  // ---- Register everything with the kernel, tagging each module with
+  // its partition. Order is irrelevant for two-phase correctness within
+  // a class, but the links-after-switches slot is load-bearing for cuts:
+  // a cut's sender half samples its upstream wire's *staged* value, so
+  // it must tick after every module of its partition that can drive
+  // that wire. Each partition's tick list is the order-preserving
+  // subsequence of this global order.
+  auto add_module_in = [&](sim::Module& m, std::size_t p) {
+    kernel_.set_creation_partition(p);
+    kernel_.add_module(m);
+  };
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    add_module_in(*masters_[i], ni_part(initiator_ids_[i]));
+  }
+  for (std::size_t i = 0; i < initiator_nis_.size(); ++i) {
+    add_module_in(*initiator_nis_[i], ni_part(initiator_ids_[i]));
+  }
+  for (std::uint32_t s = 0; s < topo_.num_switches(); ++s) {
+    add_module_in(*switches_[s], switch_part(s));
+  }
+  for (std::uint32_t l = 0; l < topo_.num_links(); ++l) {
+    const LinkSlot& slot = link_slots_[l];
+    if (slot.cut != nullptr) {
+      add_module_in(slot.cut->sender_module(),
+                    switch_part(topo_.link(l).from));
+      add_module_in(slot.cut->receiver_module(),
+                    switch_part(topo_.link(l).to));
+    } else {
+      add_module_in(*slot.pipe, switch_part(topo_.link(l).from));
+    }
+  }
+  for (std::uint32_t n = 0; n < topo_.num_nis(); ++n) {
+    const std::size_t base = topo_.num_links() + 2 * n;
+    add_module_in(*link_slots_[base].pipe, ni_part(n));
+    add_module_in(*link_slots_[base + 1].pipe, ni_part(n));
+  }
+  for (std::size_t t = 0; t < target_nis_.size(); ++t) {
+    add_module_in(*target_nis_[t], ni_part(target_ids_[t]));
+  }
+  for (std::size_t t = 0; t < slaves_.size(); ++t) {
+    add_module_in(*slaves_[t], ni_part(target_ids_[t]));
+  }
+}
+
+std::vector<Network::LinkStat> Network::link_stats() const {
+  std::vector<LinkStat> stats;
+  stats.reserve(link_slots_.size());
+  for (const LinkSlot& slot : link_slots_) {
+    if (slot.cut != nullptr) {
+      stats.push_back({slot.cut->name(), slot.cut->flits_carried(),
+                       slot.cut->flits_corrupted()});
+    } else {
+      stats.push_back({slot.pipe->name(), slot.pipe->flits_carried(),
+                       slot.pipe->flits_corrupted()});
+    }
+  }
+  return stats;
 }
 
 bool Network::quiescent() const {
@@ -299,6 +413,7 @@ std::uint64_t Network::total_credit_stalls() const {
 std::uint64_t Network::total_link_flits() const {
   std::uint64_t total = 0;
   for (const auto& l : links_) total += l->flits_carried();
+  for (const auto& c : cut_links_) total += c->flits_carried();
   return total;
 }
 

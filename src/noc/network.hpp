@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/link/cut.hpp"
 #include "src/link/flow.hpp"
 #include "src/link/link.hpp"
 #include "src/ni/ni_initiator.hpp"
@@ -70,6 +71,22 @@ struct NetworkConfig {
   /// harness (tests/kernel_equiv_test.cpp); kFull is the escape hatch
   /// for debugging a suspected gating divergence (DESIGN.md §9).
   sim::Scheduler scheduler = sim::Scheduler::kGated;
+
+  /// Partitioned execution (DESIGN.md §10): split the network into this
+  /// many switch groups that simulate concurrently, exchanging link
+  /// traffic at conservative-window barriers. Clamped to the switch
+  /// count; 1 = the classic single-partition kernel. Results are
+  /// byte-identical at any partition and thread count.
+  std::size_t partitions = 1;
+  /// Worker threads driving the partitions (clamped to partitions;
+  /// meaningless unless partitions > 1). sim_threads == 1 runs the
+  /// partitions serially — still epoch-batched, which is the cache-
+  /// locality configuration for large single-threaded networks.
+  std::size_t sim_threads = 1;
+  /// Conservative window override in cycles: 0 = auto, the safe maximum
+  /// 1 + min(stages) over the cut links; nonzero values are capped at
+  /// that maximum.
+  std::size_t lookahead = 0;
 };
 
 class Network {
@@ -99,8 +116,33 @@ class Network {
   ni::TargetNi& target_ni(std::size_t i) { return *target_nis_.at(i); }
 
   switchlib::Switch& switch_at(std::size_t s) { return *switches_.at(s); }
+  /// Uncut link modules only (every link when partitions == 1). Legacy
+  /// accessor: statistics must use link_stats(), which also covers the
+  /// links replaced by partition cuts.
   const std::vector<std::unique_ptr<link::PipelinedLink>>& links() const {
     return links_;
+  }
+  /// Links cut at partition boundaries (empty when partitions == 1).
+  const std::vector<std::unique_ptr<link::CutLink>>& cut_links() const {
+    return cut_links_;
+  }
+
+  /// One row per link — cut or uncut — in creation order (topology links
+  /// by id, then NI attachment links). The uniform statistics view: the
+  /// same network yields the same rows at any partition count.
+  struct LinkStat {
+    std::string name;
+    std::uint64_t flits_carried = 0;
+    std::uint64_t flits_corrupted = 0;
+  };
+  std::vector<LinkStat> link_stats() const;
+  /// Total link count including cut links (== links().size() when
+  /// unpartitioned); the utilization denominator.
+  std::size_t num_links() const { return link_slots_.size(); }
+
+  /// Partition ids indexed by switch id (all zero when partitions == 1).
+  const std::vector<std::uint32_t>& switch_partitions() const {
+    return switch_partition_;
   }
 
   /// Global NI id of initiator/target index (for LUT/route queries).
@@ -148,8 +190,18 @@ class Network {
   std::vector<std::uint32_t> initiator_ids_;
   std::vector<std::uint32_t> target_ids_;
 
+  /// Creation-order link index: exactly one of {pipe, cut} per row.
+  struct LinkSlot {
+    link::PipelinedLink* pipe = nullptr;
+    link::CutLink* cut = nullptr;
+  };
+
+  std::vector<std::uint32_t> switch_partition_;
+  std::vector<LinkSlot> link_slots_;
+
   std::vector<std::unique_ptr<switchlib::Switch>> switches_;
   std::vector<std::unique_ptr<link::PipelinedLink>> links_;
+  std::vector<std::unique_ptr<link::CutLink>> cut_links_;
   std::vector<std::unique_ptr<ni::InitiatorNi>> initiator_nis_;
   std::vector<std::unique_ptr<ni::TargetNi>> target_nis_;
   std::vector<std::unique_ptr<ocp::MasterCore>> masters_;

@@ -15,15 +15,22 @@ MasterCore::MasterCore(std::string name, const OcpWires& wires,
 }
 
 void MasterCore::push_transaction(Transaction txn) {
+  push_transaction_at(std::move(txn), 0);
+}
+
+void MasterCore::push_transaction_at(Transaction txn,
+                                     std::uint64_t release) {
   if (txn.cmd != Cmd::kRead) {
     require(txn.data.size() == txn.burst_len,
             "MasterCore: write burst_len must match data beats");
   }
   require(txn.burst_len >= 1, "MasterCore: burst_len must be >= 1");
-  if (on_push) on_push(txn);
-  queue_.push_back(std::move(txn));
+  if (on_push) on_push(txn, release);
+  queue_.push_back({std::move(txn), release});
   // External injection: no signal write re-arms a gated master, so the
   // push itself must (wake-hazard regression: tests/wake_hazard_test.cpp).
+  // A future release keeps the master awake until it arrives (is_idle
+  // tests queue_.empty()); pre-release ticks change nothing.
   wake();
 }
 
@@ -65,12 +72,15 @@ void MasterCore::tick(sim::Kernel& kernel) {
     }
   }
 
-  // Request side: start the next transaction if allowed.
-  if (!active_.has_value() && !queue_.empty()) {
-    const Transaction& next = queue_.front();
+  // Request side: start the next transaction if allowed. The release
+  // gate makes pre-rolled injections (lookahead epochs) issue on the
+  // same cycle a per-cycle push schedule would.
+  if (!active_.has_value() && !queue_.empty() &&
+      queue_.front().release <= kernel.cycle()) {
+    const Transaction& next = queue_.front().txn;
     const bool needs_slot = next.expects_response();
     if (!needs_slot || awaiting_total_ < config_.max_outstanding) {
-      active_ = queue_.front();
+      active_ = std::move(queue_.front().txn);
       queue_.pop_front();
       next_beat_ = 0;
       active_issue_cycle_ = kernel.cycle();

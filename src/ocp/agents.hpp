@@ -43,13 +43,24 @@ class MasterCore : public sim::Module {
 
   MasterCore(std::string name, const OcpWires& wires, const Config& config);
 
-  /// Enqueues a transaction for issue (testbench API, call between steps).
+  /// Enqueues a transaction for immediate issue (testbench API, call
+  /// between steps). Equivalent to push_transaction_at(txn, 0).
   void push_transaction(Transaction txn);
 
-  /// Passive tap invoked on every accepted push_transaction, after
-  /// validation and before queueing. workload::TraceRecorder installs
-  /// these to capture replayable traces; null (the default) is free.
-  std::function<void(const Transaction&)> on_push;
+  /// Enqueues a transaction that becomes eligible for issue at cycle
+  /// `release` (head-of-queue order is preserved; issue still waits for
+  /// the outstanding limit and socket backpressure). Traffic drivers
+  /// use this to pre-roll a whole lookahead epoch's injections before
+  /// the partitioned kernel runs it: dequeue timing — and therefore
+  /// every export — matches the per-cycle unpartitioned schedule.
+  void push_transaction_at(Transaction txn, std::uint64_t release);
+
+  /// Passive tap invoked on every accepted push, after validation and
+  /// before queueing, with the release cycle (the cycle the transaction
+  /// becomes issuable — what a replayable trace must record; 0 for
+  /// plain push_transaction). workload::TraceRecorder installs these;
+  /// null (the default) is free.
+  std::function<void(const Transaction&, std::uint64_t release)> on_push;
 
   /// True when nothing is queued, in flight, or awaiting response.
   bool quiescent() const;
@@ -76,11 +87,17 @@ class MasterCore : public sim::Module {
     TransactionResult result;
   };
 
+  /// A queued transaction and the cycle it becomes issuable.
+  struct Queued {
+    Transaction txn;
+    std::uint64_t release = 0;
+  };
+
   Config config_;
   sim::StreamProducer<ReqBeat> req_;
   sim::StreamConsumer<RespBeat> resp_;
 
-  std::deque<Transaction> queue_;
+  std::deque<Queued> queue_;
   std::optional<Transaction> active_;  ///< transaction being beat-streamed
   std::uint32_t next_beat_ = 0;
   std::uint64_t active_issue_cycle_ = 0;

@@ -36,6 +36,15 @@
 // Both schedulers are required to be bit-exact with each other; the
 // differential harness in tests/kernel_equiv_test.cpp checks per-cycle
 // Kernel::digest() equality over randomized scenarios.
+//
+// PR 8 adds conservative-window partitioned execution on top of either
+// scheduler: the module/signal graph is split into partitions that never
+// share a signal, cross-partition links are replaced by CutChannel
+// mailboxes, and every partition advances `lookahead` cycles between
+// exchange barriers (DESIGN.md §10). Exports stay byte-identical at any
+// partition and thread count because signal creation order — and hence
+// digest order — is independent of the partitioning, and mailboxes are
+// flushed single-threaded in registration order.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +63,31 @@
 namespace xpl::sim {
 
 class Kernel;
+class PartitionPool;
+
+namespace detail {
+/// Per-thread pointer to the executing partition's local cycle counter.
+/// Inside a lookahead epoch each partition advances its own clock, so
+/// Kernel::cycle() must answer with the ticking partition's time — not
+/// the global counter, which only moves at epoch barriers. Null outside
+/// partitioned execution (the common case: one predictable branch).
+extern thread_local const std::uint64_t* g_cycle_override;
+}  // namespace detail
+
+/// A deterministic cross-partition conduit (e.g. link::CutLink). The
+/// kernel calls exchange() between epochs — single-threaded, in
+/// registration order — to move staged records to their delivery side.
+class CutChannel {
+ public:
+  virtual ~CutChannel() = default;
+
+  /// Flushes every record staged during the finished epoch to the
+  /// receiving side and wakes the consuming half-modules.
+  virtual void exchange() = 0;
+
+  /// Valid forward beats moved across the cut so far (bench counter).
+  virtual std::uint64_t flits_exchanged() const = 0;
+};
 
 /// Kernel scheduling mode; fixed at Kernel construction.
 enum class Scheduler : std::uint8_t {
@@ -178,6 +212,14 @@ class Signal {
 
   bool written() const { return written_; }
 
+  /// The value this signal will hold after this cycle's commit: the
+  /// staged write if one happened, else the held value. Cut-link sender
+  /// halves sample this during the tick phase — they are registered
+  /// after every module that can drive the wire, so a beat written at
+  /// cycle t is captured at t and replayed downstream at t+1+stages,
+  /// exactly the uncut PipelinedLink timing (DESIGN.md §10).
+  const T& staged() const { return written_ ? next_ : curr_; }
+
   /// Registers `consumer` to be woken whenever this signal is written
   /// (gated scheduler). Two slots: one reading consumer plus one passive
   /// observer (e.g. an ocp::Monitor snooping a wire it does not own).
@@ -214,51 +256,124 @@ class Signal {
 /// Owns signals, schedules modules, and advances simulated time.
 class Kernel {
  public:
-  explicit Kernel(Scheduler scheduler = Scheduler::kFull)
-      : scheduler_(scheduler) {}
+  // Both out of line: PartitionPool is incomplete here (pool_ member).
+  explicit Kernel(Scheduler scheduler = Scheduler::kFull);
+  ~Kernel();
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   Scheduler scheduler() const { return scheduler_; }
 
+  /// Splits execution into `partitions` groups of modules/signals that
+  /// run concurrently on up to `threads` worker threads (clamped to the
+  /// partition count; 1 = serial epochs, still batched for locality).
+  /// Must be called before any signal or module is created; partitions
+  /// <= 1 is a no-op and leaves the kernel on the unpartitioned path.
+  /// Signals and modules created afterwards join the partition selected
+  /// by set_creation_partition(). Cross-partition connections must go
+  /// through a registered CutChannel — a signal written in one partition
+  /// and read or watched in another is a data race by construction.
+  void configure_partitions(std::size_t partitions, std::size_t threads);
+
+  bool partitioned() const { return !partitions_.empty(); }
+  std::size_t partition_count() const { return partitions_.size(); }
+  std::size_t thread_count() const { return threads_; }
+
+  /// Selects the partition that subsequently created signals and modules
+  /// join (construction-time only; ignored when unpartitioned).
+  void set_creation_partition(std::size_t partition) {
+    XPL_ASSERT(partitions_.empty() || partition < partitions_.size());
+    creation_partition_ = partition;
+  }
+
+  /// Registers a cross-partition conduit, flushed after every epoch in
+  /// registration order (the determinism anchor for exchange effects).
+  void register_cut(CutChannel& cut) { cuts_.push_back(&cut); }
+
+  /// Sets the conservative window: cycles each partition advances
+  /// between exchange barriers. Safe iff k <= 1 + min stage count over
+  /// all cut links (a record sampled at cycle t is due at t+1+stages,
+  /// and must not be due before the next barrier delivers it).
+  void set_lookahead(std::uint64_t k) {
+    XPL_ASSERT(k >= 1);
+    lookahead_ = k;
+  }
+  /// Cycles per epoch (1 unless partitioned with pipelined cuts).
+  std::uint64_t lookahead() const { return partitioned() ? lookahead_ : 1; }
+
+  /// Epoch barriers executed so far (0 unless partitioned).
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// Total valid forward beats moved across all cuts (bench counter).
+  std::uint64_t cut_flits() const;
+
   /// Creates a kernel-owned signal and returns a stable reference. The
   /// signal joins the pool of its type (pools use deque storage, so
-  /// references never move while the pool grows).
+  /// references never move while the pool grows). Pool membership — and
+  /// hence digest order — tracks creation order only, never partition
+  /// assignment, which is what keeps digests comparable across
+  /// partitionings.
   template <typename T>
   Signal<T>& make_signal(T reset = T{}) {
     SignalPool<T>& pool = pool_for<T>();
     pool.signals.emplace_back(std::move(reset));
     ++signal_count_;
     Signal<T>& sig = pool.signals.back();
-    if (scheduler_ == Scheduler::kGated) sig.dirty_list_ = &dirty_;
+    if (partitioned()) {
+      // Partitioned commits always walk per-partition dirty lists (the
+      // per-type pool sweep cannot be split by partition), under either
+      // scheduler.
+      sig.dirty_list_ = &partitions_[creation_partition_]->dirty;
+    } else if (scheduler_ == Scheduler::kGated) {
+      sig.dirty_list_ = &dirty_;
+    }
     return sig;
   }
 
   /// Registers a module. The kernel does not take ownership; modules must
-  /// outlive the kernel's run (the Network owns them in practice).
-  void add_module(Module& module) { modules_.push_back(&module); }
+  /// outlive the kernel's run (the Network owns them in practice). When
+  /// partitioned the module also joins the current creation partition's
+  /// tick list (a subsequence of the global registration order).
+  void add_module(Module& module) {
+    modules_.push_back(&module);
+    if (partitioned()) {
+      partitions_[creation_partition_]->modules.push_back(&module);
+    }
+  }
 
   /// Registers a callback run after every commit (statistics probes).
-  /// Probes run every cycle under both schedulers.
+  /// Probes run every cycle under both schedulers. Incompatible with
+  /// partitioned execution: inside an epoch there is no globally
+  /// committed cycle to observe.
   void add_probe(std::function<void(std::uint64_t cycle)> probe) {
+    XPL_ASSERT(!partitioned());
     probes_.push_back(std::move(probe));
   }
 
   /// Advances one clock cycle: tick (awake) modules, commit staged
-  /// signals, update the active set (gated), run probes.
+  /// signals, update the active set (gated), run probes. Partitioned:
+  /// a one-cycle epoch (exact, just without lookahead batching).
   void step();
 
-  /// Advances `cycles` clock cycles.
+  /// Advances `cycles` clock cycles. Partitioned: runs epochs of up to
+  /// lookahead() cycles with a cut exchange between epochs.
   void run(std::uint64_t cycles);
 
   /// Runs until `done()` returns true or `max_cycles` elapse; returns the
-  /// number of cycles actually run.
+  /// number of cycles actually run. Always cycle-exact: `done` is
+  /// evaluated at every cycle boundary even when partitioned (callers
+  /// count drain cycles; lookahead batching would overshoot).
   std::uint64_t run_until(const std::function<bool()>& done,
                           std::uint64_t max_cycles);
 
-  /// Cycles elapsed since construction.
-  std::uint64_t cycle() const { return cycle_; }
+  /// Cycles elapsed since construction. Callable from module ticks even
+  /// inside a lookahead epoch: the executing partition's local clock is
+  /// threaded through detail::g_cycle_override.
+  std::uint64_t cycle() const {
+    const std::uint64_t* over = detail::g_cycle_override;
+    return over != nullptr ? *over : cycle_;
+  }
 
   std::size_t module_count() const { return modules_.size(); }
   /// Registered modules in tick order (quiescence-invariant tests walk
@@ -313,15 +428,45 @@ class Kernel {
   }
 
   void step_gated();
+  void step_partitions_fused();
+
+  /// One execution group: its modules (a subsequence of modules_), its
+  /// own dirty list (no sharing — commits race-free by construction),
+  /// and its clock inside the current epoch.
+  struct Partition {
+    std::vector<Module*> modules;
+    DirtyList dirty;
+    std::uint64_t local_cycle = 0;
+  };
+
+  /// Runs every partition for `k` cycles (pooled or serial), advances
+  /// global time, then flushes cuts in registration order.
+  void run_epoch(std::uint64_t k);
+
+  /// Advances one partition `k` cycles: per-cycle tick / dirty-commit /
+  /// active-set update against the partition's local clock. Called from
+  /// worker threads; touches only partition-local state.
+  void run_partition(Partition& p, std::uint64_t k);
+
+  friend class PartitionPool;
 
   Scheduler scheduler_ = Scheduler::kFull;
   std::vector<Module*> modules_;
   std::vector<std::unique_ptr<SignalPoolBase>> pools_;
   std::unordered_map<std::type_index, SignalPoolBase*> pool_index_;
   std::size_t signal_count_ = 0;
-  DirtyList dirty_;  ///< signals written this cycle (gated scheduler only)
+  DirtyList dirty_;  ///< signals written this cycle (gated, unpartitioned)
   std::vector<std::function<void(std::uint64_t)>> probes_;
   std::uint64_t cycle_ = 0;
+
+  // Partitioned execution (empty/idle unless configure_partitions ran).
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<CutChannel*> cuts_;
+  std::size_t creation_partition_ = 0;
+  std::size_t threads_ = 1;
+  std::uint64_t lookahead_ = 1;
+  std::uint64_t epochs_ = 0;
+  std::unique_ptr<PartitionPool> pool_;  ///< lazily built when threads_ > 1
 };
 
 }  // namespace xpl::sim

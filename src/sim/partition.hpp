@@ -1,0 +1,61 @@
+// Worker pool for partitioned kernel execution (DESIGN.md §10).
+//
+// One pool per partitioned Kernel, built lazily on the first epoch that
+// runs with thread_count() > 1. Workers are persistent (spawning threads
+// per epoch would dwarf an epoch's work) and statically assigned:
+// partition p runs on worker p % threads, every epoch — assignment
+// cannot affect results (partitions share nothing inside an epoch), but
+// a static map keeps each partition's working set warm in one core's
+// cache. The calling thread doubles as worker 0, so thread_count() == N
+// means N OS threads total, not N+1.
+//
+// Synchronization is a generation-counted mutex/condvar handshake: the
+// epoch driver bumps the generation, workers run their slice, the last
+// one signals completion. The mutex hand-offs give the barrier semantics
+// the conservative window needs — every write a partition makes during
+// epoch e happens-before the exchange after e, which happens-before
+// epoch e+1 on every worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xpl::sim {
+
+class Kernel;
+
+/// Persistent worker threads driving Kernel partitions through epochs.
+class PartitionPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller of run_epoch is worker 0).
+  PartitionPool(Kernel& kernel, std::size_t threads);
+  ~PartitionPool();
+
+  PartitionPool(const PartitionPool&) = delete;
+  PartitionPool& operator=(const PartitionPool&) = delete;
+
+  /// Runs every partition for `k` cycles and returns once all are done.
+  /// Must be called from the kernel's driving thread only.
+  void run_epoch(std::uint64_t k);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_slice(std::size_t worker, std::uint64_t k);
+
+  Kernel& kernel_;
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;   ///< bumped per epoch to release workers
+  std::uint64_t epoch_cycles_ = 0;
+  std::size_t pending_ = 0;        ///< workers still running this epoch
+  bool stop_ = false;
+};
+
+}  // namespace xpl::sim

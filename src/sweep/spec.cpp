@@ -89,8 +89,9 @@ void check_pattern_token(const std::string& name, std::size_t line) {
 }
 
 const std::set<std::string>& known_topologies() {
-  static const std::set<std::string> kinds{"mesh", "torus", "ring", "star",
-                                           "spidergon"};
+  static const std::set<std::string> kinds{"mesh",      "torus", "ring",
+                                           "star",      "spidergon",
+                                           "cmesh"};
   return kinds;
 }
 
@@ -112,7 +113,9 @@ std::uint64_t derive_seed(std::uint64_t spec_seed, std::uint64_t salt) {
 }
 
 std::size_t SweepPoint::num_switches() const {
-  if (topology == "mesh" || topology == "torus") return width * height;
+  if (topology == "mesh" || topology == "torus" || topology == "cmesh") {
+    return width * height;
+  }
   if (topology == "star") return width + 1;  // hub + leaves
   if (topology == "spidergon") return width + (width % 2);  // even count
   return width;                                             // ring
@@ -125,6 +128,9 @@ topology::Topology SweepPoint::build_topology() const {
   require(n >= 1, "sweep point " + label() + ": empty topology");
   require(n <= 4096, "sweep point " + label() + ": " + std::to_string(n) +
                          " switches exceeds the 4096-switch cap");
+  if (topology == "cmesh") {
+    return topology::make_cmesh(width, height, concentration);
+  }
   const auto plan = topology::NiPlan::uniform(n, 1, 1);
   if (topology == "mesh") return topology::make_mesh(width, height, plan);
   if (topology == "torus") return topology::make_torus(width, height, plan);
@@ -144,7 +150,10 @@ std::string SweepPoint::pattern_label() const {
 std::string SweepPoint::label() const {
   std::ostringstream os;
   os << topology << "_" << width;
-  if (topology == "mesh" || topology == "torus") os << "x" << height;
+  if (topology == "mesh" || topology == "torus" || topology == "cmesh") {
+    os << "x" << height;
+  }
+  if (topology == "cmesh") os << "c" << concentration;
   os << "_f" << net.flit_width << "_q" << net.output_fifo_depth << "_"
      << (app.empty() ? traffic::pattern_name(traffic.pattern) : app.c_str())
      << "_r" << fmt_double(traffic.injection_rate);
@@ -209,6 +218,9 @@ void SweepSpec::validate() const {
             "sweep: warmup must leave a non-empty measurement window");
   }
   require(sim_cycles > 0, "sweep: cycles must be > 0");
+  require(threads >= 1, "sweep: threads must be >= 1");
+  require(partitions >= 1, "sweep: partitions must be >= 1");
+  require(concentration >= 1, "sweep: concentration must be >= 1");
 }
 
 std::vector<std::size_t> SweepSpec::campaign_grid_indices() const {
@@ -257,9 +269,14 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
   p.topology = topologies[topo_i];
   p.width = widths[width_i];
   p.height = heights[height_i];
+  if (p.topology == "cmesh") p.concentration = concentration;
   p.sim_cycles = sim_cycles;
   p.drain_cycles = drain_cycles;
   p.target_mhz = target_mhz;
+  // Within-point parallelism: results are invariant to both knobs, so
+  // they never enter the point's identity (labels, seeds, exports).
+  p.net.partitions = partitions;
+  p.net.sim_threads = threads;
 
   p.net.flit_width = flit_widths[flit_i];
   p.net.output_fifo_depth = fifo_depths[fifo_i];
@@ -274,8 +291,8 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
     p.net.routing = topology::RoutingAlgorithm::kXY;
   } else if (routing == "updown") {
     p.net.routing = topology::RoutingAlgorithm::kUpDown;
-  } else {  // "auto": the seed rule
-    p.net.routing = p.topology == "mesh"
+  } else {  // "auto": the seed rule (cmesh is a mesh with fatter tiles)
+    p.net.routing = p.topology == "mesh" || p.topology == "cmesh"
                         ? topology::RoutingAlgorithm::kXY
                         : topology::RoutingAlgorithm::kUpDown;
   }
@@ -398,6 +415,20 @@ SweepSpec parse_sweep(const std::string& text) {
                          "' (expected gated | full)");
       }
       spec.scheduler = tokens[1];
+    } else if (key == "threads") {
+      need(2);
+      spec.threads = parse_u64(tokens[1], lineno);
+      if (spec.threads < 1) fail(lineno, "threads must be >= 1");
+    } else if (key == "partitions") {
+      need(2);
+      spec.partitions = parse_u64(tokens[1], lineno);
+      if (spec.partitions < 1) fail(lineno, "partitions must be >= 1");
+    } else if (key == "concentration") {
+      need(2);
+      spec.concentration = parse_u64(tokens[1], lineno);
+      if (spec.concentration < 1) {
+        fail(lineno, "concentration must be >= 1");
+      }
     } else if (key == "topology") {
       need_values();
       spec.topologies.assign(tokens.begin() + 1, tokens.end());
@@ -494,6 +525,13 @@ std::string write_sweep(const SweepSpec& spec) {
   os << "max_burst " << spec.max_burst << "\n";
   os << "routing " << spec.routing << "\n";
   os << "scheduler " << spec.scheduler << "\n";
+  // Off-default only: legacy specs keep their canonical bytes, and the
+  // knobs are pure throughput controls with no effect on results.
+  if (spec.threads != 1) os << "threads " << spec.threads << "\n";
+  if (spec.partitions != 1) os << "partitions " << spec.partitions << "\n";
+  if (spec.concentration != 4) {
+    os << "concentration " << spec.concentration << "\n";
+  }
   auto write_list = [&os](const char* key, const auto& values) {
     os << key;
     for (const auto& v : values) os << " " << v;

@@ -15,8 +15,9 @@
 //
 // Directive grammar: one `<key> <value...>` per line; `#` comments to end
 // of line. Scalar directives (`sweep`, `seed`, `cycles`, `drain`,
-// `samples`, `target_mhz`, `read_fraction`, `max_burst`) take exactly one
-// value and apply campaign-wide. Axis directives take one or more values
+// `samples`, `target_mhz`, `read_fraction`, `max_burst`, `threads`,
+// `partitions`, `concentration`) take exactly one value and apply
+// campaign-wide. Axis directives take one or more values
 // and replace that axis's default on first sight; the campaign grid is
 // the cross product of all axes in the fixed order below (topology
 // outermost, injection rate innermost), regardless of the order the
@@ -33,7 +34,11 @@
 //   max_burst 2
 //   routing auto           # campaign-wide: auto | minimal | xy | updown
 //   scheduler gated        # campaign-wide: gated | full (bit-identical)
+//   threads 1              # campaign-wide: sim threads per point
+//   partitions 1           # campaign-wide: kernel partitions per point
+//   concentration 4        # campaign-wide: cmesh NIs per switch
 //   topology mesh          # axis: mesh | torus | ring | star | spidergon
+//                          #       | cmesh (concentrated mesh)
 //   width 4 6 8            # axis: mesh/torus width (node count otherwise)
 //   height 4               # axis: mesh/torus height (ignored otherwise)
 //   flit_width 32 64       # axis
@@ -79,6 +84,7 @@ struct SweepPoint {
   std::string topology = "mesh";
   std::size_t width = 4;     ///< mesh/torus width; node count otherwise
   std::size_t height = 4;    ///< mesh/torus height; ignored otherwise
+  std::size_t concentration = 1;  ///< cmesh only: NIs per switch
   std::size_t sim_cycles = 5000;
   std::size_t drain_cycles = 40000;
   /// Cycles excluded from the front of the measurement window (stats
@@ -134,6 +140,18 @@ struct SweepSpec {
   /// for cross-checking a suspected gating divergence). Both produce
   /// byte-identical results; see DESIGN.md §9.
   std::string scheduler = "gated";
+  /// Campaign-wide partitioned-simulation knobs (DESIGN.md §10): every
+  /// point's kernel is split into `partitions` conservative partitions
+  /// run by `threads` worker threads. Results are byte-identical at any
+  /// setting — these are throughput knobs, not axes, which is why they
+  /// are scalars (sweeping them would only duplicate points). This
+  /// `threads` parallelizes *within* one point; xsweep --jobs runs
+  /// points concurrently — compose with --max-hw-threads (xsweep) so
+  /// jobs × threads stays within the machine.
+  std::size_t threads = 1;
+  std::size_t partitions = 1;
+  /// NIs per switch for cmesh topology points (ignored elsewhere).
+  std::size_t concentration = 4;
 
   // Axes. The grid is the cross product in this (fixed) order, topology
   // outermost, injection rate innermost.

@@ -52,6 +52,15 @@ Topology make_mesh(std::size_t width, std::size_t height, const NiPlan& plan,
   return topo;
 }
 
+Topology make_cmesh(std::size_t width, std::size_t height,
+                    std::size_t concentration, std::size_t link_stages) {
+  require(concentration >= 1, "make_cmesh: need concentration >= 1");
+  return make_mesh(width, height,
+                   NiPlan::uniform(width * height, concentration,
+                                   concentration),
+                   link_stages);
+}
+
 Topology make_torus(std::size_t width, std::size_t height, const NiPlan& plan,
                     std::size_t link_stages) {
   require(width >= 3 && height >= 3,

@@ -31,6 +31,16 @@ struct NiPlan {
 Topology make_mesh(std::size_t width, std::size_t height, const NiPlan& plan,
                    std::size_t link_stages = 0);
 
+/// Concentrated mesh: a width x height mesh whose every switch hosts
+/// `concentration` initiator NIs and `concentration` target NIs — the
+/// standard way to reach 1k-node-class networks without 1k switches
+/// (a 16x16 cmesh at c=4 carries 2048 NIs on 256 switches). Defaults to
+/// one relay stage per grid link: concentrated tiles are physically
+/// larger, and the extra stage lets partitioned simulation run
+/// lookahead-2 epochs (see DESIGN.md §10).
+Topology make_cmesh(std::size_t width, std::size_t height,
+                    std::size_t concentration, std::size_t link_stages = 1);
+
 /// 2D torus: mesh plus wrap-around duplex links.
 Topology make_torus(std::size_t width, std::size_t height, const NiPlan& plan,
                     std::size_t link_stages = 0);

@@ -1,0 +1,98 @@
+#include "src/topology/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/error.hpp"
+
+namespace xpl::topology {
+
+namespace {
+
+/// Breadth-first switch order over the undirected link graph, seeded at
+/// switch 0 (unvisited components seed in id order, so disconnected
+/// inputs still get a total order). Deterministic: neighbors enqueue in
+/// link-id order.
+std::vector<std::uint32_t> bfs_order(const Topology& topo) {
+  const std::size_t n = topo.num_switches();
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(l);
+    adjacency[link.from].push_back(link.to);
+    adjacency[link.to].push_back(link.from);
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::deque<std::uint32_t> frontier;
+  for (std::uint32_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    frontier.push_back(seed);
+    while (!frontier.empty()) {
+      const std::uint32_t s = frontier.front();
+      frontier.pop_front();
+      order.push_back(s);
+      for (std::uint32_t next : adjacency[s]) {
+        if (!visited[next]) {
+          visited[next] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> partition_switches(const Topology& topo,
+                                              std::size_t parts) {
+  const std::size_t n = topo.num_switches();
+  require(parts >= 1 && parts <= n,
+          "partition_switches: parts must be in [1, num_switches]");
+  std::vector<std::uint32_t> assignment(n, 0);
+  if (parts == 1) return assignment;
+
+  // Grid stripe path: usable when every switch has coordinates and the
+  // stripe axis is long enough to give each partition its own slab.
+  bool have_coords = true;
+  int max_x = 0;
+  int max_y = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const SwitchNode& node = topo.switch_node(s);
+    if (node.x < 0 || node.y < 0) {
+      have_coords = false;
+      break;
+    }
+    max_x = std::max(max_x, node.x);
+    max_y = std::max(max_y, node.y);
+  }
+  if (have_coords) {
+    // Cut perpendicular to the longer axis: fewest links per boundary.
+    const bool stripe_x = max_x >= max_y;
+    const std::size_t axis = static_cast<std::size_t>(
+        (stripe_x ? max_x : max_y) + 1);
+    if (axis >= parts) {
+      for (std::uint32_t s = 0; s < n; ++s) {
+        const SwitchNode& node = topo.switch_node(s);
+        const std::size_t pos = static_cast<std::size_t>(
+            stripe_x ? node.x : node.y);
+        // Balanced contiguous slabs: position p -> floor(p * parts / axis).
+        assignment[s] = static_cast<std::uint32_t>(pos * parts / axis);
+      }
+      return assignment;
+    }
+  }
+
+  // Fallback: contiguous chunks of the BFS order. Neighborhoods stay
+  // together, so the number of cut links stays near the topology's
+  // natural bisection even without coordinates.
+  const std::vector<std::uint32_t> order = bfs_order(topo);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    assignment[order[i]] = static_cast<std::uint32_t>(i * parts / n);
+  }
+  return assignment;
+}
+
+}  // namespace xpl::topology

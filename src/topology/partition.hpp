@@ -1,0 +1,37 @@
+// Switch-to-partition assignment for partitioned simulation
+// (DESIGN.md §10).
+//
+// The simulation kernel parallelizes one network by running groups of
+// switches (with their NIs and cores) in concurrent epochs, exchanging
+// link traffic at conservative-window barriers. This header picks the
+// groups. Two goals, in order:
+//
+//  1. Few cut links — every cut link pays mailbox staging plus barrier
+//     exchange, and the cheapest cut of a grid runs perpendicular to
+//     its *longer* axis (cutting a w x h mesh, w >= h, between columns
+//     costs h duplex links; between rows it would cost w).
+//  2. Balanced partitions — the epoch barrier waits for the slowest
+//     partition.
+//
+// Assignment is a pure function of the topology and the partition
+// count: byte-identical exports at any thread count start here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/topology.hpp"
+
+namespace xpl::topology {
+
+/// Returns partition ids, indexed by switch id, for `parts` partitions
+/// (callers clamp parts to [1, num_switches] beforehand; every returned
+/// partition is non-empty). Grid topologies with coordinates (mesh,
+/// cmesh, torus) are striped into contiguous slabs along their longer
+/// axis; anything else is chunked along a breadth-first switch order,
+/// which keeps neighborhoods together and so cuts few links on the
+/// remaining regular topologies (ring, star, spidergon, trees).
+std::vector<std::uint32_t> partition_switches(const Topology& topo,
+                                              std::size_t parts);
+
+}  // namespace xpl::topology

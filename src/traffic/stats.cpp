@@ -80,7 +80,9 @@ RunStats collect_run(noc::Network& network, std::uint64_t cycles,
   stats.link_flits = network.total_link_flits();
   stats.retransmissions = network.total_retransmissions();
   stats.credit_stalls = network.total_credit_stalls();
-  const std::size_t links = network.links().size();
+  // num_links() counts partition-cut links too, so the utilization
+  // denominator is invariant across partitionings.
+  const std::size_t links = network.num_links();
   stats.avg_link_utilization =
       (cycles == 0 || links == 0)
           ? 0.0
@@ -140,11 +142,13 @@ LatencyHistogram collect_histogram(noc::Network& network,
 std::vector<LinkLoad> collect_link_loads(noc::Network& network,
                                          std::uint64_t cycles) {
   std::vector<LinkLoad> loads;
-  for (const auto& link : network.links()) {
+  // The uniform link view covers cut and uncut links alike, in creation
+  // order, so load reports match at any partition count.
+  for (const auto& link : network.link_stats()) {
     LinkLoad load;
-    load.name = link->name();
-    load.flits = link->flits_carried();
-    load.corrupted = link->flits_corrupted();
+    load.name = link.name;
+    load.flits = link.flits_carried;
+    load.corrupted = link.flits_corrupted;
     load.utilization = cycles == 0 ? 0.0
                                    : static_cast<double>(load.flits) /
                                          static_cast<double>(cycles);

@@ -136,7 +136,7 @@ TracePlayer::TracePlayer(noc::Network& network, std::vector<TraceEntry> trace,
   }
 }
 
-void TracePlayer::step() {
+void TracePlayer::roll_cycle(std::uint64_t release) {
   while (next_ < trace_.size() && trace_[next_].cycle <= cycle_) {
     const TraceEntry& entry = trace_[next_];
     ocp::Transaction txn;
@@ -150,16 +150,25 @@ void TracePlayer::step() {
                                     : rng_.next_u64());
       }
     }
-    network_.master(entry.initiator).push_transaction(std::move(txn));
+    network_.master(entry.initiator)
+        .push_transaction_at(std::move(txn), release);
     ++next_;
   }
   ++cycle_;
 }
 
+void TracePlayer::step() { roll_cycle(network_.kernel().cycle()); }
+
 void TracePlayer::run(std::size_t cycles) {
-  for (std::size_t c = 0; c < cycles; ++c) {
-    step();
-    network_.step();
+  const std::size_t k =
+      std::max<std::size_t>(1, network_.kernel().lookahead());
+  std::size_t done = 0;
+  while (done < cycles) {
+    const std::size_t n = std::min(k, cycles - done);
+    const std::uint64_t base = network_.kernel().cycle();
+    for (std::size_t j = 0; j < n; ++j) roll_cycle(base + j);
+    network_.step(n);
+    done += n;
   }
 }
 
@@ -257,7 +266,7 @@ std::size_t TrafficDriver::pick_target(std::size_t initiator) {
   return 0;
 }
 
-void TrafficDriver::step() {
+void TrafficDriver::roll_cycle(std::uint64_t release) {
   for (std::size_t i = 0; i < network_.num_initiators(); ++i) {
     if (!roll_injection(i)) continue;
     const std::size_t target = pick_target(i);
@@ -294,15 +303,27 @@ void TrafficDriver::step() {
         txn.data.push_back(rng_.next_u64());
       }
     }
-    network_.master(i).push_transaction(std::move(txn));
+    network_.master(i).push_transaction_at(std::move(txn), release);
     ++injected_;
   }
 }
 
+void TrafficDriver::step() { roll_cycle(network_.kernel().cycle()); }
+
 void TrafficDriver::run(std::size_t cycles) {
-  for (std::size_t c = 0; c < cycles; ++c) {
-    step();
-    network_.step();
+  // Epoch batching: pre-roll the injections for the whole conservative
+  // window (RNG order is per cycle, per initiator — identical to the
+  // per-cycle schedule), then let the kernel run the epoch. The release
+  // gate in MasterCore makes issue timing bit-exact either way.
+  const std::size_t k =
+      std::max<std::size_t>(1, network_.kernel().lookahead());
+  std::size_t done = 0;
+  while (done < cycles) {
+    const std::size_t n = std::min(k, cycles - done);
+    const std::uint64_t base = network_.kernel().cycle();
+    for (std::size_t j = 0; j < n; ++j) roll_cycle(base + j);
+    network_.step(n);
+    done += n;
   }
 }
 

@@ -116,12 +116,20 @@ class TracePlayer {
               PayloadFn payload = nullptr);
 
   void step();
+  /// Steps player and network together. On a partitioned network the
+  /// injections for each lookahead epoch are pre-rolled (released at
+  /// their exact cycles via push_transaction_at), so replay timing is
+  /// identical at any partition/thread count.
   void run(std::size_t cycles);
   /// True when every entry has been injected.
   bool done() const { return next_ == trace_.size(); }
   std::uint64_t injected() const { return next_; }
 
  private:
+  /// Injects the entries of player-cycle `cycle_`, released at `release`
+  /// (the matching kernel cycle), then advances the player clock.
+  void roll_cycle(std::uint64_t release);
+
   noc::Network& network_;
   std::vector<TraceEntry> trace_;
   PayloadFn payload_;
@@ -139,12 +147,18 @@ class TrafficDriver {
   /// Rolls injection for every initiator for one cycle.
   void step();
 
-  /// Convenience: step the network and the driver together.
+  /// Convenience: step the network and the driver together. On a
+  /// partitioned network each lookahead epoch's injections are
+  /// pre-rolled (released at their exact cycles), preserving both the
+  /// RNG draw order and the issue schedule of the per-cycle loop.
   void run(std::size_t cycles);
 
   std::uint64_t injected() const { return injected_; }
 
  private:
+  /// Rolls one driver cycle, releasing injections at kernel cycle
+  /// `release` (== the current cycle when called via step()).
+  void roll_cycle(std::uint64_t release);
   std::size_t pick_target(std::size_t initiator);
   /// Rolls the on/off Markov chain and the injection coin for one
   /// initiator-cycle; true when a transaction should be injected.

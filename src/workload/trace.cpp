@@ -1,5 +1,6 @@
 #include "src/workload/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -141,10 +142,14 @@ TraceRecorder::TraceRecorder(noc::Network& network, std::string name)
     // would silently truncate the other recorder's trace.
     require(!network.master(i).on_push,
             "TraceRecorder: master already has a push tap installed");
-    network.master(i).on_push = [this, i,
-                                 window](const ocp::Transaction& txn) {
+    network.master(i).on_push = [this, i, window](
+                                    const ocp::Transaction& txn,
+                                    std::uint64_t release) {
       traffic::TraceEntry entry;
-      entry.cycle = network_.kernel().cycle();
+      // Plain pushes carry release 0 and are issuable now; pre-rolled
+      // epoch pushes carry release >= the current (epoch-base) cycle.
+      // Either way the max is the cycle the schedule actually injects.
+      entry.cycle = std::max(release, network_.kernel().cycle());
       entry.initiator = static_cast<std::uint32_t>(i);
       entry.target = static_cast<std::uint32_t>(txn.addr / window);
       entry.cmd = txn.cmd;

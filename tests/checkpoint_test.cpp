@@ -131,6 +131,40 @@ TEST(Checkpoint, ResumeIsByteIdenticalAtEveryCursorAndJobCount) {
   }
 }
 
+TEST(Checkpoint, ResumeIsByteIdenticalAcrossSimThreadCounts) {
+  // A campaign interrupted on one machine and resumed with a different
+  // per-point thread count (xsweep --sim-threads) must finish with the
+  // same bytes: threads/partitions are throughput knobs, not axes.
+  const SweepSpec spec = tiny_spec();
+  const ResultTable reference = SweepRunner(1).run(spec);
+  const std::string ref_csv = reference.to_csv();
+  const std::string ref_json = reference.to_json();
+
+  Checkpoint saved;
+  {
+    const SweepRunner runner(1);
+    RunOptions opts;
+    opts.halt_after = 3;
+    opts.on_progress = [&](const ResultTable& partial) {
+      saved = make_checkpoint(spec, partial);
+    };
+    runner.run(spec, opts);
+  }
+  Checkpoint reloaded = parse_checkpoint(write_checkpoint(saved));
+  ASSERT_EQ(reloaded.results.size(), 3u);
+
+  // Resume leg simulates partitioned points — as if the user passed
+  // --sim-threads 2 on the second machine.
+  SweepSpec restored = checkpoint_spec(reloaded);
+  restored.threads = 2;
+  restored.partitions = 2;
+  RunOptions opts;
+  opts.resume = &reloaded.results;
+  const ResultTable table = SweepRunner(2).run(restored, opts);
+  EXPECT_EQ(table.to_csv(), ref_csv);
+  EXPECT_EQ(table.to_json(), ref_json);
+}
+
 TEST(Checkpoint, SaveIsAtomicAndLoadable) {
   const SweepSpec spec = tiny_spec();
   const ResultTable table = SweepRunner(1).run(spec);

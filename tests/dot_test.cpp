@@ -24,6 +24,20 @@ TEST(Dot, ContainsAllSwitchesAndNis) {
   }
 }
 
+TEST(Dot, CmeshRendersEveryConcentratedNi) {
+  const auto topo = make_cmesh(2, 2, 4);
+  const std::string dot = to_dot(topo);
+  EXPECT_EQ(dot.substr(0, 12), "digraph noc ");
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    EXPECT_NE(dot.find("sw" + std::to_string(s)), std::string::npos);
+  }
+  // All 32 NIs (4 initiators + 4 targets per switch) appear.
+  EXPECT_EQ(topo.num_nis(), 32u);
+  for (std::uint32_t n = 0; n < topo.num_nis(); ++n) {
+    EXPECT_NE(dot.find("ni" + std::to_string(n)), std::string::npos);
+  }
+}
+
 TEST(Dot, DuplexPairsCollapse) {
   const auto topo = make_ring(4, NiPlan::uniform(4, 1, 0));
   DotOptions options;

@@ -111,6 +111,20 @@ TEST(Golden, CampaignIsSchedulerInvariantAgainstGolden) {
   expect_golden("campaign.json", table.to_json());
 }
 
+TEST(Golden, CampaignIsPartitionInvariantAgainstGolden) {
+  // The pinned artifacts predate partitioned simulation. Re-running the
+  // campaign with every point split into 4 partitions on 4 threads must
+  // reproduce the same bytes — partitioning is a throughput knob, never
+  // an axis, and the goldens anchor that directly to the seed behaviour.
+  sweep::SweepSpec spec = sweep::parse_sweep(kCampaignSpec);
+  spec.partitions = 4;
+  spec.threads = 4;
+  sweep::SweepRunner runner(1);
+  const sweep::ResultTable table = runner.run(spec);
+  expect_golden("campaign.csv", table.to_csv());
+  expect_golden("campaign.json", table.to_json());
+}
+
 /// The flow-control comparison campaign: the same grid under ACK/nACK
 /// and credit flow control. Pins (a) that ack_nack rows are identical to
 /// what the hard-wired protocol produced, (b) credit-mode results, and
@@ -170,6 +184,31 @@ TEST(Golden, RecordedTraceIsByteStable) {
   noc::NetworkConfig cfg;
   cfg.routing = topology::RoutingAlgorithm::kXY;
   cfg.target_window = 1 << 12;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.08;
+  tcfg.burstiness = 0.4;
+  tcfg.seed = 99;
+  workload::TraceRecorder recorder(net, "golden");
+  traffic::TrafficDriver driver(net, tcfg);
+  driver.run(600);
+  net.run_until_quiescent(20000);
+
+  ASSERT_GT(recorder.recorded(), 0u);
+  expect_golden("run.trace", workload::write_trace(recorder.trace()));
+}
+
+TEST(Golden, RecordedTraceIsPartitionInvariant) {
+  // Same scenario as RecordedTraceIsByteStable, but simulated as 4
+  // partitions on 4 threads: the recorded `.trace` must match the same
+  // pinned bytes, epoch pre-roll and all.
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  cfg.partitions = 4;
+  cfg.sim_threads = 4;
   noc::Network net(
       topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
 

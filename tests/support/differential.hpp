@@ -33,9 +33,11 @@ namespace xpl::testsupport {
 /// One randomized equivalence trial: everything needed to construct two
 /// identical networks and their traffic, minus the scheduler choice.
 struct DiffScenario {
-  std::string topology = "mesh";  ///< mesh | torus | ring | star | spidergon
+  /// mesh | torus | ring | star | spidergon | cmesh
+  std::string topology = "mesh";
   std::size_t width = 2;
   std::size_t height = 2;
+  std::size_t concentration = 2;  ///< cmesh only: NIs per switch
   std::size_t vcs = 1;
   link::FlowControl flow = link::FlowControl::kAckNack;
   double bit_error_rate = 0.0;
@@ -48,6 +50,9 @@ struct DiffScenario {
   std::uint64_t traffic_seed = 1;
 
   topology::Topology build_topology() const {
+    if (topology == "cmesh") {
+      return topology::make_cmesh(width, height, concentration);
+    }
     const std::size_t n = topology == "mesh" || topology == "torus"
                               ? width * height
                               : topology == "star" ? width + 1
@@ -61,7 +66,9 @@ struct DiffScenario {
     return topology::make_spidergon(width + (width % 2), plan);
   }
 
-  noc::NetworkConfig net_config(sim::Scheduler scheduler) const {
+  noc::NetworkConfig net_config(sim::Scheduler scheduler,
+                                std::size_t partitions = 1,
+                                std::size_t sim_threads = 1) const {
     noc::NetworkConfig cfg;
     cfg.routing = routing;
     cfg.vcs = vcs;
@@ -70,6 +77,8 @@ struct DiffScenario {
     cfg.seed = net_seed;
     cfg.target_window = 1 << 12;
     cfg.scheduler = scheduler;
+    cfg.partitions = partitions;
+    cfg.sim_threads = sim_threads;
     return cfg;
   }
 
@@ -84,7 +93,9 @@ struct DiffScenario {
   /// Reproduction recipe, printed on failure.
   std::string to_string() const {
     std::ostringstream os;
-    os << topology << " " << width << "x" << height << " vcs=" << vcs
+    os << topology << " " << width << "x" << height;
+    if (topology == "cmesh") os << " c" << concentration;
+    os << " vcs=" << vcs
        << " flow=" << link::flow_control_name(flow)
        << " ber=" << bit_error_rate
        << " routing=" << topology::routing_name(routing)
@@ -109,16 +120,20 @@ struct DiffResult {
 namespace detail {
 
 /// Compares a handful of per-module observables and names the first
-/// mismatch — digest divergence says *when*, this says *where*.
+/// mismatch — digest divergence says *when*, this says *where*. The
+/// labels default to the scheduler-equivalence pairing; the partition
+/// harness passes "ref"/"part".
 inline std::string attribute_divergence(noc::Network& full,
-                                        noc::Network& gated) {
+                                        noc::Network& gated,
+                                        const char* label_a = "full",
+                                        const char* label_b = "gated") {
   std::ostringstream os;
   for (std::size_t s = 0; s < full.num_switches(); ++s) {
     const std::string a = full.switch_at(s).debug_state();
     const std::string b = gated.switch_at(s).debug_state();
     if (a != b) {
-      os << "\n  switch " << s << " full:  " << a << "\n  switch " << s
-         << " gated: " << b;
+      os << "\n  switch " << s << " " << label_a << ":  " << a
+         << "\n  switch " << s << " " << label_b << ": " << b;
     }
   }
   for (std::size_t i = 0; i < full.num_initiators(); ++i) {
@@ -140,8 +155,8 @@ inline std::string attribute_divergence(noc::Network& full,
          << gated.target_ni(t).packets_received();
     }
   }
-  os << "\n  awake(gated) = " << gated.kernel().awake_count() << "/"
-     << gated.kernel().module_count();
+  os << "\n  awake(" << label_b << ") = " << gated.kernel().awake_count()
+     << "/" << gated.kernel().module_count();
   return os.str();
 }
 
@@ -218,6 +233,89 @@ inline DiffResult run_lockstep(noc::Network& full, noc::Network& gated,
   if (!os.str().empty()) {
     result.ok = false;
     result.first_divergent_cycle = full.kernel().cycle();
+    result.detail = "stats divergence after identical digests (scenario: " +
+                    describe + ")" + os.str();
+  }
+  return result;
+}
+
+/// Lockstep comparator for the partitioned kernel (PR 8): `ref` is the
+/// unpartitioned reference, `part` a partitioned twin (any partition and
+/// thread count). Digests are only comparable at epoch boundaries — the
+/// partitioned kernel commits a whole conservative window per barrier —
+/// so the driven phase advances both networks in chunks of `part`'s
+/// lookahead and compares after each chunk; the drain then runs per
+/// cycle (a 1-cycle epoch is always legal), exercising quiescence
+/// detection at the same granularity run_lockstep uses. Signal creation
+/// order is partition-invariant, so equal digests mean byte-identical
+/// committed state, not merely "similar".
+inline DiffResult run_lockstep_partitioned(
+    noc::Network& ref, noc::Network& part,
+    traffic::TrafficDriver& ref_driver, traffic::TrafficDriver& part_driver,
+    std::size_t cycles, std::size_t drain_cycles,
+    const std::string& describe) {
+  DiffResult result;
+  auto diverged = [&](std::uint64_t cycle, const char* phase) {
+    result.ok = false;
+    result.first_divergent_cycle = cycle;
+    std::ostringstream os;
+    os << "digest divergence at cycle " << cycle << " (" << phase
+       << " phase)\n  scenario: " << describe
+       << detail::attribute_divergence(ref, part, "ref", "part");
+    result.detail = os.str();
+    return result;
+  };
+
+  const std::size_t k =
+      std::max<std::size_t>(1, part.kernel().lookahead());
+  std::size_t done = 0;
+  while (done < cycles) {
+    const std::size_t n = std::min(k, cycles - done);
+    ref_driver.run(n);
+    part_driver.run(n);
+    done += n;
+    if (ref.kernel().digest() != part.kernel().digest()) {
+      return diverged(ref.kernel().cycle(), "driven");
+    }
+  }
+  for (std::size_t c = 0; c < drain_cycles; ++c) {
+    if (ref.quiescent() && part.quiescent()) break;
+    ref.step();
+    part.step();
+    if (ref.kernel().digest() != part.kernel().digest()) {
+      return diverged(ref.kernel().cycle(), "drain");
+    }
+  }
+  if (ref.quiescent() != part.quiescent()) {
+    result.ok = false;
+    result.first_divergent_cycle = ref.kernel().cycle();
+    result.detail =
+        "drain divergence (ref " +
+        std::string(ref.quiescent() ? "quiescent" : "stuck") + ", part " +
+        std::string(part.quiescent() ? "quiescent" : "stuck") +
+        ")\n  scenario: " + describe +
+        detail::attribute_divergence(ref, part, "ref", "part");
+    return result;
+  }
+
+  const auto rs = traffic::collect_run(ref, cycles);
+  const auto ps = traffic::collect_run(part, cycles);
+  std::ostringstream os;
+  auto check = [&os](const char* what, auto a, auto b) {
+    if (a != b) os << "\n  " << what << ": ref=" << a << " part=" << b;
+  };
+  check("transactions", rs.transactions, ps.transactions);
+  check("latency.mean", rs.latency.mean, ps.latency.mean);
+  check("latency.p95", rs.latency.p95, ps.latency.p95);
+  check("throughput", rs.throughput, ps.throughput);
+  check("link_flits", rs.link_flits, ps.link_flits);
+  check("retransmissions", rs.retransmissions, ps.retransmissions);
+  check("credit_stalls", rs.credit_stalls, ps.credit_stalls);
+  check("avg_link_utilization", rs.avg_link_utilization,
+        ps.avg_link_utilization);
+  if (!os.str().empty()) {
+    result.ok = false;
+    result.first_divergent_cycle = ref.kernel().cycle();
     result.detail = "stats divergence after identical digests (scenario: " +
                     describe + ")" + os.str();
   }

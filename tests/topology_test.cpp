@@ -109,6 +109,25 @@ TEST(Generators, MeshCornerAndCenterRadix) {
   EXPECT_EQ(t.max_radix_out(), 5u);
 }
 
+TEST(Generators, CmeshConcentratesNis) {
+  const auto t = make_cmesh(4, 2, 4);
+  EXPECT_EQ(t.num_switches(), 8u);
+  // Same grid links as a 4x2 mesh: 2*(3*2 + 4*1) = 20 directed.
+  EXPECT_EQ(t.num_links(), 20u);
+  // Concentration 4: 4 initiator + 4 target NIs per switch.
+  EXPECT_EQ(t.num_nis(), 64u);
+  t.validate();
+  // Coordinates survive for XY routing.
+  EXPECT_EQ(t.switch_node(5).x, 1);
+  EXPECT_EQ(t.switch_node(5).y, 1);
+  // Default one relay stage per grid link (fat tiles; also what makes
+  // partitioned simulation run 2-cycle lookahead epochs).
+  for (std::uint32_t l = 0; l < t.num_links(); ++l) {
+    EXPECT_EQ(t.link(l).stages, 1u);
+  }
+  EXPECT_THROW(make_cmesh(4, 2, 0), Error);
+}
+
 TEST(Generators, TorusAddsWrapLinks) {
   const auto t = make_torus(3, 3, NiPlan::uniform(9, 1, 0));
   EXPECT_EQ(t.num_switches(), 9u);

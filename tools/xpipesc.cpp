@@ -13,6 +13,9 @@
 //     --gated / --ungated  force the kernel scheduler for --simulate
 //                          (bit-identical results; --ungated is the
 //                          escape hatch for gating-divergence triage)
+//     --sim-threads <n>    partition the kernel across n threads for
+//                          --simulate (bit-identical results; implies
+//                          n partitions unless the spec sets its own)
 //
 // Example:
 //   xpipesc my_soc.noc --optimize-buffers --estimate 900 --emit out/
@@ -34,7 +37,7 @@ void usage(const char* argv0) {
                "usage: %s <spec.noc> [--emit <dir>] [--estimate <MHz>]\n"
                "          [--simulate <cycles>] [--rate <r>]\n"
                "          [--optimize-buffers] [--print-spec]\n"
-               "          [--gated | --ungated]\n",
+               "          [--gated | --ungated] [--sim-threads <n>]\n",
                argv0);
 }
 
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   double rate = 0.03;
   bool optimize_buffers = false;
   bool print_spec = false;
+  std::size_t sim_threads = 0;  // 0 = use the spec's sim_threads
   std::optional<sim::Scheduler> scheduler;
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +85,12 @@ int main(int argc, char** argv) {
       scheduler = sim::Scheduler::kGated;
     } else if (arg == "--ungated") {
       scheduler = sim::Scheduler::kFull;
+    } else if (arg == "--sim-threads") {
+      sim_threads = static_cast<std::size_t>(std::atoll(next()));
+      if (sim_threads == 0) {
+        std::fprintf(stderr, "xpipesc: --sim-threads must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -99,6 +109,12 @@ int main(int argc, char** argv) {
   try {
     compiler::NocSpec spec = compiler::load_spec(spec_path);
     if (scheduler.has_value()) spec.net.scheduler = *scheduler;
+    if (sim_threads != 0) {
+      spec.net.sim_threads = sim_threads;
+      // A thread count without partitions would be idle hands; default
+      // to one partition per thread when the spec didn't choose.
+      if (spec.net.partitions <= 1) spec.net.partitions = sim_threads;
+    }
     compiler::XpipesCompiler xpipes;
 
     if (print_spec) {

@@ -13,6 +13,13 @@
 //   xsweep <campaign.sweep> [options]
 //   xsweep --resume <campaign.ckpt> [options]
 //     --jobs N             worker threads (default: hardware concurrency)
+//     --sim-threads N      threads *inside* each point's partitioned
+//                          kernel (overrides the spec's `threads`
+//                          directive; results are bit-identical at any
+//                          value, so this is safe on --resume too)
+//     --max-hw-threads N   total thread budget: --jobs is clamped so
+//                          jobs x sim-threads <= N (default: hardware
+//                          concurrency)
 //     --csv <path>         write the result table as CSV
 //     --json <path>        write the result table as JSON
 //     --bench-json <path>  write a BENCH_*.json campaign summary
@@ -38,11 +45,13 @@
 //
 // Example:
 //   xsweep examples/mesh_scan.sweep --jobs 8 --csv out.csv --pareto
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "src/sweep/checkpoint.hpp"
 #include "src/sweep/runner.hpp"
@@ -59,7 +68,8 @@ void usage(const char* argv0) {
                "          [--checkpoint <path>] [--resume <path>]\n"
                "          [--halt-after N] [--pareto] [--check-deadlock]\n"
                "          [--print-spec] [--list-apps] [--quiet]\n"
-               "          [--gated | --ungated]\n"
+               "          [--gated | --ungated] [--sim-threads N]\n"
+               "          [--max-hw-threads N]\n"
                "       %s --resume <campaign.ckpt> [options]\n",
                argv0, argv0);
 }
@@ -120,6 +130,8 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   std::string resume_path;
   std::size_t jobs = 0;
+  std::size_t sim_threads = 0;     // 0 = use the spec's `threads`
+  std::size_t max_hw_threads = 0;  // 0 = hardware concurrency
   std::size_t halt_after = 0;
   bool pareto_only = false;
   bool print_spec = false;
@@ -138,6 +150,18 @@ int main(int argc, char** argv) {
     };
     if (arg == "--jobs") {
       jobs = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--sim-threads") {
+      sim_threads = static_cast<std::size_t>(std::atoll(next()));
+      if (sim_threads == 0) {
+        std::fprintf(stderr, "xsweep: --sim-threads must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--max-hw-threads") {
+      max_hw_threads = static_cast<std::size_t>(std::atoll(next()));
+      if (max_hw_threads == 0) {
+        std::fprintf(stderr, "xsweep: --max-hw-threads must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--csv") {
       csv_path = next();
     } else if (arg == "--json") {
@@ -214,6 +238,32 @@ int main(int argc, char** argv) {
     // Safe even on resume: both schedulers produce byte-identical
     // results, so mixing them within one campaign changes nothing.
     if (!scheduler_override.empty()) spec.scheduler = scheduler_override;
+    // Same argument for within-point threading: partitioned results are
+    // bit-exact at any thread count, so overriding mid-campaign is safe.
+    if (sim_threads != 0) spec.threads = sim_threads;
+
+    // Oversubscription guard: --jobs parallelizes across points and the
+    // spec's `threads` within each point; their product must fit the
+    // machine (or the explicit --max-hw-threads budget), or every point
+    // slows down together.
+    {
+      std::size_t hw = std::thread::hardware_concurrency();
+      if (hw == 0) hw = 1;
+      const std::size_t cap = max_hw_threads != 0 ? max_hw_threads : hw;
+      const std::size_t per_point = std::max<std::size_t>(1, spec.threads);
+      const std::size_t want = jobs != 0 ? jobs : hw;
+      if (want * per_point > cap) {
+        const std::size_t clamped =
+            std::max<std::size_t>(1, cap / per_point);
+        std::fprintf(stderr,
+                     "xsweep: clamping --jobs %zu -> %zu (%zu sim "
+                     "thread(s) per point, %zu hardware thread budget)\n",
+                     want, clamped, per_point, cap);
+        jobs = clamped;
+      } else if (jobs == 0) {
+        jobs = want;
+      }
+    }
     if (print_spec) {
       std::fputs(sweep::write_sweep(spec).c_str(), stdout);
       return 0;
