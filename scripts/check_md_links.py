@@ -9,6 +9,7 @@ skipped; a `path#anchor` target only checks `path`. Run from anywhere:
 
     python3 scripts/check_md_links.py
 """
+import argparse
 import os
 import re
 import subprocess
@@ -51,16 +52,26 @@ def check_file(md):
     return broken
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="check_md_links", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the all-clear summary line",
+    )
+    args = parser.parse_args(argv)
     bad = 0
-    for md in md_files():
+    files = md_files()
+    for md in files:
         for target in check_file(md):
             print(f"{md}: broken link -> {target}", file=sys.stderr)
             bad += 1
     if bad:
         print(f"{bad} broken intra-repo markdown link(s)", file=sys.stderr)
         return 1
-    print(f"markdown links ok across {len(md_files())} file(s)")
+    if not args.quiet:
+        print(f"markdown links ok across {len(files)} file(s)")
     return 0
 
 

@@ -74,9 +74,14 @@ Mapping greedy_map(const CoreGraph& graph, const topology::Topology& topo,
   }
   std::vector<std::uint32_t> order(cores);
   for (std::uint32_t c = 0; c < cores; ++c) order[c] = c;
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return traffic[a] > traffic[b];
-  });
+  // stable_sort: regular applications (pipelines, uniform meshes) tie on
+  // per-core traffic, and std::sort's unspecified tie order would make
+  // the placement — and everything downstream of it — depend on the
+  // standard library. Ties place in core-index order (lint_regress).
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return traffic[a] > traffic[b];
+                   });
 
   Mapping mapping;
   mapping.core_to_switch.assign(cores, 0);

@@ -154,10 +154,14 @@ std::vector<LinkLoad> collect_link_loads(noc::Network& network,
                                          static_cast<double>(cycles);
     loads.push_back(std::move(load));
   }
-  std::sort(loads.begin(), loads.end(),
-            [](const LinkLoad& a, const LinkLoad& b) {
-              return a.flits > b.flits;
-            });
+  // stable_sort: links tie on flit count constantly (idle links all carry
+  // zero), and std::sort leaves tie order unspecified — stdlib-dependent
+  // and introsort-shuffled past 16 elements. Stable ranking keeps ties in
+  // creation order, the anchor every other export uses (lint_regress).
+  std::stable_sort(loads.begin(), loads.end(),
+                   [](const LinkLoad& a, const LinkLoad& b) {
+                     return a.flits > b.flits;
+                   });
   return loads;
 }
 

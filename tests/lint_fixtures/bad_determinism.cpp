@@ -1,0 +1,70 @@
+// Seeded violations for xlint's determinism checks (XL101-XL104).
+//
+// Never compiled — the tests/ glob only picks up top-level *_test.cpp.
+// tests/lint_test.py runs the analyzer over this file and asserts that
+// every `xlint-expect` marker fires exactly its listed rule and that
+// nothing else does.
+#include <algorithm>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Record {
+  std::string name;
+  double weight = 0.0;
+};
+
+class LoadTable {
+ public:
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [name, value] : loads_) {  // xlint-expect: XL101
+      sum += value;
+    }
+    return sum;
+  }
+
+  double first() const {
+    return loads_.begin()->second;  // xlint-expect: XL101
+  }
+
+ private:
+  std::unordered_map<std::string, double> loads_;
+};
+
+class PortDirectory {
+ public:
+  void sort_ports() {
+    std::sort(ports_.begin(), ports_.end());  // xlint-expect: XL102
+  }
+
+ private:
+  std::map<Record*, int> routing_;  // xlint-expect: XL102
+  std::vector<Record*> ports_;
+};
+
+inline void rank_records(std::vector<Record>& records) {
+  std::sort(records.begin(), records.end(),  // xlint-expect: XL103
+            [](const Record& a, const Record& b) {
+              return a.weight > b.weight;
+            });
+}
+
+inline unsigned wall_seed() {
+  return static_cast<unsigned>(time(nullptr));  // xlint-expect: XL104
+}
+
+inline int roll() {
+  return std::rand() % 6;  // xlint-expect: XL104
+}
+
+inline const char* trace_dir() {
+  return std::getenv("TRACE_DIR");  // xlint-expect: XL104
+}
+
+}  // namespace fixture

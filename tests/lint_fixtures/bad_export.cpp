@@ -1,0 +1,28 @@
+// Seeded violations for the export-stability check (XL401).
+// Never compiled; consumed by tests/lint_test.py.
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace fixture {
+
+// CSV emitter streaming floats raw: iostream default formatting is
+// precision- and locale-dependent, so the exported bytes drift across
+// hosts. Everything float-typed must route through fmt_double (%.15g)
+// or hex_double (%a).
+inline void write_load_csv(std::ostream& out, double utilization,
+                           std::uint64_t flits) {
+  double headroom = 1.0 - utilization;
+  out << "utilization," << utilization << "\n";  // xlint-expect: XL401
+  out << "headroom," << headroom << "\n";        // xlint-expect: XL401
+  out << "scale," << 1.5 << "\n";                // xlint-expect: XL401
+  out << "flits," << flits << "\n";              // silent: integer
+}
+
+// std::to_string on a double truncates to 6 fixed digits — lossy and
+// locale-adjacent.
+inline std::string json_cell(double mean) {
+  return std::to_string(mean);  // xlint-expect: XL401
+}
+
+}  // namespace fixture

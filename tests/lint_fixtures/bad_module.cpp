@@ -1,0 +1,31 @@
+// Seeded violations for the module-contract checks (XL201, XL202).
+// Never compiled; consumed by tests/lint_test.py.
+#include <cstdint>
+
+namespace fixture {
+
+// A concrete module that never claims quiescence: the gated scheduler
+// could never skip it, and nothing documents whether that is intended.
+class Counter : public sim::Module {  // xlint-expect: XL201
+ public:
+  void tick(sim::Kernel& kernel) override { ++count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+// is_idle() reads `done_`, which tick() never writes: the quiescence
+// claim is decoupled from the state that actually advances.
+class Drainer : public sim::Module {
+ public:
+  void tick(sim::Kernel& kernel) override {
+    if (pending_ > 0) --pending_;
+  }
+  bool is_idle() const override { return done_; }  // xlint-expect: XL202
+
+ private:
+  std::uint64_t pending_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Seeded violations for the suppression-hygiene checks (XL000, XL001).
+// Never compiled; consumed by tests/lint_test.py.
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+struct Item {
+  int weight = 0;
+};
+
+// An empty reason is itself a finding AND the directive does not
+// suppress: the sort below still fires.
+inline void sort_items(std::vector<Item>& items) {
+  // xlint-expect: XL000
+  // xlint: sort-ok()
+  std::sort(items.begin(), items.end(),  // xlint-expect: XL103
+            [](const Item& a, const Item& b) { return a.weight > b.weight; });
+}
+
+// Unknown rule slug.
+inline int answer() {
+  // xlint-expect: XL000
+  // xlint: voodoo-ok(definitely fine)
+  return 42;
+}
+
+// Malformed directive: no <rule>-ok(<reason>) shape at all.
+inline int shrug() {
+  // xlint-expect: XL000
+  // xlint: just trust me
+  return 0;
+}
+
+// A valid suppression that silences nothing is stale and must be
+// removed — std::stable_sort never trips XL103.
+inline void sort_stable(std::vector<Item>& items) {
+  // xlint-expect: XL001
+  // xlint: sort-ok(stable_sort already pins tie order; nothing to silence)
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.weight > b.weight;
+                   });
+}
+
+}  // namespace fixture

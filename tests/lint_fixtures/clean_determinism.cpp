@@ -1,0 +1,63 @@
+// Clean twins for the determinism checks: each pattern XL101-XL104
+// flags, written the sanctioned way or carrying a justified
+// suppression. tests/lint_test.py asserts zero findings here — the
+// checks stay silent on conforming code, and used suppressions do not
+// decay into XL001.
+#include <algorithm>
+#include <cstdint>
+#include <ctime>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+struct Row {
+  std::string name;
+  std::uint64_t weight = 0;
+};
+
+class SortedExport {
+ public:
+  // Iterating a sorted copy: the unordered container's order never
+  // escapes. The copy loop itself trips XL101, so it carries the
+  // annotation with the reason.
+  std::vector<std::pair<std::string, std::uint64_t>> rows() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    // xlint: unordered-ok(copied into `out` and sorted by key below; iteration order cannot escape)
+    for (const auto& entry : cells_) {
+      out.push_back(entry);
+    }
+    std::stable_sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> cells_;
+};
+
+// A comparator with a total tie-break never relies on std::sort's
+// unspecified tie handling.
+inline void rank(std::vector<Row>& rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.weight != b.weight ? a.weight > b.weight : a.name < b.name;
+  });
+}
+
+// Distinct keys by construction: the suppression documents why ties
+// cannot occur instead of paying for a tie-break.
+inline void order_by_id(std::vector<std::uint64_t>& ids) {
+  // xlint: sort-ok(ids are unique by construction; no ties exist for the comparator to scramble)
+  std::sort(ids.begin(), ids.end(),
+            [](std::uint64_t a, std::uint64_t b) { return a > b; });
+}
+
+// Host-side seam: wall-clock timing of the harness process, never
+// simulation state. The suppression reason is the contract.
+inline std::uint64_t harness_epoch() {
+  // xlint: banned-ok(host-side harness timing only; never feeds simulation state or exports)
+  return static_cast<std::uint64_t>(time(nullptr));
+}
+
+}  // namespace fixture

@@ -1,0 +1,62 @@
+// Fully conforming modules, as the signal/module checks see them:
+// is_idle() reads exactly the state tick() advances, every Signal write
+// sits on the tick path, at most two watchers register per wire, and
+// stored signal handles carry the passive-observer annotation.
+// tests/lint_test.py asserts zero findings on this file.
+#include <cstdint>
+
+namespace fixture {
+
+class Pulse : public sim::Module {
+ public:
+  void tick(sim::Kernel& kernel) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      drive();
+    }
+  }
+
+  // Quiescence is exactly "no pulses left": the same counter tick()
+  // decrements.
+  bool is_idle() const override { return remaining_ == 0; }
+
+  void watch_output(sim::Module* consumer, sim::Module* observer) {
+    out_.watch(consumer);
+    out_.watch(observer);  // two watchers: consumer + passive observer
+  }
+
+ private:
+  void drive() { out_.write(1); }  // silent: tick -> drive
+
+  sim::Signal<int> out_;
+  std::uint64_t remaining_ = 4;
+};
+
+// The sanctioned passive-observer shape: a stored handle to a wire some
+// other module owns, annotated with the reason.
+class Scope : public sim::Module {
+ public:
+  void tick(sim::Kernel& kernel) override {
+    if (probe_->read() != 0) ++samples_;
+  }
+  bool is_idle() const override { return samples_ == 0; }
+
+ private:
+  // xlint: signal-handle-ok(passive observer on an externally owned wire; uses Signal's second watcher slot)
+  sim::Signal<int>* probe_ = nullptr;
+  std::uint64_t samples_ = 0;
+};
+
+// An always-false idle claim is a valid (conservative) contract, but it
+// reads none of the tick state, so it documents why.
+class Spinner : public sim::Module {
+ public:
+  void tick(sim::Kernel& kernel) override { ++cycles_; }
+  // xlint: idle-ok(free-running heartbeat; never quiesces by design)
+  bool is_idle() const override { return false; }
+
+ private:
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Out-of-line definitions for merge_z_decl.hpp. This file deliberately
+// sorts BEFORE the header that declares the class: the analyzer's
+// two-pass class merge must still attach these bodies to Relay (a
+// one-pass merge dropped them and false-flagged every out-of-line tick
+// write as XL301). tests/lint_test.py analyzes the pair in exactly this
+// order and asserts zero findings.
+#include "tests/lint_fixtures/merge_z_decl.hpp"
+
+namespace fixture {
+
+void Relay::tick(sim::Kernel& kernel) {
+  if (backlog_ > 0) {
+    --backlog_;
+    forward();
+  }
+}
+
+void Relay::forward() { out_.write(1); }  // silent: tick -> forward
+
+}  // namespace fixture

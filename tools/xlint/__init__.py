@@ -1,0 +1,4 @@
+"""xlint: project-specific determinism & kernel-contract static analysis.
+
+See docs/LINTING.md and `python3 tools/xlint/xlint.py --list-checks`.
+"""

@@ -1,0 +1,147 @@
+"""Model builders: libclang (clang.cindex) when importable, regex otherwise.
+
+The libclang backend resolves class bases, member types and method
+extents from the AST — immune to macro/formatting edge cases the regex
+backend approximates. Both produce the same SourceFile model, and every
+check runs identically on either; the regex backend is the floor the
+fixture suite pins, so environments without libclang (this repo's
+container, minimal CI runners) lose precision, not coverage.
+
+Backend selection (xlint.py --backend):
+    auto   libclang if clang.cindex imports AND a library loads; else regex
+    regex  force the regex backend
+    clang  require libclang; exit with an error if unavailable
+"""
+
+from __future__ import annotations
+
+from .checks import KNOWN_SLUGS
+from .model import (
+    ClassInfo,
+    FunctionInfo,
+    SourceFile,
+    build_regex_model,
+    parse_suppressions,
+    strip_comments,
+)
+
+
+def load_cindex():
+    """Returns a configured clang.cindex module, or None."""
+    try:
+        from clang import cindex  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:  # library present but unloadable: fall back
+        for lib in (
+            "libclang.so",
+            "libclang-17.so",
+            "libclang-16.so",
+            "libclang-15.so",
+            "libclang-14.so",
+        ):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(lib)
+                cindex.Index.create()
+                return cindex
+            except Exception:
+                continue
+    return None
+
+
+def build_clang_model(cindex, path: str, raw: str, compile_args: list[str]) -> SourceFile:
+    """AST-accurate SourceFile. Suppressions still come from the raw
+    comment scan (libclang drops comments outside -fparse-all-comments)."""
+    code, comments = strip_comments(raw)
+    sf = SourceFile(path=path, raw=raw, code=code)
+    sups, expects, errors = parse_suppressions(comments, KNOWN_SLUGS)
+    sf.suppressions = sups
+    sf.expects = expects
+    sf.syntax_errors = errors  # type: ignore[attr-defined]
+
+    index = cindex.Index.create()
+    tu = index.parse(path, args=compile_args, unsaved_files=[(path, raw)])
+    lines = code.split("\n")
+
+    def text_of(extent) -> str:
+        s, e = extent.start, extent.end
+        if s.line == e.line:
+            return lines[s.line - 1][s.column - 1 : e.column - 1]
+        chunk = [lines[s.line - 1][s.column - 1 :]]
+        chunk.extend(lines[s.line : e.line - 1])
+        chunk.append(lines[e.line - 1][: e.column - 1])
+        return "\n".join(chunk)
+
+    K = cindex.CursorKind
+
+    def visit(cursor, enclosing_class: ClassInfo | None):
+        for child in cursor.get_children():
+            if child.location.file is None or str(child.location.file) != path:
+                continue
+            kind = child.kind
+            if kind in (K.CLASS_DECL, K.STRUCT_DECL) and child.is_definition():
+                ci = ClassInfo(
+                    name=child.spelling,
+                    bases=", ".join(
+                        b.type.spelling
+                        for b in child.get_children()
+                        if b.kind == K.CXX_BASE_SPECIFIER
+                    ),
+                    start_line=child.extent.start.line,
+                    end_line=child.extent.end.line,
+                )
+                sf.classes.append(ci)
+                visit(child, ci)
+                continue
+            if kind == K.FIELD_DECL and enclosing_class is not None:
+                enclosing_class.members.append(
+                    (child.location.line, child.type.spelling, child.spelling)
+                )
+            elif kind in (K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR, K.FUNCTION_DECL):
+                if getattr(child, "is_pure_virtual_method", lambda: False)():
+                    if enclosing_class is not None:
+                        enclosing_class.has_pure_virtual = True
+                if child.is_definition():
+                    body = text_of(child.extent)
+                    brace = body.find("{")
+                    fn = FunctionInfo(
+                        name=child.spelling,
+                        qualifier=(
+                            enclosing_class.name
+                            if enclosing_class is not None
+                            else (
+                                child.semantic_parent.spelling
+                                if child.semantic_parent is not None
+                                and child.semantic_parent.kind
+                                in (K.CLASS_DECL, K.STRUCT_DECL)
+                                else ""
+                            )
+                        ),
+                        start_line=child.extent.start.line,
+                        end_line=child.extent.end.line,
+                        body=body[brace + 1 : -1] if brace != -1 else body,
+                        signature=body[:brace] if brace != -1 else body,
+                    )
+                    sf.functions.append(fn)
+                    if enclosing_class is not None:
+                        enclosing_class.methods.setdefault(fn.name, fn)
+                visit(child, enclosing_class)
+            elif kind in (K.NAMESPACE, K.UNEXPOSED_DECL, K.LINKAGE_SPEC):
+                visit(child, enclosing_class)
+
+    visit(tu.cursor, None)
+    return sf
+
+
+def build_model(path: str, raw: str, backend: str, cindex, compile_args: list[str]) -> SourceFile:
+    if backend != "regex" and cindex is not None:
+        try:
+            return build_clang_model(cindex, path, raw, compile_args)
+        except Exception:
+            if backend == "clang":
+                raise
+    return build_regex_model(path, raw, KNOWN_SLUGS)

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""xlint — determinism & kernel-contract static analysis for this repo.
+
+Runs project-specific checks (tools/xlint/checks.py) over src/ using a
+libclang backend when clang.cindex is importable and the regex backend
+otherwise. Zero third-party dependencies either way.
+
+    python3 tools/xlint/xlint.py                  # lint src/ (tree mode)
+    python3 tools/xlint/xlint.py FILE...          # lint specific files
+    python3 tools/xlint/xlint.py --json report.json
+    python3 tools/xlint/xlint.py --list-checks
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+See docs/LINTING.md for the rule catalogue, the suppression grammar and
+the dynamic tests that backstop each check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # direct script invocation
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from xlint.backends import build_model, load_cindex
+    from xlint.checks import RULES, Analyzer
+else:
+    from .backends import build_model, load_cindex
+    from .checks import RULES, Analyzer
+
+CXX_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def default_targets(root: str) -> list[str]:
+    out: list[str] = []
+    for base, _dirs, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if name.endswith(CXX_EXTENSIONS):
+                out.append(os.path.join(base, name))
+    return sorted(out)
+
+
+def compile_args_for(root: str, compile_commands: str | None, path: str) -> list[str]:
+    """Flags for the libclang backend: from compile_commands.json when the
+    file appears there, else a minimal default."""
+    default = ["-std=c++20", f"-I{root}"]
+    if not compile_commands or not os.path.exists(compile_commands):
+        return default
+    try:
+        with open(compile_commands, encoding="utf-8") as f:
+            for entry in json.load(f):
+                if os.path.abspath(
+                    os.path.join(entry.get("directory", "."), entry["file"])
+                ) == os.path.abspath(path):
+                    args = entry.get("arguments") or entry.get("command", "").split()
+                    return [
+                        a
+                        for a in args[1:]
+                        if a.startswith(("-I", "-D", "-std", "-isystem"))
+                    ] or default
+    except (OSError, ValueError, KeyError):
+        pass
+    return default
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="xlint", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("files", nargs="*", help="files to lint (default: src/)")
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "regex", "clang"),
+        default="auto",
+        help="model builder: libclang when available (auto), or force one",
+    )
+    parser.add_argument(
+        "--compile-commands",
+        default=None,
+        help="compile_commands.json for the libclang backend "
+        "(default: build/compile_commands.json when present)",
+    )
+    parser.add_argument("--json", dest="json_out", help="also write findings as JSON")
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary line"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for rule, (slug, desc) in sorted(RULES.items()):
+            sup = f"{slug}-ok(<reason>)" if slug else "(not suppressible)"
+            print(f"{rule}  {desc}  [{sup}]")
+        return 0
+
+    root = repo_root()
+    targets = [os.path.abspath(f) for f in args.files] or default_targets(root)
+    missing = [t for t in targets if not os.path.exists(t)]
+    if missing:
+        print(f"xlint: no such file: {missing[0]}", file=sys.stderr)
+        return 2
+
+    cindex = None
+    if args.backend != "regex":
+        cindex = load_cindex()
+        if cindex is None and args.backend == "clang":
+            print(
+                "xlint: --backend=clang but clang.cindex/libclang is unavailable",
+                file=sys.stderr,
+            )
+            return 2
+    compile_commands = args.compile_commands or os.path.join(
+        root, "build", "compile_commands.json"
+    )
+
+    models = []
+    for path in targets:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        models.append(
+            build_model(
+                rel, raw, args.backend, cindex, compile_args_for(root, compile_commands, path)
+            )
+        )
+
+    findings = Analyzer(models).run()
+    for finding in findings:
+        print(finding.render())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(
+                {
+                    "backend": "clang" if cindex is not None else "regex",
+                    "files_scanned": len(models),
+                    "findings": [
+                        {
+                            "path": x.path,
+                            "line": x.line,
+                            "rule": x.rule,
+                            "message": x.message,
+                        }
+                        for x in findings
+                    ],
+                },
+                f,
+                indent=2,
+            )
+            f.write("\n")
+    if not args.quiet:
+        backend = "clang" if cindex is not None else "regex"
+        print(
+            f"xlint: {len(findings)} finding(s) in {len(models)} file(s) "
+            f"[{backend} backend]",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
