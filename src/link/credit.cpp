@@ -87,6 +87,27 @@ bool CreditSender::gate_idle() const {
   return true;
 }
 
+bool CreditSender::gate_idle_leap() const {
+  if (fwd_dirty_ || wires_.rev->read().valid) return false;
+  for (const Lane& lane : lanes_) {
+    if (!lane.buffer.empty()) return false;
+  }
+  return true;
+}
+
+bool CreditSender::stall_pending() const {
+  // Mirrors end_cycle's starvation rule: a stall is counted only on
+  // cycles where nothing is staged anywhere and some lane sits at zero
+  // credits.
+  for (const Lane& lane : lanes_) {
+    if (!lane.buffer.empty()) return false;
+  }
+  for (const Lane& lane : lanes_) {
+    if (lane.credits == 0) return true;
+  }
+  return false;
+}
+
 std::size_t CreditSender::in_flight() const {
   std::size_t total = 0;
   for (const Lane& lane : lanes_) {

@@ -81,6 +81,20 @@ class CreditSender {
   /// ticking for the gated and full schedulers to report equal stats.
   bool gate_idle() const;
 
+  /// gate_idle without the zero-credit counter clause — the quiescence
+  /// bound the time-leap scheduler uses. A sender idle by this predicate
+  /// does no *work* on a frozen tick; the per-cycle credit_stall count it
+  /// would have accumulated is restored in closed form by
+  /// catch_up_stalls() (the owner tracks the gap; DESIGN.md §12).
+  bool gate_idle_leap() const;
+
+  /// True when a frozen (skipped) tick of the owner would have counted
+  /// one credit_stall: nothing staged on any lane, some lane starved.
+  bool stall_pending() const;
+
+  /// Closed-form catch-up: credits `n` skipped starved cycles.
+  void catch_up_stalls(std::uint64_t n) { credit_stalls_ += n; }
+
   std::uint64_t flits_sent() const { return flits_sent_; }
   /// Credit-starvation cycles: cycles in which nothing was transmitted
   /// while some lane sat at zero credits, i.e. with its entire window

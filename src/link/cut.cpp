@@ -108,6 +108,22 @@ bool CutLink::receiver_idle() const {
          !down_.rev->read().valid;
 }
 
+// Time-leap next events for the halves. Only the *inbox* front due is a
+// self-driven event: capture gates on written() (the watcher wakes the
+// half on every upstream write), outboxes drain at the exchange barrier
+// regardless of wakefulness, and a dirty output wire's trailing idle
+// write is itself carried by an inbox record — so a half with an empty
+// inbox has nothing to do until a signal or exchange wake arrives.
+std::uint64_t CutLink::sender_next_event(std::uint64_t now) const {
+  if (up_.fwd->read().valid) return now + 1;
+  return rev_inbox_.empty() ? sim::kNever : rev_inbox_.front().due;
+}
+
+std::uint64_t CutLink::receiver_next_event(std::uint64_t now) const {
+  if (down_.rev->read().valid) return now + 1;
+  return fwd_inbox_.empty() ? sim::kNever : fwd_inbox_.front().due;
+}
+
 void CutLink::exchange() {
   if (!fwd_outbox_.empty()) {
     do {

@@ -95,6 +95,9 @@ class CutLink final : public sim::CutChannel {
         : sim::Module(std::move(name)), owner_(owner) {}
     void tick(sim::Kernel& kernel) override { owner_.tick_sender(kernel); }
     bool is_idle() const override { return owner_.sender_idle(); }
+    std::uint64_t next_event(std::uint64_t now) const override {
+      return owner_.sender_next_event(now);
+    }
 
    private:
     CutLink& owner_;
@@ -108,6 +111,9 @@ class CutLink final : public sim::CutChannel {
       owner_.tick_receiver(kernel);
     }
     bool is_idle() const override { return owner_.receiver_idle(); }
+    std::uint64_t next_event(std::uint64_t now) const override {
+      return owner_.receiver_next_event(now);
+    }
 
    private:
     CutLink& owner_;
@@ -117,6 +123,8 @@ class CutLink final : public sim::CutChannel {
   void tick_receiver(sim::Kernel& kernel);
   bool sender_idle() const;
   bool receiver_idle() const;
+  std::uint64_t sender_next_event(std::uint64_t now) const;
+  std::uint64_t receiver_next_event(std::uint64_t now) const;
   void corrupt_in_place(FlitBeat& beat);
 
   std::string name_;

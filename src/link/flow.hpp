@@ -91,6 +91,22 @@ class LinkSender {
     return flow_ == FlowControl::kAckNack ? ack_.gate_idle()
                                           : credit_.gate_idle();
   }
+  /// Quiescence bound for the time-leap scheduler: gate_idle without the
+  /// credit-mode zero-credit counter clause (go-back-N has no per-cycle
+  /// counters, so there it equals gate_idle). See CreditSender.
+  bool gate_idle_leap() const {
+    return flow_ == FlowControl::kAckNack ? ack_.gate_idle()
+                                          : credit_.gate_idle_leap();
+  }
+  /// A skipped tick would have counted one credit_stall (credit mode
+  /// only; structurally false for go-back-N).
+  bool stall_pending() const {
+    return flow_ == FlowControl::kAckNack ? false : credit_.stall_pending();
+  }
+  /// Credits `n` skipped starved cycles (no-op for go-back-N).
+  void catch_up_stalls(std::uint64_t n) {
+    if (flow_ != FlowControl::kAckNack) credit_.catch_up_stalls(n);
+  }
   std::uint64_t flits_sent() const {
     return flow_ == FlowControl::kAckNack ? ack_.flits_sent()
                                           : credit_.flits_sent();

@@ -9,8 +9,6 @@ PipelinedLink::PipelinedLink(std::string name, const LinkWires& upstream,
       config_(config),
       up_(upstream),
       down_(downstream),
-      fwd_pipe_(config.stages),
-      rev_pipe_(config.stages),
       rng_(config.seed) {
   // Wake on traffic from either end (gated scheduler; no-op under full).
   up_.fwd->watch(*this);
@@ -43,32 +41,40 @@ void PipelinedLink::corrupt_in_place(FlitBeat& beat) {
   if (corrupted) ++flits_corrupted_;
 }
 
-void PipelinedLink::tick(sim::Kernel&) {
+void PipelinedLink::tick(sim::Kernel& kernel) {
   // Forward direction: sender -> (stages) -> receiver. The reliable-link
   // fast path (the sweep default) forwards the wire value without touching
   // flit payloads; error injection mutates a copy in place.
   //
-  // Pipe invariant (both schedulers): every invalid pipe entry is a copy
-  // of an idle input wire, and under write-on-change an idle wire holds
-  // one stable reset value until the next valid beat. The gated scheduler
-  // relies on this: a frozen all-invalid pipe equals the pipe the full
-  // scheduler keeps refilling with that same held value.
+  // Due-record invariant (all schedulers): a beat read from the input
+  // wire at cycle t emerges on the output wire at cycle t + stages — the
+  // exact timing of the per-stage shift registers this replaced. Only
+  // valid beats are stored; a tick with nothing arriving and nothing due
+  // touches no state and writes no wire, which is what lets the time-leap
+  // scheduler park a mid-flight link until its front due. Senders write
+  // every valid beat (write-on-change drives valid beats uncondition-
+  // ally), so the watcher wake guarantees the link ticks every arrival
+  // cycle: flit counting and error-injection RNG draws happen at entry in
+  // the same order as under per-cycle ticking.
+  const std::uint64_t now = kernel.cycle();
   const FlitBeat& wire_in = up_.fwd->read();
   if (wire_in.valid) ++flits_carried_;
   const bool inject = wire_in.valid && config_.bit_error_rate > 0.0;
   FlitBeat fwd_out;
-  if (fwd_pipe_.empty()) {
+  if (config_.stages == 0) {
+    // Degenerate pipe: the kernel register between the endpoints is the
+    // only stage, so the wire value forwards directly.
     fwd_out = wire_in;
     if (inject) corrupt_in_place(fwd_out);
   } else {
-    fwd_out = std::move(fwd_pipe_.back());
-    for (std::size_t i = fwd_pipe_.size(); i-- > 1;) {
-      fwd_pipe_[i] = std::move(fwd_pipe_[i - 1]);
+    if (!fwd_q_.empty() && fwd_q_.front().due <= now) {
+      fwd_out = std::move(fwd_q_.front().beat);
+      fwd_q_.pop_front();
     }
-    fwd_pipe_[0] = wire_in;
-    if (inject) corrupt_in_place(fwd_pipe_[0]);
-    if (wire_in.valid) ++fwd_pipe_valid_;
-    if (fwd_out.valid) --fwd_pipe_valid_;
+    if (wire_in.valid) {
+      fwd_q_.push_back({now + config_.stages, wire_in});
+      if (inject) corrupt_in_place(fwd_q_.back().beat);
+    }
   }
   // Write-on-change: valid beats are always driven; the idle beat is
   // driven once after the last valid one.
@@ -83,16 +89,16 @@ void PipelinedLink::tick(sim::Kernel&) {
   // Reverse direction: receiver -> (stages) -> sender. Reliable.
   const AckBeat ack_in = down_.rev->read();
   AckBeat rev_out;
-  if (rev_pipe_.empty()) {
+  if (config_.stages == 0) {
     rev_out = ack_in;
   } else {
-    rev_out = rev_pipe_.back();
-    for (std::size_t i = rev_pipe_.size(); i-- > 1;) {
-      rev_pipe_[i] = rev_pipe_[i - 1];
+    if (!rev_q_.empty() && rev_q_.front().due <= now) {
+      rev_out = rev_q_.front().beat;
+      rev_q_.pop_front();
     }
-    rev_pipe_[0] = ack_in;
-    if (ack_in.valid) ++rev_pipe_valid_;
-    if (rev_out.valid) --rev_pipe_valid_;
+    if (ack_in.valid) {
+      rev_q_.push_back({now + config_.stages, ack_in});
+    }
   }
   if (rev_out.valid) {
     up_.rev->write(rev_out);
@@ -104,9 +110,23 @@ void PipelinedLink::tick(sim::Kernel&) {
 }
 
 bool PipelinedLink::is_idle() const {
-  return !fwd_out_dirty_ && !rev_out_dirty_ && fwd_pipe_valid_ == 0 &&
-         rev_pipe_valid_ == 0 && !up_.fwd->read().valid &&
+  return !fwd_out_dirty_ && !rev_out_dirty_ && fwd_q_.empty() &&
+         rev_q_.empty() && !up_.fwd->read().valid &&
          !down_.rev->read().valid;
+}
+
+std::uint64_t PipelinedLink::next_event(std::uint64_t now) const {
+  // Dirty output wires owe a trailing idle write next cycle; a valid
+  // input wire means a beat is arriving. Otherwise the only pending work
+  // is mid-pipe, and the front dues bound it exactly.
+  if (fwd_out_dirty_ || rev_out_dirty_ || up_.fwd->read().valid ||
+      down_.rev->read().valid) {
+    return now + 1;
+  }
+  std::uint64_t e = sim::kNever;
+  if (!fwd_q_.empty()) e = std::min(e, fwd_q_.front().due);
+  if (!rev_q_.empty()) e = std::min(e, rev_q_.front().due);
+  return e;
 }
 
 }  // namespace xpl::link

@@ -10,7 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <deque>
 
 #include "src/common/rng.hpp"
 #include "src/packet/flit.hpp"
@@ -45,10 +45,15 @@ class PipelinedLink : public sim::Module {
 
   void tick(sim::Kernel& kernel) override;
 
-  /// Quiescent when both pipes are empty of valid beats, both output
+  /// Quiescent when both directions hold no in-flight beats, both output
   /// wires are already driven idle, and nothing is arriving on either
   /// input wire (the link watches both, so arrivals wake it).
   bool is_idle() const override;
+
+  /// Earliest in-flight due cycle (time-leap scheduler). A link busy only
+  /// because beats are mid-pipe sleeps until the first one emerges; dirty
+  /// output wires and valid input wires pin it to the next cycle.
+  std::uint64_t next_event(std::uint64_t now) const override;
 
   /// Flits that traversed the link (including retransmissions).
   std::uint64_t flits_carried() const { return flits_carried_; }
@@ -64,13 +69,23 @@ class PipelinedLink : public sim::Module {
   /// with bit_error_rate > 0; draws the same RNG sequence either way).
   void corrupt_in_place(FlitBeat& beat);
 
+  /// A beat in flight: entered the pipe at cycle (due - stages), emerges
+  /// on the output wire at cycle `due`. Replaces the per-stage shift
+  /// registers: invalid stage slots carried no information, so only the
+  /// valid beats are stored, each with its emergence cycle. Dues are
+  /// strictly increasing (one wire beat per cycle), so delivery is a
+  /// front-of-queue test and the queue doubles as the next_event source.
+  template <typename Beat>
+  struct InFlight {
+    std::uint64_t due = 0;
+    Beat beat;
+  };
+
   Config config_;
   LinkWires up_;
   LinkWires down_;
-  std::vector<FlitBeat> fwd_pipe_;
-  std::vector<AckBeat> rev_pipe_;
-  std::size_t fwd_pipe_valid_ = 0;  ///< valid beats inside fwd_pipe_
-  std::size_t rev_pipe_valid_ = 0;  ///< valid beats inside rev_pipe_
+  std::deque<InFlight<FlitBeat>> fwd_q_;  ///< valid forward beats mid-pipe
+  std::deque<InFlight<AckBeat>> rev_q_;   ///< valid reverse beats mid-pipe
   bool fwd_out_dirty_ = false;  ///< downstream fwd wire holds a valid beat
   bool rev_out_dirty_ = false;  ///< upstream rev wire holds a valid beat
   Rng rng_;

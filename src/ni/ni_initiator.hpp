@@ -69,12 +69,18 @@ class InitiatorNi : public sim::Module {
   /// beat arrives, and arrivals wake this module. See DESIGN.md §9.
   bool is_idle() const override;
 
+  /// Time-leap next event: kNever when busy only by the network sender's
+  /// zero-credit counter clause (stalls caught up in closed form on wake
+  /// — DESIGN.md §12), next cycle otherwise.
+  std::uint64_t next_event(std::uint64_t now) const override;
+
   const InitiatorConfig& config() const { return config_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t lut_misses() const { return lut_misses_; }
   /// Network-port sender back-pressure (0 unless flow == kCredit).
-  std::uint64_t credit_stalls() const { return tx_.credit_stalls(); }
+  /// Includes the not-yet-applied stalls of an in-progress sleep gap.
+  std::uint64_t credit_stalls() const;
   /// True when no transaction is in flight anywhere in this NI.
   bool idle() const;
 
@@ -121,6 +127,11 @@ class InitiatorNi : public sim::Module {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;
   std::uint64_t lut_misses_ = 0;
+
+  /// Stall catch-up bookkeeping (time-leap; see Switch): first un-ticked
+  /// cycle and the clock that measures sleep gaps.
+  std::uint64_t next_tick_ = 0;
+  const sim::Kernel* kernel_ = nullptr;
 };
 
 }  // namespace xpl::ni

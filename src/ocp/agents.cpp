@@ -1,5 +1,7 @@
 #include "src/ocp/agents.hpp"
 
+#include <algorithm>
+
 #include "src/common/error.hpp"
 
 namespace xpl::ocp {
@@ -42,6 +44,20 @@ bool MasterCore::is_idle() const {
   // awaiting_ is sleepable: the response beat that advances it wakes us.
   return queue_.empty() && !active_.has_value() && resp_.empty() &&
          req_.gate_idle() && resp_.gate_idle();
+}
+
+std::uint64_t MasterCore::next_event(std::uint64_t now) const {
+  if (active_.has_value() || !resp_.empty() || !req_.gate_idle() ||
+      !resp_.gate_idle()) {
+    return now + 1;
+  }
+  if (queue_.empty()) return now + 1;  // unreachable when !is_idle()
+  // Pre-release ticks change nothing (the issue gate tests release
+  // against the cycle), so the queued head's release is the next event.
+  // A released head that did not issue is blocked on the outstanding
+  // limit: only a response beat can free a slot, and that wakes us.
+  const std::uint64_t release = queue_.front().release;
+  return release > now ? release : sim::kNever;
 }
 
 void MasterCore::tick(sim::Kernel& kernel) {
@@ -148,6 +164,17 @@ bool SlaveCore::is_idle() const {
   // short-lived and always adjacent to wire activity.
   return req_.empty() && jobs_.empty() && !responding_.has_value() &&
          !collecting_.has_value() && req_.gate_idle() && resp_.gate_idle();
+}
+
+std::uint64_t SlaveCore::next_event(std::uint64_t now) const {
+  if (!req_.empty() || collecting_.has_value() || responding_.has_value() ||
+      !req_.gate_idle() || !resp_.gate_idle()) {
+    return now + 1;
+  }
+  if (jobs_.empty()) return now + 1;  // unreachable when !is_idle()
+  // Ticks before the front job's ready_cycle are no-ops (the promotion
+  // gate tests it against the cycle); the service window is the wait.
+  return std::max<std::uint64_t>(jobs_.front().ready_cycle, now + 1);
 }
 
 std::uint64_t SlaveCore::peek(std::uint64_t addr) const {

@@ -71,6 +71,12 @@ class MasterCore : public sim::Module {
   /// wakes the module itself (external injection bypasses the wires).
   bool is_idle() const override;
 
+  /// Time-leap next event: a master busy only because its head-of-queue
+  /// transaction has a future release cycle sleeps until that release;
+  /// one blocked on the outstanding limit sleeps until a response beat
+  /// wakes it (both kinds of waiting tick as observable no-ops).
+  std::uint64_t next_event(std::uint64_t now) const override;
+
   std::size_t issued_count() const { return issued_count_; }
   const std::vector<TransactionResult>& completed() const {
     return completed_;
@@ -128,6 +134,12 @@ class SlaveCore : public sim::Module {
   /// latency MUST keep the slave awake: ready_cycle promotion is
   /// time-driven, not input-driven, so no wire write would re-arm it.
   bool is_idle() const override;
+
+  /// Time-leap next event: a slave whose only pending work is jobs inside
+  /// their service window sleeps until the front job's ready_cycle (jobs
+  /// complete collection in cycle order with a constant latency, so the
+  /// front ready_cycle is the minimum).
+  std::uint64_t next_event(std::uint64_t now) const override;
 
   /// Direct backdoor access for tests (word index = byte addr / 8).
   std::uint64_t peek(std::uint64_t addr) const;

@@ -37,7 +37,7 @@ class Monitor : public sim::Module {
   /// wires, so any beat (or its drive-idle reset) wakes it for exactly
   /// the cycles where it would observe something.
   // xlint: idle-ok(pure observer; watcher wakes on both wires cover every observable cycle, pinned by wake_hazard_test)
-  bool is_idle() const override { return true; }
+  bool is_idle() const override { return true; }  // xlint: next-event-ok(reads cycle() only to timestamp violations; never self-scheduled — the wire watchers wake it)
 
   const std::vector<std::string>& violations() const { return violations_; }
   bool clean() const { return violations_.empty(); }

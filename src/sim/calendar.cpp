@@ -1,0 +1,55 @@
+#include "src/sim/calendar.hpp"
+
+#include <bit>
+
+#include "src/sim/kernel.hpp"
+
+namespace xpl::sim {
+
+void WakeCalendar::advance(std::uint64_t now) {
+  if (size_ != 0) {
+    // Wheel: each set bitmap bit is one pending bucket; the bucket's own
+    // due field says whether it has come due. At most 4 words scanned
+    // regardless of how far the window slides.
+    for (std::size_t w = 0; w < kBitmapWords; ++w) {
+      std::uint64_t bits = bitmap_[w];
+      while (bits != 0) {
+        const std::size_t bucket =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        Bucket& b = wheel_[bucket];
+        if (b.due > now) continue;
+        for (Module* m : b.entries) m->wake();
+        size_ -= b.entries.size();
+        b.entries.clear();
+        clear_bit(bucket);
+      }
+    }
+    // Overflow heap: pop everything due. Heap entries may lie inside the
+    // wheel window after earlier slides — they are served here directly,
+    // never migrated.
+    while (!heap_.empty() && heap_.front().due <= now) {
+      heap_.front().module->wake();
+      std::pop_heap(heap_.begin(), heap_.end(), later);
+      heap_.pop_back();
+      --size_;
+    }
+  }
+  if (now + 1 > window_start_) window_start_ = now + 1;
+}
+
+std::uint64_t WakeCalendar::next_due() const {
+  std::uint64_t due = heap_.empty() ? kNever : heap_.front().due;
+  for (std::size_t w = 0; w < kBitmapWords; ++w) {
+    std::uint64_t bits = bitmap_[w];
+    while (bits != 0) {
+      const std::size_t bucket =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      due = std::min(due, wheel_[bucket].due);
+    }
+  }
+  return due;
+}
+
+}  // namespace xpl::sim

@@ -41,6 +41,12 @@ void Kernel::step() {
     step_gated();
     return;
   }
+  if (scheduler_ == Scheduler::kTimeLeap) {
+    // A single step never leaps: step() is the cycle-exact primitive the
+    // differential harness and run_until lean on.
+    step_timeleap();
+    return;
+  }
   for (Module* m : modules_) {
     m->tick(*this);
   }
@@ -86,6 +92,75 @@ void Kernel::step_gated() {
   }
 }
 
+void Kernel::step_timeleap() {
+  // Serve the calendar first: a module due this cycle must tick this
+  // cycle. wake() also sets woken_, so a calendar-woken module stays in
+  // the active set one extra cycle — a harmless frozen-tick no-op, the
+  // same slack gated wakes have.
+  calendar_.advance(cycle_);
+  for (Module* m : modules_) {
+    if (m->awake_) m->tick(*this);
+  }
+  for (const DirtyEntry& e : dirty_) {
+    e.commit(e.signal);
+  }
+  dirty_.clear();
+  // Active-set update, gated rules plus the calendar exit: a busy module
+  // whose next self-driven change lies beyond the next cycle parks on the
+  // calendar instead of spinning through bookkeeping-only ticks.
+  std::size_t awake = 0;
+  for (Module* m : modules_) {
+    if (m->woken_) {
+      m->awake_ = true;
+      m->woken_ = false;
+      ++awake;
+    } else if (m->awake_) {
+      if (m->is_idle()) {
+        m->awake_ = false;  // signal-wake only, exactly as gated
+      } else {
+        const std::uint64_t e = m->next_event(cycle_);
+        if (e <= cycle_ + 1) {
+          ++awake;
+        } else {
+          m->awake_ = false;
+          if (e != kNever) calendar_.schedule(e, m);
+        }
+      }
+    }
+  }
+  awake_n_ = awake;
+  ++cycle_;
+  for (auto& p : probes_) {
+    p(cycle_);
+  }
+}
+
+void Kernel::refresh_awake_n() {
+  std::size_t n = 0;
+  for (const Module* m : modules_) {
+    if (m->awake_) ++n;
+  }
+  awake_n_ = n;
+}
+
+void Kernel::run_timeleap(std::uint64_t cycles) {
+  refresh_awake_n();
+  const std::uint64_t end = cycle_ + cycles;
+  while (cycle_ < end) {
+    // Probes force per-cycle stepping: they observe every committed
+    // cycle, and a leapt cycle is never committed.
+    if (awake_n_ == 0 && probes_.empty()) {
+      const std::uint64_t target = std::min(calendar_.next_due(), end);
+      if (target > cycle_) {
+        leapt_cycles_ += target - cycle_;
+        cycle_ = target;
+        continue;
+      }
+    }
+    step_timeleap();
+  }
+}
+
 void Kernel::run_partition(Partition& p, std::uint64_t k) {
   p.local_cycle = cycle_;
   detail::g_cycle_override = &p.local_cycle;
@@ -104,6 +179,58 @@ void Kernel::run_partition(Partition& p, std::uint64_t k) {
           m->woken_ = false;
         } else if (m->awake_) {
           m->awake_ = !m->is_idle();
+        }
+      }
+      ++p.local_cycle;
+    }
+  } else if (scheduler_ == Scheduler::kTimeLeap) {
+    // Refresh the partition's awake count at epoch entry: exchange
+    // deliveries and external pushes flip awake_ flags between epochs
+    // without this loop seeing them.
+    std::size_t awake = 0;
+    for (const Module* m : p.modules) {
+      if (m->awake_) ++awake;
+    }
+    const std::uint64_t epoch_end = cycle_ + k;
+    while (p.local_cycle < epoch_end) {
+      if (awake == 0) {
+        // Partition-local leap, capped at the epoch barrier: a record
+        // staged for a neighbour is only delivered at the barrier, so a
+        // leap may never cross it.
+        const std::uint64_t target =
+            std::min(p.calendar.next_due(), epoch_end);
+        if (target > p.local_cycle) {
+          p.leapt += target - p.local_cycle;
+          p.local_cycle = target;
+          continue;
+        }
+      }
+      p.calendar.advance(p.local_cycle);
+      for (Module* m : p.modules) {
+        if (m->awake_) m->tick(*this);
+      }
+      for (const DirtyEntry& e : p.dirty) {
+        e.commit(e.signal);
+      }
+      p.dirty.clear();
+      awake = 0;
+      for (Module* m : p.modules) {
+        if (m->woken_) {
+          m->awake_ = true;
+          m->woken_ = false;
+          ++awake;
+        } else if (m->awake_) {
+          if (m->is_idle()) {
+            m->awake_ = false;
+          } else {
+            const std::uint64_t e = m->next_event(p.local_cycle);
+            if (e <= p.local_cycle + 1) {
+              ++awake;
+            } else {
+              m->awake_ = false;
+              if (e != kNever) p.calendar.schedule(e, m);
+            }
+          }
         }
       }
       ++p.local_cycle;
@@ -151,6 +278,41 @@ void Kernel::step_partitions_fused() {
         m->woken_ = false;
       } else if (m->awake_) {
         m->awake_ = !m->is_idle();
+      }
+    }
+  } else if (scheduler_ == Scheduler::kTimeLeap) {
+    // Fused one-cycle epoch, time-leap flavour: same global-order pass as
+    // gated, but idle-with-future-state modules park on their partition's
+    // calendar. Intra-epoch leaps are impossible at k == 1; the wholesale
+    // all-asleep fast-forward lives in Kernel::run.
+    for (auto& p : partitions_) {
+      p->calendar.advance(cycle_);
+    }
+    for (Module* m : modules_) {
+      if (m->awake_) m->tick(*this);
+    }
+    for (auto& p : partitions_) {
+      for (const DirtyEntry& e : p->dirty) {
+        e.commit(e.signal);
+      }
+      p->dirty.clear();
+    }
+    for (Module* m : modules_) {
+      if (m->woken_) {
+        m->awake_ = true;
+        m->woken_ = false;
+      } else if (m->awake_) {
+        if (m->is_idle()) {
+          m->awake_ = false;
+        } else {
+          const std::uint64_t e = m->next_event(cycle_);
+          if (e > cycle_ + 1) {
+            m->awake_ = false;
+            if (e != kNever) {
+              partitions_[m->partition_]->calendar.schedule(e, m);
+            }
+          }
+        }
       }
     }
   } else {
@@ -205,10 +367,46 @@ std::uint64_t Kernel::digest() const {
 
 void Kernel::run(std::uint64_t cycles) {
   if (!partitioned()) {
+    if (scheduler_ == Scheduler::kTimeLeap) {
+      run_timeleap(cycles);
+      return;
+    }
     for (std::uint64_t i = 0; i < cycles; ++i) step();
     return;
   }
   while (cycles > 0) {
+    if (scheduler_ == Scheduler::kTimeLeap) {
+      // Wholesale epoch fast-forward: when every module in every
+      // partition is asleep, no epoch before the earliest calendar due
+      // can tick anything, stage anything, or exchange anything (empty
+      // exchanges are no-ops, and all-asleep implies no undelivered
+      // wakes), so the skipped epochs need not execute at all. epochs()
+      // counts executed barriers only.
+      bool any_awake = false;
+      for (const Module* m : modules_) {
+        if (m->awake_) {
+          any_awake = true;
+          break;
+        }
+      }
+      if (!any_awake) {
+        std::uint64_t min_due = kNever;
+        for (const auto& p : partitions_) {
+          min_due = std::min(min_due, p->calendar.next_due());
+        }
+        std::uint64_t skip = cycles;
+        if (min_due != kNever) {
+          skip = std::min(skip, min_due > cycle_ ? min_due - cycle_
+                                                 : std::uint64_t{0});
+        }
+        if (skip > 0) {
+          cycle_ += skip;
+          leapt_cycles_ += skip;
+          cycles -= skip;
+          continue;
+        }
+      }
+    }
     const std::uint64_t k = std::min<std::uint64_t>(lookahead_, cycles);
     run_epoch(k);
     cycles -= k;
@@ -217,12 +415,42 @@ void Kernel::run(std::uint64_t cycles) {
 
 std::uint64_t Kernel::run_until(const std::function<bool()>& done,
                                 std::uint64_t max_cycles) {
+  if (scheduler_ == Scheduler::kTimeLeap && !partitioned()) {
+    // Leaping stays cycle-exact for the callers this interface serves:
+    // done() predicates read module state (drain/quiescence checks),
+    // which is frozen across a leapt gap, so one evaluation before the
+    // leap covers every skipped boundary.
+    refresh_awake_n();
+    std::uint64_t n = 0;
+    while (n < max_cycles && !done()) {
+      if (awake_n_ == 0 && probes_.empty()) {
+        const std::uint64_t end = cycle_ + (max_cycles - n);
+        const std::uint64_t target = std::min(calendar_.next_due(), end);
+        if (target > cycle_) {
+          const std::uint64_t d = target - cycle_;
+          leapt_cycles_ += d;
+          cycle_ = target;
+          n += d;
+          continue;
+        }
+      }
+      step_timeleap();
+      ++n;
+    }
+    return n;
+  }
   std::uint64_t n = 0;
   while (n < max_cycles && !done()) {
     step();
     ++n;
   }
   return n;
+}
+
+std::uint64_t Kernel::leapt_cycles() const {
+  std::uint64_t total = leapt_cycles_;
+  for (const auto& p : partitions_) total += p->leapt;
+  return total;
 }
 
 }  // namespace xpl::sim

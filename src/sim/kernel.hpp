@@ -19,7 +19,7 @@
 // so a wire's committed per-cycle value sequence is identical to the
 // classic drive-every-cycle discipline.
 //
-// Two schedulers share this contract (Scheduler, DESIGN.md §9):
+// Three schedulers share this contract (Scheduler, DESIGN.md §9/§12):
 //
 //  * kFull ticks every module every cycle and commits per-type signal
 //    pools in a tight devirtualized loop (one virtual dispatch per *type*
@@ -32,10 +32,18 @@
 //    (Module::wake, e.g. on an external push_transaction). Under gating
 //    write density is low, so commit walks the cycle's dirty list instead
 //    of scanning every signal.
+//  * kTimeLeap is gated plus clock skipping: a module that stays busy
+//    only because of *future* state (a beat mid-pipe, a job inside its
+//    service window, a blocked release) declares the cycle of its next
+//    self-driven change via Module::next_event() and sleeps on a timed-
+//    wake calendar (calendar.hpp). When the active set drains the kernel
+//    leaps cycle_ straight to the calendar's next due cycle instead of
+//    walking the gap one bookkeeping-only cycle at a time.
 //
-// Both schedulers are required to be bit-exact with each other; the
-// differential harness in tests/kernel_equiv_test.cpp checks per-cycle
-// Kernel::digest() equality over randomized scenarios.
+// All schedulers are required to be bit-exact with each other; the
+// differential harness in tests/kernel_equiv_test.cpp and
+// tests/timeleap_test.cpp checks per-cycle Kernel::digest() equality over
+// randomized scenarios.
 //
 // PR 8 adds conservative-window partitioned execution on top of either
 // scheduler: the module/signal graph is split into partitions that never
@@ -59,6 +67,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/sim/calendar.hpp"
 
 namespace xpl::sim {
 
@@ -91,12 +100,21 @@ class CutChannel {
 
 /// Kernel scheduling mode; fixed at Kernel construction.
 enum class Scheduler : std::uint8_t {
-  kFull,   ///< tick every module every cycle (classic two-phase)
-  kGated,  ///< skip quiescent modules; wake on watched-signal writes
+  kFull,     ///< tick every module every cycle (classic two-phase)
+  kGated,    ///< skip quiescent modules; wake on watched-signal writes
+  kTimeLeap, ///< gated + skip quiescent cycle gaps via a wake calendar
 };
 
 inline const char* scheduler_name(Scheduler s) {
-  return s == Scheduler::kGated ? "gated" : "full";
+  switch (s) {
+    case Scheduler::kGated:
+      return "gated";
+    case Scheduler::kTimeLeap:
+      return "time_leap";
+    case Scheduler::kFull:
+      break;
+  }
+  return "full";
 }
 
 /// Base class of all clocked hardware modules.
@@ -139,12 +157,31 @@ class Module {
   /// under the full scheduler, which ignores the flag).
   bool awake() const { return awake_; }
 
+  /// Time-leap scheduler only: the cycle of this module's next
+  /// *self-driven* state change, consulted right after a tick when
+  /// is_idle() is still false. Contract:
+  ///
+  ///  * now + 1 (the safe default) — stay awake; tick again next cycle.
+  ///  * kNever — nothing pending; sleep until a watched-signal wake.
+  ///  * any c > now + 1 — sleep on the wake calendar until cycle c; every
+  ///    tick in (now, c) must be an observable no-op (no committed signal
+  ///    change, no internal state change that a later cycle could see).
+  ///    Counters that would have advanced during the gap must be caught
+  ///    up in closed form on the next tick (DESIGN.md §12).
+  ///
+  /// Spurious early wakes are harmless by the same contract; returning a
+  /// too-late cycle is a correctness bug the differential harness catches.
+  virtual std::uint64_t next_event(std::uint64_t now) const {
+    return now + 1;
+  }
+
  private:
   friend class Kernel;
 
   std::string name_;
   bool awake_ = true;  ///< gated scheduler: ticked this cycle
   bool woken_ = false; ///< gated scheduler: wake requested during this cycle
+  std::size_t partition_ = 0;  ///< owning partition (0 when unpartitioned)
 };
 
 /// Accumulating 64-bit state hash (FNV-1a style). Used by the differential
@@ -325,7 +362,7 @@ class Kernel {
       // per-type pool sweep cannot be split by partition), under either
       // scheduler.
       sig.dirty_list_ = &partitions_[creation_partition_]->dirty;
-    } else if (scheduler_ == Scheduler::kGated) {
+    } else if (scheduler_ != Scheduler::kFull) {
       sig.dirty_list_ = &dirty_;
     }
     return sig;
@@ -338,6 +375,7 @@ class Kernel {
   void add_module(Module& module) {
     modules_.push_back(&module);
     if (partitioned()) {
+      module.partition_ = creation_partition_;
       partitions_[creation_partition_]->modules.push_back(&module);
     }
   }
@@ -366,6 +404,27 @@ class Kernel {
   /// count drain cycles; lookahead batching would overshoot).
   std::uint64_t run_until(const std::function<bool()>& done,
                           std::uint64_t max_cycles);
+
+  /// Parks `m` on the wake calendar for cycle `due` (time-leap scheduler).
+  /// Under kFull/kGated — or when `due` is not in the future — this wakes
+  /// the module immediately instead: an extra awake tick is a no-op by the
+  /// is_idle() contract, so callers need no scheduler-specific logic.
+  void schedule_wake(Module& m, std::uint64_t due) {
+    if (scheduler_ != Scheduler::kTimeLeap || due <= cycle()) {
+      m.wake();
+      return;
+    }
+    if (partitioned()) {
+      partitions_[m.partition_]->calendar.schedule(due, &m);
+    } else {
+      calendar_.schedule(due, &m);
+    }
+  }
+
+  /// Cycles skipped (never walked) by time-leap clock jumps. 0 under
+  /// kFull/kGated; the bench suite reports leapt_cycles()/cycles as
+  /// leapt_frac.
+  std::uint64_t leapt_cycles() const;
 
   /// Cycles elapsed since construction. Callable from module ticks even
   /// inside a lookahead epoch: the executing partition's local clock is
@@ -428,15 +487,30 @@ class Kernel {
   }
 
   void step_gated();
+  void step_timeleap();
   void step_partitions_fused();
+
+  /// Unpartitioned time-leap run loop: step while anything is awake, leap
+  /// cycle_ to the calendar's next due cycle when the active set drains.
+  void run_timeleap(std::uint64_t cycles);
+
+  /// Re-derives awake_n_ from the modules' awake flags. Needed at
+  /// run-entry: external wakes (push_transaction between runs) flip
+  /// awake_ without the kernel seeing them.
+  void refresh_awake_n();
 
   /// One execution group: its modules (a subsequence of modules_), its
   /// own dirty list (no sharing — commits race-free by construction),
-  /// and its clock inside the current epoch.
+  /// and its clock inside the current epoch. The wake calendar and leap
+  /// counter are partition-local too, so the time-leap path stays free of
+  /// cross-thread state.
   struct Partition {
     std::vector<Module*> modules;
     DirtyList dirty;
     std::uint64_t local_cycle = 0;
+    WakeCalendar calendar;
+    std::size_t awake_n = 0;
+    std::uint64_t leapt = 0;
   };
 
   /// Runs every partition for `k` cycles (pooled or serial), advances
@@ -458,6 +532,11 @@ class Kernel {
   DirtyList dirty_;  ///< signals written this cycle (gated, unpartitioned)
   std::vector<std::function<void(std::uint64_t)>> probes_;
   std::uint64_t cycle_ = 0;
+
+  // Time-leap scheduler (unpartitioned; partitions carry their own).
+  WakeCalendar calendar_;
+  std::size_t awake_n_ = 0;      ///< modules ticked last step_timeleap
+  std::uint64_t leapt_cycles_ = 0;
 
   // Partitioned execution (empty/idle unless configure_partitions ran).
   std::vector<std::unique_ptr<Partition>> partitions_;

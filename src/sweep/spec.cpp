@@ -112,6 +112,14 @@ std::uint64_t derive_seed(std::uint64_t spec_seed, std::uint64_t salt) {
   return z ^ (z >> 31);
 }
 
+sim::Scheduler auto_scheduler(double injection_rate) {
+  // At <= 5% offered load the network spends most cycles quiescent and
+  // the time-leap calendar pays for itself; above it, gated's per-cycle
+  // active set is already tight (BENCH_pr10.json).
+  return injection_rate <= 0.05 ? sim::Scheduler::kTimeLeap
+                                : sim::Scheduler::kGated;
+}
+
 std::size_t SweepPoint::num_switches() const {
   if (topology == "mesh" || topology == "torus" || topology == "cmesh") {
     return width * height;
@@ -200,9 +208,10 @@ void SweepSpec::validate() const {
   require(known_routings().count(routing) != 0,
           "sweep: unknown routing '" + routing +
               "' (expected auto | minimal | xy | updown)");
-  require(scheduler == "gated" || scheduler == "full",
+  require(scheduler == "gated" || scheduler == "full" ||
+              scheduler == "time_leap",
           "sweep: unknown scheduler '" + scheduler +
-              "' (expected gated | full)");
+              "' (expected gated | full | time_leap)");
   for (const std::size_t v : vcss) {
     require(v >= 1 && v <= link::kMaxVcs,
             "sweep: vcs must be in [1, " + std::to_string(link::kMaxVcs) +
@@ -296,8 +305,16 @@ SweepPoint SweepSpec::resolve_grid_point(std::size_t grid_index,
                         ? topology::RoutingAlgorithm::kXY
                         : topology::RoutingAlgorithm::kUpDown;
   }
-  p.net.scheduler = scheduler == "full" ? sim::Scheduler::kFull
-                                        : sim::Scheduler::kGated;
+  if (scheduler_pinned) {
+    p.net.scheduler = scheduler == "full"        ? sim::Scheduler::kFull
+                      : scheduler == "time_leap" ? sim::Scheduler::kTimeLeap
+                                                 : sim::Scheduler::kGated;
+  } else {
+    // No directive: pick per point by offered load. Results are
+    // scheduler-invariant (bit-identical), so the choice is free to vary
+    // across points and across resumes of the same campaign.
+    p.net.scheduler = auto_scheduler(injection_rates[rate_i]);
+  }
   // Seeds derive from the *grid* cell, never from scheduling order:
   // bit-identical results for any --jobs value.
   p.net.seed = derive_seed(seed, grid_index * 2 + 0);
@@ -410,11 +427,13 @@ SweepSpec parse_sweep(const std::string& text) {
       spec.routing = tokens[1];
     } else if (key == "scheduler") {
       need(2);
-      if (tokens[1] != "gated" && tokens[1] != "full") {
+      if (tokens[1] != "gated" && tokens[1] != "full" &&
+          tokens[1] != "time_leap") {
         fail(lineno, "unknown scheduler '" + tokens[1] +
-                         "' (expected gated | full)");
+                         "' (expected gated | full | time_leap)");
       }
       spec.scheduler = tokens[1];
+      spec.scheduler_pinned = true;
     } else if (key == "threads") {
       need(2);
       spec.threads = parse_u64(tokens[1], lineno);

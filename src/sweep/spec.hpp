@@ -137,9 +137,15 @@ struct SweepSpec {
   std::string routing = "auto";
   /// Campaign-wide kernel scheduling policy: "gated" (skip quiescent
   /// modules, the default) | "full" (tick everything — the escape hatch
-  /// for cross-checking a suspected gating divergence). Both produce
+  /// for cross-checking a suspected gating divergence) | "time_leap"
+  /// (skip quiescent *cycles* too; DESIGN.md §12). All three produce
   /// byte-identical results; see DESIGN.md §9.
   std::string scheduler = "gated";
+  /// True when the spec carried an explicit `scheduler` directive. An
+  /// unpinned spec lets resolve_grid_point() pick per point via
+  /// auto_scheduler() — safe because every scheduler is bit-identical,
+  /// so checkpoints and exports do not depend on the choice.
+  bool scheduler_pinned = false;
   /// Campaign-wide partitioned-simulation knobs (DESIGN.md §10): every
   /// point's kernel is split into `partitions` conservative partitions
   /// run by `threads` worker threads. Results are byte-identical at any
@@ -196,6 +202,12 @@ struct SweepSpec {
 /// Deterministic per-job seed: splitmix64 of the spec seed and the point's
 /// campaign index. Exposed for tests.
 std::uint64_t derive_seed(std::uint64_t spec_seed, std::uint64_t salt);
+
+/// Default scheduler for a point whose spec does not pin one: time-leap
+/// when the offered load is low enough that quiescent gaps dominate,
+/// gated otherwise. Pure function of the injection rate so the choice —
+/// which never changes results, only wall-clock — is reproducible.
+sim::Scheduler auto_scheduler(double injection_rate);
 
 /// Parses a sweep specification; throws xpl::Error with a line number on
 /// malformed input.

@@ -136,6 +136,21 @@ void Switch::tick(sim::Kernel& kernel) {
   // transmit).
   const std::size_t vcs = config_.vcs;
 
+  // Stall catch-up (time-leap): skipped cycles were frozen, so every
+  // sender that was starved when this module went to sleep stayed starved
+  // through the gap — credit each with one stall per skipped cycle.
+  // Evaluated before begin_cycle consumes the credit beat that (usually)
+  // caused this wake, i.e. against the exact state the skipped ticks
+  // would have seen.
+  kernel_ = &kernel;
+  const std::uint64_t now = kernel.cycle();
+  if (now > next_tick_) {
+    for (OutputPort& out : outputs_) {
+      if (out.tx.stall_pending()) out.tx.catch_up_stalls(now - next_tick_);
+    }
+  }
+  next_tick_ = now + 1;
+
   // ACK/nACK / credit bookkeeping first: senders retire or rewind.
   for (OutputPort& out : outputs_) {
     out.tx.begin_cycle();
@@ -316,6 +331,18 @@ std::uint64_t Switch::retransmissions() const {
 std::uint64_t Switch::credit_stalls() const {
   std::uint64_t total = 0;
   for (const OutputPort& out : outputs_) total += out.tx.credit_stalls();
+  // Time-leap correction: cycles this module has slept through so far
+  // while a sender sat starved would each have counted one stall under
+  // per-cycle ticking; the frozen state says exactly how many. Zero under
+  // kFull/kGated (next_tick_ == cycle(): a starved switch never sleeps).
+  if (kernel_ != nullptr) {
+    const std::uint64_t now = kernel_->cycle();
+    if (now > next_tick_) {
+      for (const OutputPort& out : outputs_) {
+        if (out.tx.stall_pending()) total += now - next_tick_;
+      }
+    }
+  }
   return total;
 }
 
@@ -380,6 +407,31 @@ bool Switch::is_idle() const {
     }
   }
   return true;
+}
+
+bool Switch::leap_idle() const {
+  for (const InputPort& in : inputs_) {
+    if (!in.rx.gate_idle()) return false;
+    for (const InLane& lane : in.lanes) {
+      if (!lane.fifo.empty()) return false;
+    }
+  }
+  for (const OutputPort& out : outputs_) {
+    if (!out.tx.gate_idle_leap()) return false;
+    for (const OutLane& lane : out.lanes) {
+      if (!lane.fifo.empty() || !lane.pipe.empty()) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Switch::next_event(std::uint64_t now) const {
+  // Only consulted when is_idle() is false. If the switch is busy solely
+  // because a starved sender must count per-cycle stalls, those frozen
+  // ticks are caught up in closed form — sleep until the credit return
+  // wakes it through the watched reverse wire. Anything else (buffered
+  // flits, delay-line entries, arriving beats) needs the next cycle.
+  return leap_idle() ? sim::kNever : now + 1;
 }
 
 }  // namespace xpl::switchlib

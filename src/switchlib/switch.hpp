@@ -116,6 +116,12 @@ class Switch : public sim::Module {
   /// input wire. See DESIGN.md §9.
   bool is_idle() const override;
 
+  /// Time-leap next event: kNever when the switch is busy only by the
+  /// credit-counter clause of is_idle() (a starved sender's per-cycle
+  /// stall count is restored in closed form on wake — DESIGN.md §12),
+  /// next cycle otherwise.
+  std::uint64_t next_event(std::uint64_t now) const override;
+
   const SwitchConfig& config() const { return config_; }
 
   /// Flits forwarded input->output since construction.
@@ -184,6 +190,10 @@ class Switch : public sim::Module {
   std::uint8_t out_vc(std::size_t in_port, std::uint8_t in_vc,
                       std::size_t out_port) const;
 
+  /// is_idle() with the senders' zero-credit counter clause relaxed to
+  /// gate_idle_leap — the sleep bound the time-leap scheduler uses.
+  bool leap_idle() const;
+
   SwitchConfig config_;
   std::vector<InputPort> inputs_;
   std::vector<OutputPort> outputs_;
@@ -200,6 +210,13 @@ class Switch : public sim::Module {
   std::uint64_t flits_switched_ = 0;
   std::uint64_t active_cycles_ = 0;
   std::vector<std::uint64_t> packets_out_;
+
+  /// Stall catch-up bookkeeping (time-leap): the first cycle this module
+  /// has not yet ticked, and the kernel whose clock measures the gap. A
+  /// module that ticks every cycle (kFull/kGated) keeps next_tick_ ==
+  /// cycle() so both corrections below are identically zero.
+  std::uint64_t next_tick_ = 0;
+  const sim::Kernel* kernel_ = nullptr;
 };
 
 }  // namespace xpl::switchlib

@@ -105,6 +105,12 @@ std::vector<TraceEntry> load_trace(const std::string& path);
 /// ranges, burst fit) at construction. This is the one replay engine:
 /// workload::TraceDriver layers the trace *file* format and a seed-free
 /// payload policy on top of it.
+///
+/// On an unpartitioned time-leap kernel the player registers a small
+/// injector module with the kernel so run() can hand the whole span to
+/// Kernel::run at once: the injector declares the next entry's cycle via
+/// next_event(), the kernel leaps the silent gaps, and the release gate
+/// in MasterCore keeps the issue schedule bit-exact (DESIGN.md §12).
 class TracePlayer {
  public:
   /// Write payload for beat `beat` of entry `index`. The default (null)
@@ -126,9 +132,33 @@ class TracePlayer {
   std::uint64_t injected() const { return next_; }
 
  private:
+  /// Schedulable face of the player (time-leap runs only): ticks after
+  /// every network module, rolling the player far enough ahead that any
+  /// transaction released at cycle c is queued before c begins. Inert
+  /// (is_idle) outside run().
+  class Injector : public sim::Module {
+   public:
+    explicit Injector(TracePlayer& owner)
+        : sim::Module("trace_player.injector"), owner_(owner) {}
+    void tick(sim::Kernel& kernel) override { owner_.injector_tick(kernel); }
+    bool is_idle() const override { return !owner_.active_; }
+    std::uint64_t next_event(std::uint64_t now) const override {
+      return owner_.injector_next_event(now);
+    }
+
+   private:
+    TracePlayer& owner_;
+  };
+
   /// Injects the entries of player-cycle `cycle_`, released at `release`
   /// (the matching kernel cycle), then advances the player clock.
   void roll_cycle(std::uint64_t release);
+  /// Rolls player cycles whose kernel release is <= `kernel_limit` (and
+  /// below the run horizon), bulk-skipping entry-free stretches — silent
+  /// rolls draw no RNG, so the skip is unobservable.
+  void roll_until(std::uint64_t kernel_limit);
+  void injector_tick(sim::Kernel& kernel);
+  std::uint64_t injector_next_event(std::uint64_t now) const;
 
   noc::Network& network_;
   std::vector<TraceEntry> trace_;
@@ -136,10 +166,24 @@ class TracePlayer {
   std::size_t next_ = 0;
   std::uint64_t cycle_ = 0;
   Rng rng_;  ///< write payload generation (default policy)
+
+  Injector injector_{*this};
+  bool use_injector_ = false;  ///< unpartitioned time-leap kernel
+  bool active_ = false;        ///< inside run()
+  /// Kernel cycle = player cycle + offset_ for the current run (unsigned
+  /// wrap-around arithmetic; only the sum is meaningful).
+  std::uint64_t offset_ = 0;
+  std::uint64_t horizon_ = 0;  ///< first kernel cycle past the run
 };
 
 /// Injects transactions into every master of `network` when step() is
 /// called once per simulated cycle.
+///
+/// On an unpartitioned time-leap kernel the driver registers an injector
+/// module (see TracePlayer) so run() can hand the whole span to
+/// Kernel::run: the injector rolls ahead through silent cycles until a
+/// roll injects (RNG draw order is cycle order either way), sleeps until
+/// the cycle before the next unrolled one, and the kernel leaps the gap.
 class TrafficDriver {
  public:
   TrafficDriver(noc::Network& network, const TrafficConfig& config);
@@ -156,9 +200,27 @@ class TrafficDriver {
   std::uint64_t injected() const { return injected_; }
 
  private:
+  /// Schedulable face of the driver (time-leap runs only); see
+  /// TracePlayer::Injector.
+  class Injector : public sim::Module {
+   public:
+    explicit Injector(TrafficDriver& owner)
+        : sim::Module("traffic_driver.injector"), owner_(owner) {}
+    void tick(sim::Kernel& kernel) override { owner_.injector_tick(kernel); }
+    bool is_idle() const override { return !owner_.active_; }
+    std::uint64_t next_event(std::uint64_t now) const override {
+      return owner_.injector_next_event(now);
+    }
+
+   private:
+    TrafficDriver& owner_;
+  };
+
   /// Rolls one driver cycle, releasing injections at kernel cycle
   /// `release` (== the current cycle when called via step()).
   void roll_cycle(std::uint64_t release);
+  void injector_tick(sim::Kernel& kernel);
+  std::uint64_t injector_next_event(std::uint64_t now) const;
   std::size_t pick_target(std::size_t initiator);
   /// Rolls the on/off Markov chain and the injection coin for one
   /// initiator-cycle; true when a transaction should be injected.
@@ -175,6 +237,12 @@ class TrafficDriver {
   double peak_rate_ = 0.0;   ///< injection probability while ON
   double p_on_to_off_ = 0.0;
   double p_off_to_on_ = 0.0;
+
+  Injector injector_{*this};
+  bool use_injector_ = false;    ///< unpartitioned time-leap kernel
+  bool active_ = false;          ///< inside run()
+  std::uint64_t rolled_next_ = 0;  ///< first kernel cycle not yet rolled
+  std::uint64_t horizon_ = 0;      ///< first kernel cycle past the run
 };
 
 }  // namespace xpl::traffic

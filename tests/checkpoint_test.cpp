@@ -165,6 +165,52 @@ TEST(Checkpoint, ResumeIsByteIdenticalAcrossSimThreadCounts) {
   EXPECT_EQ(table.to_json(), ref_json);
 }
 
+TEST(Checkpoint, ResumeIsByteIdenticalAcrossSchedulerChoice) {
+  // tiny_spec carries no scheduler directive, so the resolver picks per
+  // point by load (time-leap at the low rates, gated above). A resume may
+  // land on a different choice — an xsweep --gated/--timeleap override,
+  // or a changed auto_scheduler threshold — and must still finish with
+  // the same bytes: schedulers are throughput knobs, never axes.
+  SweepSpec gated = tiny_spec();
+  gated.scheduler = "gated";
+  gated.scheduler_pinned = true;
+  const ResultTable reference = SweepRunner(1).run(gated);
+  const std::string ref_csv = reference.to_csv();
+  const std::string ref_json = reference.to_json();
+
+  // Unpinned (mixed-scheduler) campaign: same exports, and the sidecar
+  // bytes are identical too — a checkpoint never records the choice.
+  const SweepSpec auto_spec = tiny_spec();
+  const ResultTable auto_table = SweepRunner(1).run(auto_spec);
+  EXPECT_EQ(auto_table.to_csv(), ref_csv);
+  EXPECT_EQ(auto_table.to_json(), ref_json);
+  EXPECT_EQ(write_checkpoint(make_checkpoint(auto_spec, auto_table)),
+            write_checkpoint(make_checkpoint(gated, reference)));
+
+  // Interrupt under the auto choice, resume pinned to time_leap (as
+  // xsweep --resume --timeleap would).
+  Checkpoint saved;
+  {
+    const SweepRunner runner(1);
+    RunOptions opts;
+    opts.halt_after = 3;
+    opts.on_progress = [&](const ResultTable& partial) {
+      saved = make_checkpoint(auto_spec, partial);
+    };
+    runner.run(auto_spec, opts);
+  }
+  Checkpoint reloaded = parse_checkpoint(write_checkpoint(saved));
+  ASSERT_EQ(reloaded.results.size(), 3u);
+  SweepSpec restored = checkpoint_spec(reloaded);
+  restored.scheduler = "time_leap";
+  restored.scheduler_pinned = true;
+  RunOptions opts;
+  opts.resume = &reloaded.results;
+  const ResultTable table = SweepRunner(1).run(restored, opts);
+  EXPECT_EQ(table.to_csv(), ref_csv);
+  EXPECT_EQ(table.to_json(), ref_json);
+}
+
 TEST(Checkpoint, SaveIsAtomicAndLoadable) {
   const SweepSpec spec = tiny_spec();
   const ResultTable table = SweepRunner(1).run(spec);

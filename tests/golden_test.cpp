@@ -98,13 +98,46 @@ TEST(Golden, CampaignIsThreadCountInvariant) {
 }
 
 TEST(Golden, CampaignIsSchedulerInvariantAgainstGolden) {
-  // The pinned artifacts predate the activity-gated kernel. The default
-  // runs above exercise `scheduler gated`; this pins `scheduler full`
-  // against the *same* bytes, so both schedulers are anchored to the
-  // seed behaviour independently (not merely to each other).
+  // The pinned artifacts predate the activity-gated kernel. The unpinned
+  // runs above leave the scheduler to auto_scheduler() (time-leap at this
+  // campaign's low rate); this pins `scheduler full` against the *same*
+  // bytes, so the schedulers are anchored to the seed behaviour
+  // independently (not merely to each other).
   sweep::SweepSpec spec = sweep::parse_sweep(kCampaignSpec);
   ASSERT_EQ(spec.scheduler, "gated");  // the campaign-wide default
+  ASSERT_FALSE(spec.scheduler_pinned);
   spec.scheduler = "full";
+  spec.scheduler_pinned = true;
+  sweep::SweepRunner runner(1);
+  const sweep::ResultTable table = runner.run(spec);
+  expect_golden("campaign.csv", table.to_csv());
+  expect_golden("campaign.json", table.to_json());
+}
+
+TEST(Golden, CampaignIsTimeLeapInvariantAgainstGolden) {
+  // Pins `scheduler time_leap` — quiescent cycle gaps skipped via the
+  // wake calendar (DESIGN.md §12) — directly against the pre-time-leap
+  // artifact bytes, gated and pinned `scheduler gated` likewise.
+  for (const char* name : {"time_leap", "gated"}) {
+    sweep::SweepSpec spec = sweep::parse_sweep(kCampaignSpec);
+    spec.scheduler = name;
+    spec.scheduler_pinned = true;
+    sweep::SweepRunner runner(1);
+    const sweep::ResultTable table = runner.run(spec);
+    expect_golden("campaign.csv", table.to_csv());
+    expect_golden("campaign.json", table.to_json());
+  }
+}
+
+TEST(Golden, CampaignIsPartitionedTimeLeapInvariantAgainstGolden) {
+  // Time-leap composed with conservative partitioning (4 partitions on 4
+  // threads, partition-local leaps capped at epoch barriers) must still
+  // reproduce the pinned bytes.
+  sweep::SweepSpec spec = sweep::parse_sweep(kCampaignSpec);
+  spec.partitions = 4;
+  spec.threads = 4;
+  spec.scheduler = "time_leap";
+  spec.scheduler_pinned = true;
   sweep::SweepRunner runner(1);
   const sweep::ResultTable table = runner.run(spec);
   expect_golden("campaign.csv", table.to_csv());
@@ -168,22 +201,53 @@ const char* kLowLoadCampaignSpec =
     "injection_rate 0.002 0.01\n";
 
 TEST(Golden, LowLoadCampaignCsvIsByteStable) {
+  // Unpinned: auto_scheduler() picks time-leap at these rates, so the
+  // default leg anchors the leaping kernel to the pinned bytes; the
+  // pinned gated and full legs cross-check the per-cycle schedulers.
   sweep::SweepSpec spec = sweep::parse_sweep(kLowLoadCampaignSpec);
-  ASSERT_EQ(spec.scheduler, "gated");
+  ASSERT_FALSE(spec.scheduler_pinned);
   sweep::SweepRunner runner(1);
   const sweep::ResultTable table = runner.run(spec);
   for (const auto& r : table.rows()) ASSERT_TRUE(r.ok) << r.error;
   expect_golden("campaign_lowload.csv", table.to_csv());
 
-  spec.scheduler = "full";
-  const sweep::ResultTable full_table = runner.run(spec);
-  EXPECT_EQ(full_table.to_csv(), table.to_csv());
+  spec.scheduler_pinned = true;
+  for (const char* name : {"gated", "full"}) {
+    spec.scheduler = name;
+    const sweep::ResultTable pinned_table = runner.run(spec);
+    EXPECT_EQ(pinned_table.to_csv(), table.to_csv()) << name;
+  }
 }
 
 TEST(Golden, RecordedTraceIsByteStable) {
   noc::NetworkConfig cfg;
   cfg.routing = topology::RoutingAlgorithm::kXY;
   cfg.target_window = 1 << 12;
+  noc::Network net(
+      topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
+
+  traffic::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.08;
+  tcfg.burstiness = 0.4;
+  tcfg.seed = 99;
+  workload::TraceRecorder recorder(net, "golden");
+  traffic::TrafficDriver driver(net, tcfg);
+  driver.run(600);
+  net.run_until_quiescent(20000);
+
+  ASSERT_GT(recorder.recorded(), 0u);
+  expect_golden("run.trace", workload::write_trace(recorder.trace()));
+}
+
+TEST(Golden, RecordedTraceIsTimeLeapInvariant) {
+  // Same scenario under the time-leap scheduler: the driver runs through
+  // its injector module (lookahead rolls, calendar sleeps) and the
+  // recorded `.trace` must still match the pinned bytes — release
+  // cycles, not roll cycles, are what the recorder sees.
+  noc::NetworkConfig cfg;
+  cfg.routing = topology::RoutingAlgorithm::kXY;
+  cfg.target_window = 1 << 12;
+  cfg.scheduler = sim::Scheduler::kTimeLeap;
   noc::Network net(
       topology::make_mesh(2, 2, topology::NiPlan::uniform(4, 1, 1)), cfg);
 

@@ -1,12 +1,15 @@
-// Differential kernel-equivalence suite (PR 7's headline proof).
+// Differential kernel-equivalence suite (PR 7's headline proof,
+// extended to the time-leap scheduler in PR 10).
 //
-// The gated scheduler must be indistinguishable from the full scheduler
-// on every observable. These tests drive the differential harness
-// (tests/support/differential.hpp) over randomized topologies × traffic
-// × flow control × lane counts, and additionally pin campaign CSV/JSON
-// exports and recorded-trace bytes across the two schedulers. Failures
-// shrink to a minimal reproducing scenario and print the first
-// divergent cycle plus the modules whose state differs.
+// The gated and time-leap schedulers must be indistinguishable from the
+// full scheduler on every observable. These tests drive the
+// differential harness (tests/support/differential.hpp) over randomized
+// topologies × traffic × flow control × lane counts — per-cycle and
+// chunked for the time-leap twin, partitioned across {2,4} partitions ×
+// {2,4} threads — and additionally pin campaign CSV/JSON exports and
+// recorded-trace bytes across the schedulers. Failures shrink to a
+// minimal reproducing scenario and print the first divergent cycle plus
+// the modules whose state differs.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -26,6 +29,9 @@ namespace {
 using testsupport::DiffScenario;
 using testsupport::run_differential;
 using testsupport::run_differential_shrunk;
+using testsupport::run_differential_timeleap;
+using testsupport::run_differential_timeleap_partitioned;
+using testsupport::run_differential_timeleap_shrunk;
 
 /// Draws one random-but-valid scenario. Every combination is kept
 /// deadlock-free by construction: minimal routing on rings/tori only
@@ -106,6 +112,60 @@ TEST(KernelEquiv, RandomizedScenariosAreBitExact) {
   }
 }
 
+/// The same randomized sweep against the time-leap scheduler: >= 200
+/// fresh seeds, each proven per-cycle (leaps digest-checked inside the
+/// leapt region) and chunked (injector + multi-cycle leaps).
+TEST(KernelEquiv, TimeLeapRandomizedScenariosAreBitExact) {
+  std::size_t trials = 200;
+  if (const char* env = std::getenv("XPL_EQUIV_TRIALS")) {
+    trials = static_cast<std::size_t>(std::atoll(env));
+  }
+  for (std::size_t t = 0; t < trials; ++t) {
+    const DiffScenario scenario = random_scenario(0x7EA90000 + t);
+    const auto result = run_differential_timeleap_shrunk(scenario);
+    ASSERT_TRUE(result.ok) << "trial " << t << ": " << result.detail;
+  }
+}
+
+/// Partitioned time-leap twins across the full {2,4} partitions ×
+/// {2,4} threads matrix. Low rates stretch idle gaps across many epoch
+/// barriers (leap truncation); the moderate-rate credit scenario mixes
+/// leaping with real backpressure across the cuts.
+TEST(KernelEquiv, TimeLeapPartitionedMatrixIsBitExact) {
+  DiffScenario scenarios[3];
+  scenarios[0].topology = "mesh";  // near-silent: leaps dominate
+  scenarios[0].width = 4;
+  scenarios[0].height = 4;
+  scenarios[0].injection_rate = 0.002;
+  scenarios[0].cycles = 600;
+  scenarios[1].topology = "torus";  // wrap cuts + dateline lanes
+  scenarios[1].width = 4;
+  scenarios[1].height = 4;
+  scenarios[1].vcs = 2;
+  scenarios[1].routing = topology::RoutingAlgorithm::kShortestPath;
+  scenarios[1].injection_rate = 0.01;
+  scenarios[1].cycles = 400;
+  scenarios[2].topology = "mesh";  // credit stalls across the cut
+  scenarios[2].width = 4;
+  scenarios[2].height = 3;
+  scenarios[2].flow = link::FlowControl::kCredit;
+  scenarios[2].injection_rate = 0.05;
+  scenarios[2].burstiness = 0.5;
+  scenarios[2].cycles = 400;
+  const std::size_t partition_counts[] = {2, 4};
+  const std::size_t thread_counts[] = {2, 4};
+  for (const DiffScenario& scenario : scenarios) {
+    for (const std::size_t p : partition_counts) {
+      for (const std::size_t t : thread_counts) {
+        const auto result =
+            run_differential_timeleap_partitioned(scenario, p, t);
+        ASSERT_TRUE(result.ok)
+            << "p=" << p << " t=" << t << ": " << result.detail;
+      }
+    }
+  }
+}
+
 /// Deterministic pins for the corners the random draw can undersample.
 TEST(KernelEquiv, CornerScenariosAreBitExact) {
   DiffScenario corners[6];
@@ -129,6 +189,9 @@ TEST(KernelEquiv, CornerScenariosAreBitExact) {
   for (std::size_t i = 0; i < 6; ++i) {
     const auto result = run_differential(corners[i]);
     ASSERT_TRUE(result.ok) << "corner " << i << ": " << result.detail;
+    const auto leap_result = run_differential_timeleap(corners[i]);
+    ASSERT_TRUE(leap_result.ok)
+        << "corner " << i << " (time-leap): " << leap_result.detail;
   }
 }
 

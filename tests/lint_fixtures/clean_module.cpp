@@ -59,4 +59,38 @@ class Spinner : public sim::Module {
   std::uint64_t cycles_ = 0;
 };
 
+// The conforming time-driven shape: the same clock-comparing tick as
+// the XL203 fixture, but the wake cycle is declared via next_event(),
+// so the time-leap scheduler knows exactly when to revisit it.
+class Alarm : public sim::Module {
+ public:
+  void tick(sim::Kernel& kernel) override {
+    if (kernel.cycle() >= fire_at_) fired_ = true;
+  }
+  bool is_idle() const override { return fired_; }
+  std::uint64_t next_event(std::uint64_t now) const override {
+    return fired_ ? ~std::uint64_t{0} : fire_at_;
+  }
+
+ private:
+  std::uint64_t fire_at_ = 100;
+  bool fired_ = false;
+};
+
+// A due-tracking member is fine too once the wake is declared.
+class Retry : public sim::Module {
+ public:
+  void tick(sim::Kernel& kernel) override {
+    if (pending_ > 0 && --resend_due_ == 0) --pending_;
+  }
+  bool is_idle() const override { return pending_ == 0; }
+  std::uint64_t next_event(std::uint64_t now) const override {
+    return now + 1;  // counts down every cycle while pending
+  }
+
+ private:
+  std::uint64_t resend_due_ = 8;
+  std::uint64_t pending_ = 1;
+};
+
 }  // namespace fixture

@@ -1,7 +1,8 @@
-// Differential kernel-equivalence harness (PR 7).
+// Differential kernel-equivalence harness (PR 7, extended in PR 10).
 //
-// The activity-gated scheduler (sim::Scheduler::kGated) is a pure
-// optimization: it must be *bit-exact* against the full scheduler on
+// The activity-gated scheduler (sim::Scheduler::kGated) and the
+// time-leap scheduler (sim::Scheduler::kTimeLeap) are pure
+// optimizations: each must be *bit-exact* against the full scheduler on
 // every observable — per-cycle signal values, end-of-run statistics,
 // campaign exports, recorded traces. This header is the proof engine:
 // it builds two identically-configured networks, one per scheduler,
@@ -10,8 +11,18 @@
 // with the first divergent cycle and the modules whose state differs,
 // and scenarios shrink toward a minimal reproduction before reporting.
 //
-// Used by tests/kernel_equiv_test.cpp (randomized sweep), the fuzz
-// suite, and the wake-hazard regression tests.
+// The time-leap twin is proven at two granularities. Network::step()
+// routes through Kernel::run(1), so a per-cycle-driven kTimeLeap
+// network still takes the leap decision every cycle — a skipped
+// (frozen) cycle is digest-compared against the reference *inside* the
+// leapt region, not just at its ends. Chunked driving via
+// traffic::TrafficDriver::run() then arms the driver's injector module
+// and lets the kernel leap multi-cycle gaps wholesale, compared at the
+// cycle counts where the two clocks realign.
+//
+// Used by tests/kernel_equiv_test.cpp (randomized sweep),
+// tests/timeleap_test.cpp (leap corners), the fuzz suite, and the
+// wake-hazard regression tests.
 #pragma once
 
 #include <cstdint>
@@ -169,12 +180,15 @@ inline std::string attribute_divergence(noc::Network& full,
 /// statistics at the end. `describe` labels the failure report. This is
 /// the reusable core: DiffScenario-based callers go through
 /// run_differential below; suites with their own topology generators
-/// (tests/fuzz_test.cpp) call this directly.
+/// (tests/fuzz_test.cpp) call this directly. The labels default to the
+/// full/gated pairing; the time-leap runners pass "gated"/"leap".
 inline DiffResult run_lockstep(noc::Network& full, noc::Network& gated,
                                traffic::TrafficDriver& full_driver,
                                traffic::TrafficDriver& gated_driver,
                                std::size_t cycles, std::size_t drain_cycles,
-                               const std::string& describe) {
+                               const std::string& describe,
+                               const char* label_a = "full",
+                               const char* label_b = "gated") {
   DiffResult result;
   auto diverged = [&](std::uint64_t cycle, const char* phase) {
     result.ok = false;
@@ -182,7 +196,7 @@ inline DiffResult run_lockstep(noc::Network& full, noc::Network& gated,
     std::ostringstream os;
     os << "digest divergence at cycle " << cycle << " (" << phase
        << " phase)\n  scenario: " << describe
-       << detail::attribute_divergence(full, gated);
+       << detail::attribute_divergence(full, gated, label_a, label_b);
     result.detail = os.str();
     return result;
   };
@@ -207,12 +221,13 @@ inline DiffResult run_lockstep(noc::Network& full, noc::Network& gated,
   if (full.quiescent() != gated.quiescent()) {
     result.ok = false;
     result.first_divergent_cycle = full.kernel().cycle();
-    result.detail = "drain divergence (full " +
+    result.detail = "drain divergence (" + std::string(label_a) + " " +
                     std::string(full.quiescent() ? "quiescent" : "stuck") +
-                    ", gated " +
+                    ", " + std::string(label_b) + " " +
                     std::string(gated.quiescent() ? "quiescent" : "stuck") +
                     ")\n  scenario: " + describe +
-                    detail::attribute_divergence(full, gated);
+                    detail::attribute_divergence(full, gated, label_a,
+                                                 label_b);
     return result;
   }
 
@@ -220,8 +235,11 @@ inline DiffResult run_lockstep(noc::Network& full, noc::Network& gated,
   const auto fs = traffic::collect_run(full, cycles);
   const auto gs = traffic::collect_run(gated, cycles);
   std::ostringstream os;
-  auto check = [&os](const char* what, auto a, auto b) {
-    if (a != b) os << "\n  " << what << ": full=" << a << " gated=" << b;
+  auto check = [&os, label_a, label_b](const char* what, auto a, auto b) {
+    if (a != b) {
+      os << "\n  " << what << ": " << label_a << "=" << a << " " << label_b
+         << "=" << b;
+    }
   };
   check("transactions", fs.transactions, gs.transactions);
   check("latency.mean", fs.latency.mean, gs.latency.mean);
@@ -338,14 +356,151 @@ inline DiffResult run_differential(const DiffScenario& scenario) {
                       scenario.to_string());
 }
 
+/// Time-leap differential (PR 10): kGated reference vs kTimeLeap twin,
+/// proven at both leap granularities.
+///
+/// Leg 1 drives both networks per cycle through run_lockstep. Because
+/// Network::step() is Kernel::run(1), the twin's kernel takes the leap
+/// decision every cycle and skips (freezes) each quiescent one — so the
+/// digest comparison runs *inside* leapt regions: a frozen cycle must
+/// be byte-identical to the reference's ticked one, which is exactly
+/// the "skipped ticks are observable no-ops" obligation.
+///
+/// Leg 2 re-runs the scenario advancing the twin in mixed-width
+/// driver.run() spans. That path registers the driver's injector module
+/// (TrafficDriver does so only under an unpartitioned kTimeLeap
+/// kernel), so multi-cycle calendar leaps, injector look-ahead, and
+/// wake-at-leap-target all engage; digests compare wherever the two
+/// clocks realign, and the drain advances both sides in fixed windows.
+inline DiffResult run_differential_timeleap(const DiffScenario& scenario) {
+  {
+    noc::Network gated(scenario.build_topology(),
+                       scenario.net_config(sim::Scheduler::kGated));
+    noc::Network leap(scenario.build_topology(),
+                      scenario.net_config(sim::Scheduler::kTimeLeap));
+    traffic::TrafficDriver gated_driver(gated, scenario.traffic_config());
+    traffic::TrafficDriver leap_driver(leap, scenario.traffic_config());
+    DiffResult per_cycle = run_lockstep(
+        gated, leap, gated_driver, leap_driver, scenario.cycles,
+        scenario.drain_cycles, scenario.to_string() + " [leap per-cycle]",
+        "gated", "leap");
+    if (!per_cycle.ok) return per_cycle;
+  }
+
+  noc::Network ref(scenario.build_topology(),
+                   scenario.net_config(sim::Scheduler::kGated));
+  noc::Network leap(scenario.build_topology(),
+                    scenario.net_config(sim::Scheduler::kTimeLeap));
+  traffic::TrafficDriver ref_driver(ref, scenario.traffic_config());
+  traffic::TrafficDriver leap_driver(leap, scenario.traffic_config());
+  const std::string describe = scenario.to_string() + " [leap chunked]";
+
+  DiffResult result;
+  auto diverged = [&](std::uint64_t cycle, const char* phase) {
+    result.ok = false;
+    result.first_divergent_cycle = cycle;
+    std::ostringstream os;
+    os << "digest divergence at cycle " << cycle << " (" << phase
+       << " phase)\n  scenario: " << describe
+       << detail::attribute_divergence(ref, leap, "gated", "leap");
+    result.detail = os.str();
+    return result;
+  };
+
+  // Mixed span widths: shorter than, comparable to, and much longer than
+  // typical idle gaps, so leaps land both inside spans and truncated at
+  // span boundaries (the wake-at-leap-target edge).
+  static constexpr std::size_t kSpans[] = {1, 7, 3, 64, 2, 13, 33, 5};
+  std::size_t done = 0;
+  std::size_t pick = 0;
+  while (done < scenario.cycles) {
+    const std::size_t n = std::min(kSpans[pick++ % 8],
+                                   scenario.cycles - done);
+    ref_driver.run(n);
+    leap_driver.run(n);
+    done += n;
+    if (ref.kernel().digest() != leap.kernel().digest()) {
+      return diverged(ref.kernel().cycle(), "driven");
+    }
+  }
+  for (std::size_t c = 0; c < scenario.drain_cycles; c += 16) {
+    if (ref.quiescent() && leap.quiescent()) break;
+    const std::size_t n =
+        std::min<std::size_t>(16, scenario.drain_cycles - c);
+    ref.step(n);
+    leap.step(n);
+    if (ref.kernel().digest() != leap.kernel().digest()) {
+      return diverged(ref.kernel().cycle(), "drain");
+    }
+  }
+  if (ref.quiescent() != leap.quiescent()) {
+    result.ok = false;
+    result.first_divergent_cycle = ref.kernel().cycle();
+    result.detail =
+        "drain divergence (gated " +
+        std::string(ref.quiescent() ? "quiescent" : "stuck") + ", leap " +
+        std::string(leap.quiescent() ? "quiescent" : "stuck") +
+        ")\n  scenario: " + describe +
+        detail::attribute_divergence(ref, leap, "gated", "leap");
+    return result;
+  }
+
+  const auto rs = traffic::collect_run(ref, scenario.cycles);
+  const auto ls = traffic::collect_run(leap, scenario.cycles);
+  std::ostringstream os;
+  auto check = [&os](const char* what, auto a, auto b) {
+    if (a != b) os << "\n  " << what << ": gated=" << a << " leap=" << b;
+  };
+  check("transactions", rs.transactions, ls.transactions);
+  check("latency.mean", rs.latency.mean, ls.latency.mean);
+  check("latency.p95", rs.latency.p95, ls.latency.p95);
+  check("throughput", rs.throughput, ls.throughput);
+  check("link_flits", rs.link_flits, ls.link_flits);
+  check("retransmissions", rs.retransmissions, ls.retransmissions);
+  check("credit_stalls", rs.credit_stalls, ls.credit_stalls);
+  check("avg_link_utilization", rs.avg_link_utilization,
+        ls.avg_link_utilization);
+  if (!os.str().empty()) {
+    result.ok = false;
+    result.first_divergent_cycle = ref.kernel().cycle();
+    result.detail = "stats divergence after identical digests (scenario: " +
+                    describe + ")" + os.str();
+  }
+  return result;
+}
+
+/// Partitioned time-leap twin vs the unpartitioned gated reference:
+/// partition-local leaps are capped at the epoch barrier and the
+/// wholesale fast-forward only fires when every partition sleeps, so
+/// the PR 8 barrier protocol (digests compared per epoch, per-cycle
+/// drain) applies unchanged.
+inline DiffResult run_differential_timeleap_partitioned(
+    const DiffScenario& scenario, std::size_t partitions,
+    std::size_t sim_threads) {
+  noc::Network ref(scenario.build_topology(),
+                   scenario.net_config(sim::Scheduler::kGated));
+  noc::Network part(scenario.build_topology(),
+                    scenario.net_config(sim::Scheduler::kTimeLeap,
+                                        partitions, sim_threads));
+  traffic::TrafficDriver ref_driver(ref, scenario.traffic_config());
+  traffic::TrafficDriver part_driver(part, scenario.traffic_config());
+  std::ostringstream label;
+  label << scenario.to_string() << " [leap partitioned p=" << partitions
+        << " t=" << sim_threads << "]";
+  return run_lockstep_partitioned(ref, part, ref_driver, part_driver,
+                                  scenario.cycles, scenario.drain_cycles,
+                                  label.str());
+}
+
 /// Greedy scenario shrinking: tries a fixed set of simplifying mutations
 /// (shorter run, calmer traffic, fewer lanes, smaller topology) and
 /// keeps each one that still reproduces a divergence. Returns the
 /// minimal still-failing scenario (the input if nothing smaller fails).
-inline DiffScenario shrink_divergence(DiffScenario scenario) {
-  auto still_fails = [](const DiffScenario& s) {
-    return !run_differential(s).ok;
-  };
+/// `still_fails` decides reproduction, so the same shrinker serves the
+/// full/gated and gated/time-leap pairings.
+template <typename StillFails>
+inline DiffScenario shrink_divergence_with(DiffScenario scenario,
+                                           StillFails still_fails) {
   // Cut the driven window toward the first divergent cycle first — every
   // later mutation then re-verifies against the cheap short run.
   for (int pass = 0; pass < 3; ++pass) {
@@ -398,6 +553,14 @@ inline DiffScenario shrink_divergence(DiffScenario scenario) {
   return scenario;
 }
 
+/// Full/gated shrinker (the PR 7 behavior).
+inline DiffScenario shrink_divergence(DiffScenario scenario) {
+  return shrink_divergence_with(std::move(scenario),
+                                [](const DiffScenario& s) {
+                                  return !run_differential(s).ok;
+                                });
+}
+
 /// run_differential + automatic shrinking on failure: the returned
 /// result's detail describes the *minimal* reproduction.
 inline DiffResult run_differential_shrunk(const DiffScenario& scenario) {
@@ -405,6 +568,22 @@ inline DiffResult run_differential_shrunk(const DiffScenario& scenario) {
   if (result.ok) return result;
   const DiffScenario minimal = shrink_divergence(scenario);
   DiffResult shrunk = run_differential(minimal);
+  if (!shrunk.ok) {
+    shrunk.detail += "\n  (shrunk from: " + scenario.to_string() + ")";
+    return shrunk;
+  }
+  return result;  // shrinking raced a flaky repro; report the original
+}
+
+/// run_differential_timeleap + automatic shrinking on failure.
+inline DiffResult run_differential_timeleap_shrunk(
+    const DiffScenario& scenario) {
+  DiffResult result = run_differential_timeleap(scenario);
+  if (result.ok) return result;
+  const DiffScenario minimal = shrink_divergence_with(
+      scenario,
+      [](const DiffScenario& s) { return !run_differential_timeleap(s).ok; });
+  DiffResult shrunk = run_differential_timeleap(minimal);
   if (!shrunk.ok) {
     shrunk.detail += "\n  (shrunk from: " + scenario.to_string() + ")";
     return shrunk;

@@ -5,7 +5,8 @@ the fact (docs/LINTING.md maps each rule to its backstop):
 
   determinism          XL101 unordered-iter, XL102 pointer-order,
                        XL103 unstable-sort, XL104 banned-call
-  module contract      XL201 missing-is-idle, XL202 idle-state-coupling
+  module contract      XL201 missing-is-idle, XL202 idle-state-coupling,
+                       XL203 missing-next-event
   signal discipline    XL301 write-outside-tick, XL302 watcher-budget,
                        XL303 signal-handle
   export stability     XL401 raw-float-export
@@ -31,6 +32,7 @@ RULES: dict[str, tuple[str, str]] = {
     "XL104": ("banned", "wall-clock/env/libc-rng call on a simulation path"),
     "XL201": ("idle", "concrete sim::Module subclass without is_idle() override"),
     "XL202": ("idle", "is_idle() reads none of the state tick() advances"),
+    "XL203": ("next-event", "time-driven sleeper without a next_event() override"),
     "XL301": ("write", "Signal write outside a tick()/exchange()-reachable path"),
     "XL302": ("watch", "more than two static watch() registrations on one wire"),
     "XL303": ("signal-handle", "raw Signal handle stored in a module outside the CutLink seam"),
@@ -80,6 +82,15 @@ BANNED_CALL_RE = re.compile(
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+# Members whose names advertise a self-scheduled future cycle. A module
+# that tracks one of these and still claims is_idle() can sleep under
+# the time-leap scheduler past the very cycle the member names.
+DUE_MEMBER_RE = re.compile(r"(?:^|_)(?:due|deadline)s?(?:_|$)")
+
+# A read of the kernel clock (Kernel::cycle()); begin_cycle()/end_cycle()
+# don't match — `_` is a word character, so \b stops at the prefix.
+CYCLE_READ_RE = re.compile(r"\bcycle\s*\(\s*\)")
 
 FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)\s*(?:[;=,)\{]|$)", re.M)
 INT_DECL_RE = re.compile(
@@ -470,13 +481,13 @@ class Analyzer:
             if mc.decl_site is None:
                 continue
             sf = file_by_path[mc.decl_site[0]]
+            # Declaration-only overrides (defined out of line in a file not
+            # scanned) still count via the declaration text.
+            decl_ci = next(c for c in sf.classes if c.name == mc.name)
+            extent = "\n".join(
+                sf.code_lines()[decl_ci.start_line - 1 : decl_ci.end_line]
+            )
             if "is_idle" not in mc.methods:
-                # Declaration-only override (defined out of line in a file
-                # not scanned) still counts via the declaration text.
-                decl_ci = next(c for c in sf.classes if c.name == mc.name)
-                extent = "\n".join(
-                    sf.code_lines()[decl_ci.start_line - 1 : decl_ci.end_line]
-                )
                 if not re.search(r"\bis_idle\s*\(", extent):
                     self._emit(
                         sf,
@@ -488,6 +499,8 @@ class Analyzer:
                         "override it (return false is an acceptable claim) or "
                         "annotate idle-ok(<reason>)",
                     )
+                    continue
+                self._check_next_event(mc, sf, extent, file_by_path)
                 continue
             member_names = {name for _f, _t, _l, name in mc.members}
             idle_tokens = set(IDENT_RE.findall(mc.methods["is_idle"]))
@@ -507,3 +520,55 @@ class Analyzer:
                     "only dynamically) — read the gating state or annotate "
                     "idle-ok(<reason>)",
                 )
+            self._check_next_event(mc, sf, extent, file_by_path)
+
+    def _check_next_event(
+        self,
+        mc: MergedClass,
+        sf: SourceFile,
+        extent: str,
+        file_by_path: dict[str, SourceFile],
+    ) -> None:
+        """XL203: a module that both claims quiescence (overrides
+        is_idle) and behaves time-drivenly — its tick path reads the
+        kernel clock, or it tracks a due/deadline member — must declare
+        its wake cycle via next_event(). Under the time-leap scheduler a
+        sleeping module is revisited only at its declared next_event (or
+        on a signal wake); a time-driven sleeper without one oversleeps
+        the very cycle its state names, and only the differential suite
+        would catch it — dynamically, per scenario."""
+        if "next_event" in mc.methods or re.search(r"\bnext_event\s*\(", extent):
+            return
+        reach = mc.tick_reachable()
+        if not reach:
+            return
+        reads_clock = any(CYCLE_READ_RE.search(mc.methods[m]) for m in reach)
+        due_member = next(
+            (
+                (path, line, name)
+                for path, _type, line, name in mc.members
+                if DUE_MEMBER_RE.search(name)
+            ),
+            None,
+        )
+        if not reads_clock and due_member is None:
+            return
+        if reads_clock:
+            path, line = mc.method_sites.get("is_idle", mc.decl_site)
+            why = "reads Kernel::cycle() on its tick path"
+            if due_member is not None:
+                why += f" and holds due/deadline member '{due_member[2]}'"
+        else:
+            path, line, name = due_member
+            why = f"holds due/deadline member '{name}'"
+        self._emit(
+            file_by_path.get(path, sf),
+            line,
+            "XL203",
+            f"module '{mc.name}' overrides is_idle() and {why} but never "
+            "overrides next_event(): the time-leap scheduler revisits a "
+            "sleeping module only at its declared wake cycle, so a "
+            "time-driven sleeper without one oversleeps its own deadline — "
+            "declare the wake (sim::Module::next_event contract, "
+            "src/sim/kernel.hpp) or annotate next-event-ok(<reason>)",
+        )

@@ -10,9 +10,11 @@
 //     --rate <r>           injection rate for --simulate (default 0.03)
 //     --optimize-buffers   run the buffer-sizing pass first
 //     --print-spec         echo the canonical specification and exit
-//     --gated / --ungated  force the kernel scheduler for --simulate
+//     --gated / --ungated / --timeleap
+//                          force the kernel scheduler for --simulate
 //                          (bit-identical results; --ungated is the
-//                          escape hatch for gating-divergence triage)
+//                          escape hatch for gating-divergence triage,
+//                          --timeleap skips quiescent cycle gaps)
 //     --sim-threads <n>    partition the kernel across n threads for
 //                          --simulate (bit-identical results; implies
 //                          n partitions unless the spec sets its own)
@@ -37,7 +39,8 @@ void usage(const char* argv0) {
                "usage: %s <spec.noc> [--emit <dir>] [--estimate <MHz>]\n"
                "          [--simulate <cycles>] [--rate <r>]\n"
                "          [--optimize-buffers] [--print-spec]\n"
-               "          [--gated | --ungated] [--sim-threads <n>]\n",
+               "          [--gated | --ungated | --timeleap]\n"
+               "          [--sim-threads <n>]\n",
                argv0);
 }
 
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
       scheduler = sim::Scheduler::kGated;
     } else if (arg == "--ungated") {
       scheduler = sim::Scheduler::kFull;
+    } else if (arg == "--timeleap") {
+      scheduler = sim::Scheduler::kTimeLeap;
     } else if (arg == "--sim-threads") {
       sim_threads = static_cast<std::size_t>(std::atoll(next()));
       if (sim_threads == 0) {

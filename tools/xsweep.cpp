@@ -68,7 +68,8 @@ void usage(const char* argv0) {
                "          [--checkpoint <path>] [--resume <path>]\n"
                "          [--halt-after N] [--pareto] [--check-deadlock]\n"
                "          [--print-spec] [--list-apps] [--quiet]\n"
-               "          [--gated | --ungated] [--sim-threads N]\n"
+               "          [--gated | --ungated | --timeleap]\n"
+               "          [--sim-threads N]\n"
                "          [--max-hw-threads N]\n"
                "       %s --resume <campaign.ckpt> [options]\n",
                argv0, argv0);
@@ -189,6 +190,8 @@ int main(int argc, char** argv) {
       scheduler_override = "gated";
     } else if (arg == "--ungated") {
       scheduler_override = "full";
+    } else if (arg == "--timeleap") {
+      scheduler_override = "time_leap";
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -235,9 +238,12 @@ int main(int argc, char** argv) {
     } else {
       spec = sweep::load_sweep(spec_path);
     }
-    // Safe even on resume: both schedulers produce byte-identical
+    // Safe even on resume: every scheduler produces byte-identical
     // results, so mixing them within one campaign changes nothing.
-    if (!scheduler_override.empty()) spec.scheduler = scheduler_override;
+    if (!scheduler_override.empty()) {
+      spec.scheduler = scheduler_override;
+      spec.scheduler_pinned = true;
+    }
     // Same argument for within-point threading: partitioned results are
     // bit-exact at any thread count, so overriding mid-campaign is safe.
     if (sim_threads != 0) spec.threads = sim_threads;
